@@ -1,0 +1,68 @@
+// Ablation (DESIGN.md §4): the paper's BLSTM+attention PTM versus the
+// windowed-MLP PTM this reproduction uses by default for network-scale runs.
+// Both architectures train on identical data and are scored on identical
+// exogenous streams; we also measure inference throughput, which is why the
+// MLP is the CPU default (the paper runs the attention model on V100s).
+#include "bench/common.hpp"
+
+#include <cstdio>
+
+using namespace dqn;
+
+int main() {
+  std::printf("=== Ablation: PTM architecture (BLSTM+attention vs windowed MLP) ===\n\n");
+  const double scale = bench::bench_scale();
+
+  auto base = bench::standard_dutil(4, 12, 1e9);
+  base.streams = static_cast<std::size_t>(28 * scale) + 4;
+  base.ptm.epochs = static_cast<std::size_t>(8 * scale) + 2;
+  base.seed += 0xab1a;
+
+  util::text_table table{{"architecture", "params/layout", "train time",
+                          "val w1", "inference us/window"}};
+
+  // Exogenous evaluation set shared by both models.
+  core::ptm_dataset exogenous;
+  exogenous.time_steps = base.ptm.time_steps;
+  {
+    util::rng rng{991};
+    for (int i = 0; i < 6; ++i)
+      exogenous.append(core::generate_stream_sample(base, rng).data);
+  }
+
+  for (const auto arch : {core::ptm_arch::mlp, core::ptm_arch::attention}) {
+    auto cfg = base;
+    cfg.ptm.arch = arch;
+    cfg.ptm.lstm_hidden = {16, 8};
+    cfg.ptm.key_dim = 8;
+    cfg.ptm.value_dim = 8;
+    cfg.ptm.attention_out = 16;
+    const auto bundle = core::train_device_model(cfg);
+    const double w1 = core::evaluate_w1(bundle.model, exogenous);
+
+    // Inference throughput on the exogenous windows.
+    util::stopwatch watch;
+    const auto predictions = bundle.model.predict(exogenous.windows);
+    const double us_per_window =
+        watch.elapsed_seconds() * 1e6 / static_cast<double>(predictions.size());
+
+    const std::string layout =
+        arch == core::ptm_arch::mlp
+            ? std::to_string(cfg.ptm.time_steps * core::feature_count) + "-" +
+                  std::to_string(cfg.ptm.mlp_hidden[0]) + "-" +
+                  std::to_string(cfg.ptm.mlp_hidden[1]) + "-1"
+            : "BLSTM(16,8)+3 heads";
+    table.add_row({core::to_string(arch), layout,
+                   util::format_duration(bundle.report.train_seconds),
+                   util::fmt(w1, 4), util::fmt(us_per_window, 2)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("reading: at this CPU-scale training budget the two architectures\n"
+              "are comparably accurate (either can win on a given draw); the\n"
+              "MLP is ~10x cheaper per window, hence the default for\n"
+              "whole-network simulation (DESIGN.md §2). Set\n"
+              "DQN_PTM_ARCH=attention to run everything with the paper's\n"
+              "architecture; at the paper's data/GPU scale its capacity\n"
+              "advantage is expected to dominate.\n");
+  return 0;
+}

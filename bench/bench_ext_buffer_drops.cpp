@@ -1,0 +1,90 @@
+// Extension bench (no paper counterpart; §2.3 notes current EPEs cannot
+// support buffer management at all): drop-rate fidelity of DeepQueueNet's
+// deterministic drop-tail replay against the DES across buffer sizes, on an
+// overloaded bottleneck. Dropped packets have latency +inf (§1), so the
+// measured quantity is the drop *rate* and the latency distribution of the
+// survivors.
+#include "bench/common.hpp"
+
+#include <cstdio>
+
+#include "stats/descriptive.hpp"
+
+using namespace dqn;
+
+namespace {
+
+topo::topology bottleneck_line() {
+  topo::topology t;
+  const auto s0 = t.add_device("s0");
+  const auto s1 = t.add_device("s1");
+  const auto s2 = t.add_device("s2");
+  t.connect(s0, s1, 1e9, 1e-6);
+  t.connect(s1, s2, 1e8, 1e-6);  // the bottleneck
+  const auto h0 = t.add_host("h0");
+  t.connect(h0, s0, 1e9, 1e-6);
+  const auto h2 = t.add_host("h2");
+  t.connect(h2, s2, 1e9, 1e-6);
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Extension: buffer management (drop-tail) fidelity ===\n");
+  std::printf("1.5x overloaded 100 Mbps bottleneck, drop-tail buffers in bytes\n\n");
+  auto ptm = bench::network_model();
+
+  const auto topo = bottleneck_line();
+  const topo::routing routes{topo};
+  const double horizon = 2.0 * bench::bench_scale();
+
+  util::rng rng{2026};
+  traffic::packet_stream stream;
+  std::uint64_t pid = 0;
+  double t = 0;
+  for (;;) {
+    t += rng.exponential(1.5 * 1e8 / (1000 * 8.0));
+    if (t >= horizon) break;
+    traffic::packet p;
+    p.pid = pid++;
+    p.flow_id = 1 + pid % 4;
+    p.size_bytes = 1000;
+    p.src_host = 0;
+    p.dst_host = 1;
+    stream.push_back({p, t});
+  }
+  std::vector<traffic::packet_stream> streams(2);
+  streams[0] = stream;
+
+  util::text_table table{{"buffer (bytes)", "DES drop rate", "DQN drop rate",
+                          "DES survivor p99 (us)", "DQN survivor p99 (us)"}};
+  for (const std::uint64_t buffer_bytes : {8'000, 16'000, 32'000, 64'000}) {
+    des::network_config des_cfg;
+    des_cfg.tm.buffer_bytes = buffer_bytes;
+    des_cfg.tm.buffer_packets = 1 << 20;
+    des_cfg.record_hops = false;
+    des::network oracle{topo, routes, des_cfg};
+    const auto truth = oracle.run(streams, horizon);
+
+    core::scheduler_context ctx;
+    ctx.bandwidth_bps = 1e8;
+    ctx.buffer_bytes = buffer_bytes;
+    core::dqn_network net{topo, routes, ptm, ctx, {}};
+    const auto pred = net.run(streams, horizon);
+
+    const auto truth_lat = des::all_latencies(truth);
+    const auto pred_lat = des::all_latencies(pred);
+    table.add_row(
+        {std::to_string(buffer_bytes),
+         util::fmt(static_cast<double>(truth.drops) / stream.size(), 4),
+         util::fmt(static_cast<double>(pred.drops) / stream.size(), 4),
+         util::fmt(stats::percentile(truth_lat, 0.99) * 1e6, 1),
+         util::fmt(stats::percentile(pred_lat, 0.99) * 1e6, 1)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("expected shape: drop rates match closely (both implement exact "
+              "drop-tail over the same arrival series); survivor tail latency "
+              "grows with the buffer in both systems.\n");
+  return 0;
+}

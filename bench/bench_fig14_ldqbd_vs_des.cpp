@@ -1,0 +1,143 @@
+// Figure 14: queueing performance of multi-queue schedulers — the
+// LDQBD-based queueing-theoretic model (Appendix B) against the DES, for
+// the paper's numerical example: 3 classes with proportions 20/30/50%, the
+// MAP(2) aggregate flow with mean rate 4800 pkts/s, exponential service
+// with mean rate 100 Mbps / 1426 B, under SP and WFQ (1:1:1).
+//
+// Expected shape (paper): the model CDFs overlay the empirical DES CDFs;
+// under SP the high-priority class has the shortest queue, under WFQ the
+// classes are closer together.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "des/single_device.hpp"
+#include "queueing/ldqbd.hpp"
+#include "queueing/markovian_arrival.hpp"
+#include "traffic/packet.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+using namespace dqn;
+
+namespace {
+
+constexpr double class_probs[3] = {0.2, 0.3, 0.5};
+constexpr double mean_packet_bytes = 1426.0;
+constexpr double service_rate = 100e6 / (mean_packet_bytes * 8.0);  // pkts/s
+
+// DES of the same scheduler; returns per-class queue-length CDF sampled at
+// arrival epochs (PASTA), using exponential packet sizes so the service is
+// exponential like the model assumes.
+std::vector<std::vector<double>> des_class_cdfs(des::scheduler_kind kind,
+                                                std::size_t levels,
+                                                double horizon) {
+  util::rng rng{777};
+  const auto map = queueing::map_process::paper_example();
+  std::size_t state = map.sample_initial_state(rng);
+  traffic::packet_stream stream;
+  double t = 0;
+  std::uint64_t pid = 0;
+  while (t < horizon) {
+    t += map.sample_iat(state, rng);
+    traffic::packet p;
+    p.pid = pid++;
+    p.flow_id = static_cast<std::uint32_t>(pid % 13);
+    p.size_bytes = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(
+               std::lround(rng.exponential(1.0 / mean_packet_bytes))));
+    const double u = rng.uniform();
+    p.priority = u < class_probs[0] ? 0 : (u < class_probs[0] + class_probs[1] ? 1 : 2);
+    stream.push_back({p, t});
+  }
+  des::single_switch_config cfg;
+  cfg.ports = 1;
+  cfg.tm.kind = kind;
+  cfg.tm.classes = 3;
+  if (kind == des::scheduler_kind::wfq) cfg.tm.class_weights = {1, 1, 1};
+  cfg.bandwidth_bps = 100e6;
+  const auto result = des::run_single_switch(
+      cfg, {stream}, [](std::uint32_t, std::size_t) { return 0u; }, horizon,
+      /*sample_queues=*/true);
+
+  std::vector<std::vector<double>> cdfs(3, std::vector<double>(levels + 1, 0.0));
+  for (const auto& sample : result.queue_samples) {
+    for (std::size_t k = 0; k < 3; ++k) {
+      // In-system count: waiting + the in-service packet of this class
+      // (the model's n_k counts packets in system).
+      const std::size_t in_system = sample[k] + (sample[3] == k + 1 ? 1 : 0);
+      if (in_system <= levels) cdfs[k][in_system] += 1.0;
+    }
+  }
+  for (auto& cdf : cdfs) {
+    double total = 0;
+    for (double c : cdf) total += c;
+    double cum = 0;
+    for (auto& c : cdf) {
+      cum += c / total;
+      c = cum;
+    }
+  }
+  return cdfs;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 14: queueing performance of schedulers "
+              "(LDQBD model vs DES) ===\n");
+  std::printf("3 classes (20%%/30%%/50%%), MAP(2) aggregate at 4800 pkts/s, "
+              "exponential service, rho=%.3f\n\n",
+              4800.0 / service_rate);
+
+  const std::size_t levels = 30;
+  for (const auto kind : {queueing::scheduler_discipline::sp,
+                          queueing::scheduler_discipline::wfq}) {
+    const bool is_sp = kind == queueing::scheduler_discipline::sp;
+    std::printf("--- %s ---\n", is_sp ? "SP" : "WFQ (1:1:1)");
+    queueing::scheduler_model_config cfg;
+    cfg.class_probs = {class_probs[0], class_probs[1], class_probs[2]};
+    cfg.service_rate = service_rate;
+    cfg.discipline = kind;
+    if (!is_sp) cfg.weights = {1, 1, 1};
+    cfg.truncation_level = levels;
+    queueing::ldqbd_scheduler_model model{queueing::map_process::paper_example(),
+                                          cfg};
+    util::stopwatch watch;
+    model.solve();
+    std::printf("model: %zu CTMC states, solved in %s\n", model.state_count(),
+                util::format_duration(watch.elapsed_seconds()).c_str());
+
+    const auto des_cdfs = des_class_cdfs(
+        is_sp ? des::scheduler_kind::sp : des::scheduler_kind::wfq, levels, 60.0);
+
+    util::text_table table{{"queue len", "class1 model", "class1 DES",
+                            "class2 model", "class2 DES", "class3 model",
+                            "class3 DES"}};
+    std::vector<std::vector<double>> model_cdfs;
+    for (std::size_t k = 0; k < 3; ++k) {
+      auto dist = model.class_queue_length_distribution(k);
+      double cum = 0;
+      for (auto& p : dist) {
+        cum += p;
+        p = cum;
+      }
+      model_cdfs.push_back(std::move(dist));
+    }
+    for (const std::size_t n : {0, 1, 2, 3, 5, 8, 12}) {
+      table.add_row({std::to_string(n), util::fmt(model_cdfs[0][n], 4),
+                     util::fmt(des_cdfs[0][n], 4), util::fmt(model_cdfs[1][n], 4),
+                     util::fmt(des_cdfs[1][n], 4), util::fmt(model_cdfs[2][n], 4),
+                     util::fmt(des_cdfs[2][n], 4)});
+    }
+    std::printf("%s\n", table.to_string().c_str());
+  }
+  std::printf("expected shape (paper Fig. 14): model and DES CDFs overlay; SP "
+              "starves class 3 relative to WFQ.\n");
+  std::printf("residual gaps at small queue lengths are inherent to the model "
+              "(Appendix B assumes preemptive/fluid service allocation, the "
+              "DES is packetized and non-preemptive) — the paper's own dashed "
+              "curves show the same deviation.\n");
+  return 0;
+}

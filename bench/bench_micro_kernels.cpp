@@ -1,0 +1,112 @@
+// Micro-benchmarks (google-benchmark) of the hot kernels every experiment
+// rides on: the matmul behind PTM inference, scheduler enqueue/dequeue, the
+// DES event loop, W1 metric computation, and PFM forwarding.
+#include <benchmark/benchmark.h>
+
+#include "core/pfm.hpp"
+#include "des/simulator.hpp"
+#include "des/traffic_manager.hpp"
+#include "nn/matrix.hpp"
+#include "stats/wasserstein.hpp"
+#include "util/rng.hpp"
+
+using namespace dqn;
+
+namespace {
+
+void bm_matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::rng rng{1};
+  const auto a = nn::matrix::randn(n, n, rng, 1.0);
+  const auto b = nn::matrix::randn(n, n, rng, 1.0);
+  for (auto _ : state) {
+    auto c = nn::matmul(a, b);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(bm_matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void bm_traffic_manager(benchmark::State& state) {
+  const auto kind = static_cast<des::scheduler_kind>(state.range(0));
+  des::tm_config cfg;
+  cfg.kind = kind;
+  cfg.classes = kind == des::scheduler_kind::fifo ? 1 : 3;
+  if (kind == des::scheduler_kind::wrr || kind == des::scheduler_kind::drr ||
+      kind == des::scheduler_kind::wfq)
+    cfg.class_weights = {5, 3, 1};
+  des::traffic_manager tm{cfg};
+  util::rng rng{2};
+  traffic::packet p;
+  for (auto _ : state) {
+    p.size_bytes = static_cast<std::uint32_t>(rng.uniform_int(64, 1500));
+    p.priority = static_cast<std::uint8_t>(rng.uniform_int(cfg.classes));
+    benchmark::DoNotOptimize(tm.enqueue(p));
+    auto out = tm.dequeue();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_traffic_manager)
+    ->Arg(static_cast<int>(des::scheduler_kind::fifo))
+    ->Arg(static_cast<int>(des::scheduler_kind::sp))
+    ->Arg(static_cast<int>(des::scheduler_kind::wrr))
+    ->Arg(static_cast<int>(des::scheduler_kind::drr))
+    ->Arg(static_cast<int>(des::scheduler_kind::wfq));
+
+void bm_event_loop(benchmark::State& state) {
+  for (auto _ : state) {
+    des::simulator sim;
+    int counter = 0;
+    for (int i = 0; i < 1000; ++i)
+      sim.schedule_at(i * 1e-6, [&counter] { ++counter; });
+    sim.run(1.0);
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(bm_event_loop);
+
+void bm_wasserstein(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::rng rng{3};
+  std::vector<double> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = rng.exponential(1.0);
+    b[i] = rng.exponential(1.2);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::wasserstein1(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(bm_wasserstein)->Arg(1000)->Arg(10000);
+
+void bm_pfm_forwarding(benchmark::State& state) {
+  const std::size_t ports = 8;
+  util::rng rng{4};
+  std::vector<traffic::packet_stream> ingress(ports);
+  for (std::size_t port = 0; port < ports; ++port) {
+    double t = 0;
+    for (int i = 0; i < 1000; ++i) {
+      t += rng.exponential(1e5);
+      traffic::packet p;
+      p.pid = port * 10000 + static_cast<std::uint64_t>(i);
+      p.flow_id = static_cast<std::uint32_t>(rng.uniform_int(64));
+      ingress[port].push_back({p, t});
+    }
+  }
+  auto forward = [](std::uint32_t fid, std::size_t) -> std::size_t {
+    return fid % 8;
+  };
+  for (auto _ : state) {
+    auto egress = core::apply_forwarding(ingress, forward, ports);
+    benchmark::DoNotOptimize(egress.data());
+  }
+  state.SetItemsProcessed(state.iterations() * ports * 1000);
+}
+BENCHMARK(bm_pfm_forwarding);
+
+}  // namespace
+
+BENCHMARK_MAIN();

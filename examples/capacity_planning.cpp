@@ -1,0 +1,75 @@
+// Capacity planning (the paper's §1 motivating task): given a FatTree16
+// datacenter fabric, how much per-host offered load can we carry before the
+// p99 end-to-end latency violates an SLO — and when it does, which devices
+// are the bottleneck?
+//
+// DeepQueueNet answers both questions from one trained device model: the
+// load sweep is a sequence of fast inference runs, and the bottleneck is
+// read directly off the per-device hop traces (packet-level visibility).
+#include "examples/example_util.hpp"
+
+#include <algorithm>
+#include <map>
+
+using namespace dqn;
+
+int main() {
+  std::printf("=== Capacity planning on FatTree16 ===\n\n");
+  constexpr double slo_p99_us = 95.0;  // the latency budget
+  auto ptm = examples::example_device_model();
+
+  const auto topo = topo::make_fattree16(examples::links());
+  const topo::routing routes{topo};
+  const double horizon = 0.04;
+
+  util::text_table table{{"max link load", "per-flow rate (pps)",
+                          "mean RTT (us)", "p99 RTT (us)", "meets 95us SLO"}};
+  double knee_load = 0;
+  std::vector<des::hop_record> hops_at_knee;
+  for (const double load : {0.2, 0.35, 0.5, 0.65, 0.75, 0.85}) {
+    const auto setup = examples::make_traffic_load(
+        topo, routes, traffic::traffic_model::poisson, load, horizon, 11);
+    core::engine_config cfg;
+    cfg.partitions = 4;
+    cfg.record_hops = true;
+    core::dqn_network net{topo, routes, ptm, core::scheduler_context{}, cfg};
+    const auto run = net.run(setup.streams, horizon);
+    const auto latencies = des::all_latencies(run);
+    const double mean_us = stats::mean(latencies) * 1e6;
+    const double p99_us = stats::percentile(latencies, 0.99) * 1e6;
+    const bool ok = p99_us <= slo_p99_us;
+    table.add_row({util::fmt(load, 2), util::fmt(setup.per_flow_rate, 0),
+                   util::fmt(mean_us, 1), util::fmt(p99_us, 1),
+                   ok ? "yes" : "NO"});
+    if (!ok && knee_load == 0) {
+      knee_load = load;
+      hops_at_knee = run.hops;
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  if (knee_load > 0) {
+    // Packet-level visibility: rank devices by mean predicted sojourn at the
+    // first violating load — this is where capacity should be added.
+    std::map<topo::node_id, std::pair<double, std::size_t>> by_device;
+    for (const auto& hop : hops_at_knee) {
+      auto& [total, count] = by_device[hop.device];
+      total += hop.departure - hop.arrival;
+      ++count;
+    }
+    std::vector<std::pair<double, topo::node_id>> ranked;
+    for (const auto& [device, acc] : by_device)
+      ranked.emplace_back(acc.first / static_cast<double>(acc.second), device);
+    std::sort(ranked.rbegin(), ranked.rend());
+    std::printf("bottleneck devices at %.2f max link load (mean predicted sojourn):\n",
+                knee_load);
+    for (std::size_t i = 0; i < std::min<std::size_t>(4, ranked.size()); ++i)
+      std::printf("  %-8s %.1f us\n",
+                  topo.at(ranked[i].second).name.c_str(), ranked[i].first * 1e6);
+    std::printf("\nreading: aggregation/core switches saturate first — add "
+                "uplink capacity there before upgrading ToRs.\n");
+  } else {
+    std::printf("SLO met at every tested load; raise the sweep range.\n");
+  }
+  return 0;
+}

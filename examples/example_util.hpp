@@ -1,0 +1,122 @@
+// Shared helpers for the example programs: a small cached device model and
+// uniform-random traffic construction. Examples deliberately use only the
+// public library API.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+
+#include "core/dlib.hpp"
+#include "core/dutil.hpp"
+#include "core/engine.hpp"
+#include "core/metrics.hpp"
+#include "des/network.hpp"
+#include "stats/descriptive.hpp"
+#include "topo/builders.hpp"
+#include "topo/routing.hpp"
+#include "traffic/traffic_gen.hpp"
+#include "util/table.hpp"
+
+namespace dqn::examples {
+
+inline constexpr double link_bps = 1e9;  // example networks use 1 Gbps links
+
+inline topo::link_params links() {
+  topo::link_params lp;
+  lp.bandwidth_bps = link_bps;
+  return lp;
+}
+
+// Train (once; cached on disk under ./dqn_models) a modest 8-port device
+// model covering FIFO/SP/DRR/WFQ at loads 0.1-0.8 — the §5.2 recipe.
+inline std::shared_ptr<const core::ptm_model> example_device_model() {
+  core::dutil_config cfg;
+  cfg.ports = 8;
+  cfg.bandwidth_bps = link_bps;
+  cfg.streams = 288;
+  cfg.packets_per_stream = 600;
+  cfg.ptm.time_steps = 12;
+  cfg.ptm.mlp_hidden = {96, 48};
+  cfg.ptm.epochs = 24;
+  cfg.seed = 20220822;
+
+  core::device_model_library lib;
+  const std::string key =
+      core::device_model_library::model_key(cfg.ptm.arch, cfg.ports, cfg.seed) +
+      "_t12_n" + std::to_string(cfg.streams) + "_e" +
+      std::to_string(cfg.ptm.epochs) + "_bw" +
+      std::to_string(static_cast<long long>(cfg.bandwidth_bps / 1e6)) + "_f" +
+      std::to_string(core::feature_count);
+  auto model = lib.fetch_or_train(key, [&] {
+    std::printf("[setup] training the device model once (cached in %s)...\n",
+                lib.directory().string().c_str());
+    auto bundle = core::train_device_model(cfg);
+    std::printf("[setup] done in %.0fs\n", bundle.report.train_seconds);
+    return std::move(bundle.model);
+  });
+  return std::make_shared<const core::ptm_model>(std::move(model));
+}
+
+struct traffic_setup {
+  std::vector<traffic::flow_spec> flows;
+  std::vector<traffic::packet_stream> streams;
+  double per_flow_rate = 0;  // pps actually used
+};
+
+// Per-flow rate such that the most loaded link (flows routed per ECMP)
+// carries `target_max_load` of its capacity.
+inline double calibrate_rate(const topo::topology& topo, const topo::routing& routes,
+                             const std::vector<traffic::flow_spec>& flows,
+                             double target_max_load, double mean_packet_bytes) {
+  const auto hosts = topo.hosts();
+  std::vector<double> link_flows(topo.link_count(), 0.0);
+  for (const auto& flow : flows) {
+    const auto src = hosts.at(static_cast<std::size_t>(flow.src_host));
+    const auto dst = hosts.at(static_cast<std::size_t>(flow.dst_host));
+    const auto path = routes.flow_path(src, dst, flow.flow_id);
+    for (std::size_t hop = 0; hop + 1 < path.size(); ++hop) {
+      const std::size_t port = routes.egress_port(path[hop], dst, flow.flow_id);
+      link_flows[topo.peer_of(path[hop], port).link_index] += 1.0;
+    }
+  }
+  double max_flows = 1.0;
+  for (double f : link_flows) max_flows = std::max(max_flows, f);
+  return target_max_load * link_bps / (max_flows * 8.0 * mean_packet_bytes);
+}
+
+inline traffic_setup make_traffic(const topo::topology& topo,
+                                  traffic::traffic_model model,
+                                  double per_flow_rate, double horizon,
+                                  std::uint64_t seed, std::size_t classes = 1) {
+  traffic_setup setup;
+  util::rng rng{seed};
+  const std::size_t hosts = topo.hosts().size();
+  setup.flows = traffic::make_uniform_flows(hosts, classes, rng);
+  setup.per_flow_rate = per_flow_rate;
+  traffic::tg_util_config tg;
+  tg.model = model;
+  tg.per_flow_rate = per_flow_rate;
+  tg.seed = seed;
+  auto generators = traffic::make_generators(setup.flows, tg);
+  setup.streams = traffic::per_host_streams(generators, hosts, horizon, rng);
+  return setup;
+}
+
+// make_traffic with the rate calibrated to a target max-link load.
+inline traffic_setup make_traffic_load(const topo::topology& topo,
+                                       const topo::routing& routes,
+                                       traffic::traffic_model model,
+                                       double target_max_load, double horizon,
+                                       std::uint64_t seed,
+                                       std::size_t classes = 1) {
+  util::rng rng{seed};
+  const auto flows =
+      traffic::make_uniform_flows(topo.hosts().size(), classes, rng);
+  const double rate = calibrate_rate(topo, routes, flows, target_max_load,
+                                     model == traffic::traffic_model::anarchy
+                                         ? 380.0
+                                         : 712.0);
+  return make_traffic(topo, model, rate, horizon, seed, classes);
+}
+
+}  // namespace dqn::examples

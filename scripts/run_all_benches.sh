@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure (EXPERIMENTS.md). PTMs are trained on
+# first use and cached under ./dqn_models (or $DQN_MODEL_DIR), so the first
+# run is dominated by training time and re-runs are fast.
+#
+# Knobs: DQN_BENCH_SCALE (default 1.0), DQN_PTM_ARCH=mlp|attention,
+#        DQN_BENCH_FULL=1 (adds the 32/64-port Table 2 rows).
+set -u
+cd "$(dirname "$0")/.."
+echo "DQN_BENCH_SCALE=${DQN_BENCH_SCALE:-1.0} DQN_PTM_ARCH=${DQN_PTM_ARCH:-mlp}"
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  echo
+  echo "##### $b"
+  "$b"
+done

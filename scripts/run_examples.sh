@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Run every example application in sequence. The shared device model trains
+# on first use (cached in ./dqn_models); attention_inspection trains its own
+# small attention model each run by design.
+set -u
+cd "$(dirname "$0")/.."
+for e in quickstart capacity_planning scheduler_tuning topology_design \
+         wan_sla attention_inspection; do
+  echo
+  echo "##### build/examples/$e"
+  "build/examples/$e"
+done

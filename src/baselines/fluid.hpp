@@ -1,0 +1,34 @@
+// Flow-level fluid estimator (§2.2's "control-theoretic / fluid model"
+// class of continuous simulators). Each link is an M/M/1 station fed by the
+// traffic matrix; a path's steady-state mean delay is the sum of per-link
+// sojourns plus deterministic serialization and propagation:
+//
+//   delay(path) = sum_l [ 1/(mu_l - lambda_l) + prop_l ]
+//
+// By construction it yields only steady-state *means* — no distribution, no
+// percentiles — which is exactly the limitation the paper holds against
+// this simulator class ("they cannot produce useful statistics such as
+// distribution of latency"). It needs no training and is instantaneous.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "topo/graph.hpp"
+#include "topo/routing.hpp"
+#include "traffic/traffic_gen.hpp"
+
+namespace dqn::baselines {
+
+class fluid_estimator {
+ public:
+  // Per-flow mean end-to-end delay estimates (seconds). Links at or above
+  // capacity get +inf. `mean_packet_size` in bytes.
+  [[nodiscard]] static std::map<std::uint32_t, double> predict_mean_delays(
+      const topo::topology& topo, const topo::routing& routes,
+      const std::vector<traffic::flow_spec>& flows,
+      const std::vector<double>& flow_rates_pps, double mean_packet_size);
+};
+
+}  // namespace dqn::baselines

@@ -1,0 +1,90 @@
+// RouteNet-style end-to-end performance estimator (the paper's main
+// comparison target, §6.1).
+//
+// RouteNet's defining property — and the source of its failure mode the
+// paper demonstrates — is its *input interface*: it embeds the traffic
+// matrix (per-flow average rates), the topology, and the routing, and reads
+// out per-path KPIs. It never sees inter-arrival processes, so two traffic
+// models with the same matrix are indistinguishable to it (Figure 8, Table
+// 4). We reproduce that interface faithfully: per-path features are derived
+// from the traffic matrix and the link-level load aggregation the GNN's
+// message passing would compute (sum/max of traffic crossing each traversed
+// link); the readout is an MLP trained on DES ground truth. The GNN
+// message-passing layers are replaced by these closed-form aggregations —
+// a documented CPU-scale substitution (DESIGN.md §2) that preserves both
+// the information available to the model and its generalisation behaviour.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "des/records.hpp"
+#include "nn/mlp.hpp"
+#include "nn/scaler.hpp"
+#include "topo/graph.hpp"
+#include "topo/routing.hpp"
+#include "traffic/traffic_gen.hpp"
+
+namespace dqn::baselines {
+
+struct path_kpis {
+  double avg_rtt = 0;
+  double p99_rtt = 0;
+  double avg_jitter = 0;
+  double p99_jitter = 0;
+};
+
+class routenet_estimator {
+ public:
+  routenet_estimator();
+
+  // One training example per (flow, run): traffic-matrix-derived features
+  // against ground-truth KPIs from a DES run.
+  struct training_example {
+    std::vector<double> features;
+    path_kpis kpis;
+  };
+
+  // Derive per-flow features from the embedding inputs RouteNet uses.
+  [[nodiscard]] static std::vector<training_example> make_examples(
+      const topo::topology& topo, const topo::routing& routes,
+      const std::vector<traffic::flow_spec>& flows,
+      const std::vector<double>& flow_rates_pps, double mean_packet_size,
+      const des::run_result& truth);
+
+  void train(const std::vector<training_example>& examples, std::size_t epochs = 200,
+             std::uint64_t seed = 11);
+
+  [[nodiscard]] path_kpis predict(const std::vector<double>& features) const;
+
+  // Predict KPIs for every flow of a scenario.
+  [[nodiscard]] std::map<std::uint32_t, path_kpis> predict_flows(
+      const topo::topology& topo, const topo::routing& routes,
+      const std::vector<traffic::flow_spec>& flows,
+      const std::vector<double>& flow_rates_pps, double mean_packet_size) const;
+
+  [[nodiscard]] static std::size_t feature_width() noexcept { return 8; }
+
+ private:
+  [[nodiscard]] static std::vector<double> path_features(
+      const topo::topology& topo, const topo::routing& routes,
+      const traffic::flow_spec& flow, const std::vector<traffic::flow_spec>& flows,
+      const std::vector<double>& flow_rates_pps, double mean_packet_size);
+
+  nn::mlp net_;
+  nn::min_max_scaler feature_scaler_;
+  std::array<nn::target_scaler, 4> target_scalers_;
+  bool trained_ = false;
+};
+
+// Compare RouteNet's per-flow constant KPI predictions against DES truth
+// using the same (flow, bucket) sampling as core::compare_runs: the per-flow
+// prediction is replicated across that flow's buckets.
+[[nodiscard]] core::metric_comparison compare_routenet(
+    const des::run_result& truth, const std::map<std::uint32_t, path_kpis>& predictions,
+    double bucket_seconds, std::size_t min_packets_per_bucket = 8);
+
+}  // namespace dqn::baselines

@@ -1,0 +1,163 @@
+#include "core/device_model.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+#include <stdexcept>
+
+namespace dqn::core {
+
+device_model::device_model(std::shared_ptr<const ptm_model> ptm, scheduler_context ctx)
+    : ptm_{std::move(ptm)}, ctx_{std::move(ctx)} {
+  if (!ptm_ || !ptm_->trained())
+    throw std::invalid_argument{"device_model: needs a trained PTM"};
+}
+
+std::vector<traffic::packet_stream> device_model::process(
+    const std::vector<traffic::packet_stream>& ingress, const forward_fn& forward,
+    bool apply_sec, std::vector<predicted_hop>* hops,
+    std::vector<traffic::packet>* dropped,
+    std::span<const double> port_bandwidths) const {
+  const std::size_t ports = ingress.size();
+  // PFM: exact forwarding into per-egress-queue arrival series.
+  std::vector<traffic::packet_stream> queues =
+      apply_forwarding(ingress, forward, ports);
+
+  std::vector<traffic::packet_stream> egress(ports);
+  for (std::size_t out = 0; out < ports; ++out) {
+    auto& queue = queues[out];
+    if (queue.empty()) continue;
+    const double line_bps = port_bandwidths.size() == ports
+                                ? port_bandwidths[out]
+                                : ctx_.bandwidth_bps;
+
+    // Buffer management (drop-tail): the queue's byte backlog at each
+    // arrival is an exact function of the ingress series (Lindley
+    // recursion), so drops are decided deterministically — no learning
+    // involved, like the PFM. Dropped packets leave the stream (their
+    // latency is +inf).
+    if (ctx_.buffer_bytes > 0) {
+      // Exact FIFO drop-tail replay over the arrival series: track each kept
+      // packet's (service start, service end) on the egress line and the
+      // bytes waiting (excluding the packet in service, matching the DES
+      // traffic manager's accounting). Deterministic, like the PFM.
+      struct in_system_packet {
+        double start, end;
+        std::uint32_t bytes;
+      };
+      traffic::packet_stream kept;
+      kept.reserve(queue.size());
+      std::deque<in_system_packet> in_system;
+      double bytes_in_system = 0;
+      double last_end = 0;
+      for (const auto& ev : queue) {
+        while (!in_system.empty() && in_system.front().end <= ev.time) {
+          bytes_in_system -= in_system.front().bytes;
+          in_system.pop_front();
+        }
+        // FIFO: only the head can be in service; everything behind waits.
+        const double in_service_bytes =
+            (!in_system.empty() && in_system.front().start <= ev.time)
+                ? in_system.front().bytes
+                : 0.0;
+        const double waiting_bytes = bytes_in_system - in_service_bytes;
+        if (waiting_bytes + ev.pkt.size_bytes >
+            static_cast<double>(ctx_.buffer_bytes)) {
+          if (dropped != nullptr) dropped->push_back(ev.pkt);
+          continue;
+        }
+        const double service =
+            static_cast<double>(ev.pkt.size_bytes) * 8.0 / line_bps;
+        const double start = std::max(ev.time, last_end);
+        last_end = start + service;
+        in_system.push_back({start, last_end, ev.pkt.size_bytes});
+        bytes_in_system += ev.pkt.size_bytes;
+        kept.push_back(ev);
+      }
+      queue = std::move(kept);
+      if (queue.empty()) continue;
+    }
+    // PTM: batched sojourn prediction over the arrival series.
+    scheduler_context port_ctx = ctx_;
+    port_ctx.bandwidth_bps = line_bps;
+    const auto rows = compute_features(queue, port_ctx);
+    const auto windows = make_windows(rows, ptm_->config().time_steps);
+    auto sojourns = ptm_->predict(windows, apply_sec);
+
+    // Scheduler-theoretic bound (prior knowledge, like the PFM): under
+    // non-preemptive strict priority, the highest class waits exactly its
+    // own-class backlog plus at most one residual lower-priority service:
+    //   W_0 <= sojourn <= W_0 + max_packet * 8 / C.
+    if (ctx_.kind == des::scheduler_kind::sp) {
+      const double residual_service_bound = 1600.0 * 8.0 / line_bps;
+      for (std::size_t i = 0; i < queue.size(); ++i) {
+        if (queue[i].pkt.priority != 0) continue;
+        const double w0 = rows[i * feature_count + f_own_class_work];
+        sojourns[i] = std::clamp(sojourns[i], w0, w0 + residual_service_bound);
+      }
+    }
+
+    // Post-PTM feasibility projection: the egress line serialises packets,
+    // so successive transmission starts are at least one service time apart
+    // while the line is busy. The constraint applies in *transmission*
+    // order — which under SP/WFQ differs from arrival order (high-priority
+    // packets jump the queue) — so project along the predicted-departure
+    // ordering. Pushing predictions later (never earlier) removes
+    // per-packet noise no physical line could produce — the same
+    // prior-knowledge principle as the PFM.
+    std::vector<std::size_t> tx_order(queue.size());
+    for (std::size_t i = 0; i < tx_order.size(); ++i) tx_order[i] = i;
+    if (ctx_.kind != des::scheduler_kind::fifo) {
+      // Under FIFO the transmission order *is* the arrival order (already
+      // the case), and keeping it makes the projection an exact FIFO
+      // replay; for the other disciplines the predicted departures define
+      // the order.
+      std::sort(tx_order.begin(), tx_order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  const double da = queue[a].time + sojourns[a];
+                  const double db = queue[b].time + sojourns[b];
+                  if (da != db) return da < db;
+                  return queue[a].pkt.pid < queue[b].pkt.pid;
+                });
+    }
+    std::vector<double> departures(queue.size());
+    double line_free_at = 0;
+    for (const std::size_t i : tx_order) {
+      const double arrival = queue[i].time;
+      const double departure =
+          std::max(arrival + sojourns[i], std::max(arrival, line_free_at));
+      departures[i] = departure;
+      line_free_at = departure + static_cast<double>(queue[i].pkt.size_bytes) *
+                                     8.0 / line_bps;
+    }
+    traffic::packet_stream& out_stream = egress[out];
+    out_stream.reserve(queue.size());
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      out_stream.push_back({queue[i].pkt, departures[i]});
+      if (hops != nullptr)
+        hops->push_back({queue[i].pkt.pid, out, queue[i].time, departures[i]});
+    }
+    // Re-sequencing: egress streams are time series again (§3.2.4).
+    std::sort(out_stream.begin(), out_stream.end());
+  }
+  return egress;
+}
+
+traffic::packet_stream apply_link(const traffic::packet_stream& in,
+                                  double bandwidth_bps, double propagation_delay) {
+  if (bandwidth_bps <= 0)
+    throw std::invalid_argument{"apply_link: bandwidth must be > 0"};
+  traffic::packet_stream out;
+  out.reserve(in.size());
+  for (const auto& ev : in) {
+    const double latency =
+        static_cast<double>(ev.pkt.size_bytes) * 8.0 / bandwidth_bps +
+        propagation_delay;
+    out.push_back({ev.pkt, ev.time + latency});
+  }
+  // A constant-per-size shift can reorder mixed-size packets.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace dqn::core

@@ -1,0 +1,59 @@
+// The DeepQueueNet device model (Figure 4): PFM routes each ingress packet
+// to its egress queue exactly; the PTM adds a predicted sojourn to every
+// packet; the link model (Eq. 5) adds serialization + propagation. These are
+// the "operators" the network model composes (§3.2.3).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/features.hpp"
+#include "core/pfm.hpp"
+#include "core/ptm.hpp"
+#include "traffic/packet.hpp"
+
+namespace dqn::core {
+
+// One packet's predicted passage through a device (the DQN analogue of a
+// des::hop_record; gives the packet-level visibility of §1).
+struct predicted_hop {
+  std::uint64_t pid = 0;
+  std::size_t out_port = 0;
+  double arrival = 0;    // at the egress queue
+  double departure = 0;  // arrival + predicted sojourn
+};
+
+class device_model {
+ public:
+  // The PTM is shared: one trained K-port model serves every device whose
+  // degree is <= K (§6.1).
+  device_model(std::shared_ptr<const ptm_model> ptm, scheduler_context ctx);
+
+  // ingress[i]: time-ordered stream at ingress port i. Returns egress
+  // streams ordered by predicted departure time. `hops`, if non-null,
+  // receives the per-packet predictions; `dropped`, if non-null, receives
+  // the packets the drop model discarded (scheduler_context::buffer_bytes).
+  // `port_bandwidths`, when it has one entry per port, overrides the
+  // context's uniform line rate for each egress port (heterogeneous links);
+  // it feeds the unfinished-work feature, the drop replay, and the
+  // feasibility projection.
+  [[nodiscard]] std::vector<traffic::packet_stream> process(
+      const std::vector<traffic::packet_stream>& ingress, const forward_fn& forward,
+      bool apply_sec = true, std::vector<predicted_hop>* hops = nullptr,
+      std::vector<traffic::packet>* dropped = nullptr,
+      std::span<const double> port_bandwidths = {}) const;
+
+  [[nodiscard]] const scheduler_context& context() const noexcept { return ctx_; }
+
+ private:
+  std::shared_ptr<const ptm_model> ptm_;
+  scheduler_context ctx_;
+};
+
+// Link device (Eq. 5): tau_out = tau_in + len/C + l/c.
+[[nodiscard]] traffic::packet_stream apply_link(const traffic::packet_stream& in,
+                                                double bandwidth_bps,
+                                                double propagation_delay);
+
+}  // namespace dqn::core

@@ -1,0 +1,57 @@
+#include "core/dlib.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+
+namespace dqn::core {
+
+device_model_library::device_model_library(std::filesystem::path directory)
+    : directory_{std::move(directory)} {
+  std::filesystem::create_directories(directory_);
+}
+
+std::filesystem::path device_model_library::default_directory() {
+  if (const char* env = std::getenv("DQN_MODEL_DIR"); env != nullptr && *env != '\0')
+    return env;
+  return "dqn_models";
+}
+
+std::string device_model_library::model_key(ptm_arch arch, std::size_t ports,
+                                            std::uint64_t seed) {
+  return std::string{"ptm_"} + to_string(arch) + "_k" + std::to_string(ports) +
+         "_s" + std::to_string(seed);
+}
+
+std::filesystem::path device_model_library::path_for(const std::string& key) const {
+  if (key.empty() || key.find('/') != std::string::npos)
+    throw std::invalid_argument{"device_model_library: bad key"};
+  return directory_ / (key + ".dqnmodel");
+}
+
+bool device_model_library::contains(const std::string& key) const {
+  return std::filesystem::exists(path_for(key));
+}
+
+void device_model_library::store(const std::string& key, const ptm_model& model) const {
+  const auto path = path_for(key);
+  const auto tmp = path.string() + ".tmp";
+  {
+    std::ofstream out{tmp, std::ios::binary};
+    if (!out) throw std::runtime_error{"device_model_library: cannot write " + tmp};
+    model.save(out);
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+ptm_model device_model_library::fetch(const std::string& key) const {
+  const auto path = path_for(key);
+  std::ifstream in{path, std::ios::binary};
+  if (!in)
+    throw std::runtime_error{"device_model_library: no such model: " + key};
+  ptm_model model;
+  model.load(in);
+  return model;
+}
+
+}  // namespace dqn::core

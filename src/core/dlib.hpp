@@ -1,0 +1,49 @@
+// Device Model Library (DLib, §3.1.1): stores and indexes trained device
+// models on disk so simulations (and benches) reuse them instead of
+// retraining. Keys encode the architecture, port count, and training seed.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+
+#include "core/ptm.hpp"
+
+namespace dqn::core {
+
+class device_model_library {
+ public:
+  // Directory is created if missing. Default honours DQN_MODEL_DIR, falling
+  // back to "./dqn_models".
+  explicit device_model_library(std::filesystem::path directory = default_directory());
+
+  [[nodiscard]] static std::filesystem::path default_directory();
+
+  // Deterministic key for a trained PTM.
+  [[nodiscard]] static std::string model_key(ptm_arch arch, std::size_t ports,
+                                             std::uint64_t seed);
+
+  [[nodiscard]] bool contains(const std::string& key) const;
+  void store(const std::string& key, const ptm_model& model) const;
+  [[nodiscard]] ptm_model fetch(const std::string& key) const;
+
+  // Fetch if present, otherwise call `train`, store, and return the result.
+  template <typename TrainFn>
+  [[nodiscard]] ptm_model fetch_or_train(const std::string& key, TrainFn&& train) const {
+    if (contains(key)) return fetch(key);
+    ptm_model model = train();
+    store(key, model);
+    return model;
+  }
+
+  [[nodiscard]] const std::filesystem::path& directory() const noexcept {
+    return directory_;
+  }
+
+ private:
+  [[nodiscard]] std::filesystem::path path_for(const std::string& key) const;
+
+  std::filesystem::path directory_;
+};
+
+}  // namespace dqn::core

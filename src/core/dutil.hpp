@@ -1,0 +1,69 @@
+// Device Model Utilities (DUtil, §3.1.1): produce trained device models.
+//
+// Training data comes from single-device DES runs exactly as §5.2 describes:
+// packet streams over a K-port switch with random routing schemes, arrival
+// processes drawn from {MAP, Poisson, On-Off}, per-port load factors in
+// [0.1, 0.8], schedulers among {FIFO, SP, DRR, WFQ} with priorities 1..3 and
+// weights 1..9. Counts are CPU-scaled; the paper's 3,500-stream corpus is a
+// configuration away.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/ptm.hpp"
+#include "des/single_device.hpp"
+#include "des/traffic_manager.hpp"
+#include "util/rng.hpp"
+
+namespace dqn::core {
+
+struct dutil_config {
+  std::size_t ports = 4;  // K
+  std::vector<des::scheduler_kind> schedulers = {
+      des::scheduler_kind::fifo, des::scheduler_kind::sp,
+      des::scheduler_kind::drr, des::scheduler_kind::wfq};
+  std::size_t classes = 3;         // multi-class disciplines use up to this many
+  std::size_t streams = 48;        // training stream samples (paper: 3,500)
+  std::size_t packets_per_stream = 1500;  // approximate packets per sample
+  double load_lo = 0.1;            // §5.2 load-factor range
+  double load_hi = 0.8;
+  double bandwidth_bps = 10e9;
+  std::size_t flows_per_port = 2;
+  double validation_fraction = 0.2;  // §5.2: train on 80%, evaluate on 20%
+  ptm_config ptm;
+  std::uint64_t seed = 42;
+};
+
+// One randomly-configured single-switch stream sample: its windows/targets
+// plus the configuration that generated it (for exogenous evaluation).
+struct stream_sample {
+  ptm_dataset data;
+  des::scheduler_kind scheduler = des::scheduler_kind::fifo;
+  double load = 0;
+};
+
+// Generate one sample with the given scheduler (or a random one from the
+// config when `scheduler` is nullptr).
+[[nodiscard]] stream_sample generate_stream_sample(
+    const dutil_config& config, util::rng& rng,
+    const des::scheduler_kind* scheduler = nullptr,
+    const double* load_override = nullptr);
+
+struct device_model_bundle {
+  ptm_model model;
+  training_report report;
+  ptm_dataset validation;  // the held-out 20%
+};
+
+// The full DUtil pipeline: generate the corpus, split 80/20, train, fit SEC.
+[[nodiscard]] device_model_bundle train_device_model(
+    const dutil_config& config,
+    const std::function<void(std::size_t, double)>& on_epoch = {});
+
+// Normalized w1 of the (SEC-corrected) model on a dataset — the Table 2
+// metric: W1(prediction, label) / W1(0, label).
+[[nodiscard]] double evaluate_w1(const ptm_model& model, const ptm_dataset& data,
+                                 bool apply_sec = true);
+
+}  // namespace dqn::core

@@ -1,0 +1,101 @@
+// SInit + SRun (§3.1.1): composes trained device models along the target
+// topology into a DeepQueueNet model (Figure 1) and executes it.
+//
+// Execution is the Iterative Re-Sequencing Algorithm (IRSA, Algorithm 1):
+// every device repeatedly re-infers its egress streams from its upstream
+// neighbours' previous-iteration egress streams until the network reaches a
+// fixed point; Theorem 3.1 bounds the iterations by the topology diameter.
+// Devices whose ingress did not change between iterations are skipped, so
+// feed-forward cuts of the topology converge in their hop depth.
+//
+// Parallelism: the device set is partitioned into `partitions` groups, one
+// worker thread per group — the CPU analogue of the paper's model-parallel
+// multi-GPU inference (Figure 11; DESIGN.md §2).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/device_model.hpp"
+#include "des/records.hpp"
+#include "topo/graph.hpp"
+#include "topo/routing.hpp"
+
+namespace dqn::core {
+
+struct engine_config {
+  std::size_t partitions = 1;      // "number of GPUs"
+  std::size_t max_iterations = 0;  // 0 = 1 + diameter(G) (Theorem 3.1)
+  bool apply_sec = true;           // §6.1 ablation hook
+  double convergence_epsilon = 1e-9;
+  bool record_hops = false;        // per-device predicted hops (visibility)
+  // Model host NICs as single-queue FIFO devices (the DES does): the PTM
+  // predicts the NIC queueing each injected stream experiences before its
+  // first link. Computed once — injections are fixed across IRSA iterations.
+  bool model_host_nics = true;
+  // Skip re-inferring devices whose ingress did not change since the last
+  // iteration (a work-saving refinement over the paper's Algorithm 1, which
+  // recomputes every device each iteration). Disable to measure the paper's
+  // execution profile — with the skip, late iterations run only a few
+  // devices and parallel speedup is Amdahl-limited.
+  bool irsa_skip_unchanged = true;
+};
+
+struct engine_stats {
+  std::size_t iterations = 0;          // IRSA iterations actually run
+  std::size_t device_inferences = 0;   // devices (re)computed across iterations
+  double wall_seconds = 0;
+  // CPU-time accounting for model-parallel projection (Table 7): the total
+  // CPU time spent inside partition work, and its critical path (sum over
+  // iterations of the slowest partition). On a machine with >= `partitions`
+  // free cores, wall time approaches
+  //   wall_seconds - busy_seconds + critical_path_seconds.
+  double busy_seconds = 0;
+  double critical_path_seconds = 0;
+
+  [[nodiscard]] double projected_wall_seconds() const noexcept {
+    return wall_seconds - busy_seconds + critical_path_seconds;
+  }
+};
+
+class dqn_network {
+ public:
+  dqn_network(const topo::topology& topo, const topo::routing& routes,
+              std::shared_ptr<const ptm_model> ptm, scheduler_context ctx,
+              engine_config config);
+
+  // Heterogeneous TM deployments: override the scheduler context of
+  // individual devices (mirrors des::network_config::tm_overrides). Must be
+  // called before run().
+  void set_device_context(topo::node_id node, scheduler_context ctx);
+
+  // Same contract as des::network::run: host_streams[i] feeds
+  // topo.hosts()[i], src/dst are host indices. Returns delivery records (and
+  // hop records when record_hops is set) comparable 1:1 with the DES.
+  [[nodiscard]] des::run_result run(
+      const std::vector<traffic::packet_stream>& host_streams, double horizon);
+
+  [[nodiscard]] const engine_stats& stats() const noexcept { return stats_; }
+
+  // Packet-level visibility: the final egress stream of any device port.
+  [[nodiscard]] const traffic::packet_stream& egress_stream(topo::node_id node,
+                                                            std::size_t port) const;
+
+ private:
+  [[nodiscard]] traffic::packet_stream ingress_of(
+      const std::vector<std::vector<traffic::packet_stream>>& egress,
+      topo::node_id node, std::size_t port) const;
+
+  const topo::topology* topo_;
+  const topo::routing* routes_;
+  std::shared_ptr<const ptm_model> ptm_;
+  device_model device_;
+  device_model host_nic_;  // FIFO NIC model for host uplinks
+  std::unordered_map<topo::node_id, device_model> device_overrides_;
+  engine_config config_;
+  engine_stats stats_;
+  std::vector<std::vector<traffic::packet_stream>> final_egress_;
+};
+
+}  // namespace dqn::core

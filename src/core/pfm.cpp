@@ -1,0 +1,87 @@
+#include "core/pfm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dqn::core {
+
+std::vector<traffic::packet_stream> apply_forwarding(
+    const std::vector<traffic::packet_stream>& ingress, const forward_fn& forward,
+    std::size_t ports) {
+  if (ingress.size() != ports)
+    throw std::invalid_argument{"apply_forwarding: one stream per ingress port"};
+  std::vector<traffic::packet_stream> egress(ports);
+  for (std::size_t in_port = 0; in_port < ports; ++in_port) {
+    for (const auto& ev : ingress[in_port]) {
+      const std::size_t out = forward(ev.pkt.flow_id, in_port);
+      if (out >= ports)
+        throw std::out_of_range{"apply_forwarding: forward() port out of range"};
+      egress[out].push_back(ev);
+    }
+  }
+  for (auto& stream : egress) std::sort(stream.begin(), stream.end());
+  return egress;
+}
+
+forwarding_tensor::forwarding_tensor(std::size_t ports, std::size_t packets)
+    : ports_{ports}, packets_{packets}, bits_(ports * ports * packets, 0) {
+  if (ports == 0) throw std::invalid_argument{"forwarding_tensor: ports >= 1"};
+}
+
+std::size_t forwarding_tensor::index(std::size_t i, std::size_t j,
+                                     std::size_t k) const {
+  if (i >= ports_ || j >= ports_ || k >= packets_)
+    throw std::out_of_range{"forwarding_tensor: index"};
+  return (i * ports_ + j) * packets_ + k;
+}
+
+void forwarding_tensor::set(std::size_t in_port, std::size_t out_port,
+                            std::size_t k) {
+  bits_[index(in_port, out_port, k)] = 1;
+}
+
+bool forwarding_tensor::at(std::size_t in_port, std::size_t out_port,
+                           std::size_t k) const {
+  return bits_[index(in_port, out_port, k)] != 0;
+}
+
+std::size_t forwarding_tensor::fanout(std::size_t in_port, std::size_t k) const {
+  std::size_t total = 0;
+  for (std::size_t j = 0; j < ports_; ++j)
+    total += at(in_port, j, k) ? 1 : 0;
+  return total;
+}
+
+forwarding_tensor build_forwarding_tensor(
+    const std::vector<traffic::packet_stream>& ingress, const forward_fn& forward,
+    std::size_t ports) {
+  if (ingress.size() != ports)
+    throw std::invalid_argument{"build_forwarding_tensor: one stream per port"};
+  std::size_t max_len = 0;
+  for (const auto& s : ingress) max_len = std::max(max_len, s.size());
+  forwarding_tensor tensor{ports, max_len};
+  for (std::size_t i = 0; i < ports; ++i)
+    for (std::size_t k = 0; k < ingress[i].size(); ++k) {
+      const std::size_t j = forward(ingress[i][k].pkt.flow_id, i);
+      if (j >= ports)
+        throw std::out_of_range{"build_forwarding_tensor: port out of range"};
+      tensor.set(i, j, k);
+    }
+  return tensor;
+}
+
+std::vector<traffic::packet_stream> apply_tensor(
+    const forwarding_tensor& tensor,
+    const std::vector<traffic::packet_stream>& ingress) {
+  if (ingress.size() != tensor.ports())
+    throw std::invalid_argument{"apply_tensor: stream count mismatch"};
+  std::vector<traffic::packet_stream> egress(tensor.ports());
+  for (std::size_t i = 0; i < tensor.ports(); ++i)
+    for (std::size_t k = 0; k < ingress[i].size(); ++k)
+      for (std::size_t j = 0; j < tensor.ports(); ++j)
+        if (tensor.at(i, j, k)) egress[j].push_back(ingress[i][k]);
+  for (auto& stream : egress) std::sort(stream.begin(), stream.end());
+  return egress;
+}
+
+}  // namespace dqn::core

@@ -1,0 +1,292 @@
+#include "core/ptm.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+
+#include "core/features.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace dqn::core {
+
+const char* to_string(ptm_arch arch) noexcept {
+  switch (arch) {
+    case ptm_arch::mlp: return "mlp";
+    case ptm_arch::attention: return "attention";
+  }
+  return "?";
+}
+
+std::size_t ptm_dataset::count() const {
+  if (time_steps == 0) return 0;
+  return windows.size() / (time_steps * feature_count);
+}
+
+void ptm_dataset::append(const ptm_dataset& other) {
+  if (time_steps == 0) time_steps = other.time_steps;
+  if (time_steps != other.time_steps)
+    throw std::invalid_argument{"ptm_dataset::append: time_steps mismatch"};
+  windows.insert(windows.end(), other.windows.begin(), other.windows.end());
+  targets.insert(targets.end(), other.targets.begin(), other.targets.end());
+}
+
+ptm_model::ptm_model(const ptm_config& config) : config_{config} {
+  util::rng rng{config.seed};
+  if (config_.arch == ptm_arch::attention) {
+    nn::seq_regressor_config seq;
+    seq.input_dim = feature_count;
+    seq.lstm_hidden = config_.lstm_hidden;
+    seq.heads = config_.heads;
+    seq.key_dim = config_.key_dim;
+    seq.value_dim = config_.value_dim;
+    seq.attention_out = config_.attention_out;
+    attention_net_ = nn::seq_regressor{seq, rng};
+  } else {
+    std::vector<std::size_t> dims;
+    dims.push_back(config_.time_steps * feature_count);
+    for (std::size_t h : config_.mlp_hidden) dims.push_back(h);
+    dims.push_back(1);
+    mlp_net_ = nn::mlp{dims, nn::activation::tanh, rng};
+  }
+}
+
+namespace {
+
+// x -> log1p(x / scale) for the heavy-tailed features (features.hpp).
+void apply_feature_log(std::vector<double>& flat_windows) {
+  for (std::size_t i = 0; i < flat_windows.size(); ++i) {
+    const double scale = feature_log_scale[i % feature_count];
+    if (scale > 0) flat_windows[i] = std::log1p(flat_windows[i] / scale);
+  }
+}
+
+// Residual learning: the regression target is the *deviation* of the sojourn
+// from the class-resolved work-conserving bound W_k (the unfinished work of
+// the packet's own-and-higher classes). W_k is exactly the FIFO wait under
+// FIFO and the non-preemptive SP wait ignoring future arrivals under SP, so
+// the DNN spends its capacity only on the genuinely intractable part
+// (future-arrival preemption, weighted interleaving). asinh gives a
+// symmetric log-like transform for the signed residual.
+double residual_to_net(double sojourn_seconds, double prior_bound) {
+  return std::asinh((sojourn_seconds - prior_bound) / sojourn_log_scale);
+}
+
+double residual_from_net(double net_value, double prior_bound) {
+  return prior_bound + std::sinh(net_value) * sojourn_log_scale;
+}
+
+// The prior bound of window i is a raw feature of its final time step.
+double window_prior_bound(std::span<const double> windows, std::size_t i,
+                          std::size_t time_steps) {
+  return windows[(i * time_steps + time_steps - 1) * feature_count +
+                 f_own_class_work];
+}
+
+// Scheduler kind of window i, decoded from the one-hot of its final step.
+std::size_t window_scheduler(std::span<const double> windows, std::size_t i,
+                             std::size_t time_steps) {
+  const std::size_t row = (i * time_steps + time_steps - 1) * feature_count;
+  for (std::size_t f = f_sched_fifo; f <= f_sched_wfq; ++f)
+    if (windows[row + f] > 0.5) return f - f_sched_fifo;
+  return 0;  // default to FIFO if the one-hot is absent
+}
+
+}  // namespace
+
+nn::seq_batch ptm_model::scale_windows(std::span<const double> windows) const {
+  const std::size_t window_size = config_.time_steps * feature_count;
+  if (windows.size() % window_size != 0)
+    throw std::invalid_argument{"ptm_model: windows size not a multiple of window"};
+  const std::size_t n = windows.size() / window_size;
+  nn::seq_batch batch{n, config_.time_steps, feature_count};
+  std::copy(windows.begin(), windows.end(), batch.data().begin());
+  apply_feature_log(batch.data());
+  feature_scaler_.transform(batch);
+  return batch;
+}
+
+training_report ptm_model::train(
+    const ptm_dataset& data, const std::function<void(std::size_t, double)>& on_epoch) {
+  if (data.time_steps != config_.time_steps)
+    throw std::invalid_argument{"ptm_model::train: time_steps mismatch"};
+  const std::size_t n = data.count();
+  if (n == 0 || data.targets.size() != n)
+    throw std::invalid_argument{"ptm_model::train: empty or inconsistent dataset"};
+
+  util::stopwatch watch;
+  {
+    std::vector<double> transformed(data.windows.begin(), data.windows.end());
+    apply_feature_log(transformed);
+    feature_scaler_.fit(transformed, feature_count);
+  }
+  {
+    std::vector<double> net_targets(data.targets.size());
+    for (std::size_t i = 0; i < data.targets.size(); ++i)
+      net_targets[i] = residual_to_net(
+          data.targets[i],
+          window_prior_bound(data.windows, i, config_.time_steps));
+    target_scaler_.fit(net_targets);
+  }
+  const nn::seq_batch all = scale_windows(data.windows);
+
+  nn::param_list params;
+  if (config_.arch == ptm_arch::attention)
+    attention_net_.collect_params(params);
+  else
+    mlp_net_.collect_params(params);
+  nn::adam optimizer{params, config_.adam};
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  util::rng shuffle_rng{util::derive_seed(config_.seed, 0x5ec5)};
+
+  training_report report;
+  const std::size_t batch_size = std::min(config_.batch_size, n);
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    shuffle_rng.shuffle(order);
+    double epoch_loss = 0;
+    std::size_t batches = 0;
+    for (std::size_t begin = 0; begin + batch_size <= n; begin += batch_size) {
+      nn::seq_batch batch{batch_size, config_.time_steps, feature_count};
+      nn::matrix targets{batch_size, 1};
+      for (std::size_t b = 0; b < batch_size; ++b) {
+        const std::size_t src = order[begin + b];
+        batch.set_sample(b, all.sample(src));
+        targets(b, 0) = target_scaler_.transform(residual_to_net(
+            data.targets[src],
+            window_prior_bound(data.windows, src, config_.time_steps)));
+      }
+      double loss = 0;
+      if (config_.arch == ptm_arch::attention) {
+        const nn::matrix pred = attention_net_.forward(batch);
+        loss = attention_net_.backward_mse(pred, targets);
+      } else {
+        nn::matrix flat{batch_size, config_.time_steps * feature_count};
+        std::copy(batch.data().begin(), batch.data().end(), flat.data().begin());
+        const nn::matrix pred = mlp_net_.forward(flat);
+        nn::matrix grad{batch_size, 1};
+        for (std::size_t b = 0; b < batch_size; ++b) {
+          const double diff = pred(b, 0) - targets(b, 0);
+          loss += diff * diff;
+          grad(b, 0) = 2.0 * diff / static_cast<double>(batch_size);
+        }
+        loss /= static_cast<double>(batch_size);
+        (void)mlp_net_.backward(grad);
+      }
+      optimizer.step();
+      epoch_loss += loss;
+      ++batches;
+    }
+    const double mse = batches > 0 ? epoch_loss / static_cast<double>(batches) : 0.0;
+    report.epoch_mse.push_back(mse);
+    if (on_epoch) on_epoch(epoch, mse);
+  }
+  trained_ = true;
+  report.train_seconds = watch.elapsed_seconds();
+  return report;
+}
+
+std::vector<double> ptm_model::predict(std::span<const double> windows,
+                                       bool apply_sec) const {
+  if (!trained_) throw std::logic_error{"ptm_model::predict: model not trained"};
+  const nn::seq_batch batch = scale_windows(windows);
+  const std::size_t n = batch.batch();
+  std::vector<double> out(n);
+  if (config_.arch == ptm_arch::attention) {
+    const nn::matrix pred = attention_net_.forward_const(batch);
+    for (std::size_t i = 0; i < n; ++i) out[i] = pred(i, 0);
+  } else {
+    nn::matrix flat{n, config_.time_steps * feature_count};
+    std::copy(batch.data().begin(), batch.data().end(), flat.data().begin());
+    const nn::matrix pred = mlp_net_.forward_const(flat);
+    for (std::size_t i = 0; i < n; ++i) out[i] = pred(i, 0);
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    // Clamp to (slightly beyond) the training range: scaled outputs past it
+    // are extrapolation noise that the inverse transform would amplify.
+    double y = std::clamp(out[i], 0.0, 1.0);
+    y = residual_from_net(
+        target_scaler_.inverse(y),
+        window_prior_bound(windows, i, config_.time_steps));
+    if (apply_sec) {
+      const auto& table = sec_[window_scheduler(windows, i, config_.time_steps)];
+      if (table.fitted()) y = table.correct(y);
+    }
+    out[i] = std::max(0.0, y);  // sojourn times cannot be negative
+  }
+  return out;
+}
+
+std::vector<nn::matrix> ptm_model::attention_maps(std::span<const double> window) {
+  if (config_.arch != ptm_arch::attention)
+    throw std::logic_error{"attention_maps: PTM uses the MLP architecture"};
+  if (!trained_) throw std::logic_error{"attention_maps: model not trained"};
+  if (window.size() != config_.time_steps * feature_count)
+    throw std::invalid_argument{"attention_maps: expected exactly one window"};
+  const nn::seq_batch batch = scale_windows(window);
+  (void)attention_net_.forward(batch);  // training-mode forward fills caches
+  std::vector<nn::matrix> maps;
+  for (std::size_t head = 0; head < config_.heads; ++head)
+    maps.push_back(attention_net_.attention().attention_weights(0, head));
+  return maps;
+}
+
+void ptm_model::fit_sec(const ptm_dataset& validation, double eps_fraction,
+                        std::size_t min_points) {
+  const auto predictions = predict(validation.windows, /*apply_sec=*/false);
+  // Fit one table per scheduler kind: residual structure is
+  // discipline-specific (Figure 6).
+  std::array<std::vector<double>, 5> pred_by_kind;
+  std::array<std::vector<double>, 5> truth_by_kind;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    const std::size_t kind =
+        window_scheduler(validation.windows, i, config_.time_steps);
+    pred_by_kind[kind].push_back(predictions[i]);
+    truth_by_kind[kind].push_back(validation.targets[i]);
+  }
+  for (std::size_t kind = 0; kind < sec_.size(); ++kind)
+    sec_[kind].fit(pred_by_kind[kind], truth_by_kind[kind], eps_fraction,
+                   min_points);
+}
+
+void ptm_model::save(std::ostream& out) const {
+  const std::uint8_t arch = static_cast<std::uint8_t>(config_.arch);
+  const std::uint64_t time_steps = config_.time_steps;
+  const std::uint8_t is_trained = trained_ ? 1 : 0;
+  out.write(reinterpret_cast<const char*>(&arch), sizeof arch);
+  out.write(reinterpret_cast<const char*>(&time_steps), sizeof time_steps);
+  out.write(reinterpret_cast<const char*>(&is_trained), sizeof is_trained);
+  if (config_.arch == ptm_arch::attention)
+    attention_net_.save(out);
+  else
+    mlp_net_.save(out);
+  feature_scaler_.save(out);
+  target_scaler_.save(out);
+  for (const auto& table : sec_) table.save(out);
+}
+
+void ptm_model::load(std::istream& in) {
+  std::uint8_t arch = 0, is_trained = 0;
+  std::uint64_t time_steps = 0;
+  in.read(reinterpret_cast<char*>(&arch), sizeof arch);
+  in.read(reinterpret_cast<char*>(&time_steps), sizeof time_steps);
+  in.read(reinterpret_cast<char*>(&is_trained), sizeof is_trained);
+  if (!in) throw std::runtime_error{"ptm_model::load: truncated stream"};
+  config_.arch = static_cast<ptm_arch>(arch);
+  config_.time_steps = static_cast<std::size_t>(time_steps);
+  if (config_.arch == ptm_arch::attention)
+    attention_net_.load(in);
+  else
+    mlp_net_.load(in);
+  feature_scaler_.load(in);
+  target_scaler_.load(in);
+  for (auto& table : sec_) table.load(in);
+  trained_ = is_trained != 0;
+}
+
+}  // namespace dqn::core

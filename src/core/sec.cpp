@@ -1,0 +1,175 @@
+#include "core/sec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <istream>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+namespace dqn::core {
+
+namespace {
+
+// Floor for the relative-error denominator: sub-nanosecond predictions carry
+// no meaningful relative structure.
+constexpr double relative_floor = 1e-9;
+// Corrections are clamped so one polluted bin cannot flip signs or scale a
+// prediction by more than ~4x.
+constexpr double max_relative = 0.75;
+
+double relative_error_of(double prediction, double truth) {
+  return (prediction - truth) / std::max(prediction, relative_floor);
+}
+
+double median_of(std::vector<double>& values) {
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+}  // namespace
+
+void sec_table::fit(std::span<const double> predictions,
+                    std::span<const double> truths, double eps_fraction,
+                    std::size_t min_points) {
+  if (predictions.size() != truths.size())
+    throw std::invalid_argument{"sec_table::fit: size mismatch"};
+  bins_.clear();
+  if (predictions.size() < min_points) return;
+
+  double lo = predictions[0], hi = predictions[0];
+  for (double p : predictions) {
+    lo = std::min(lo, p);
+    hi = std::max(hi, p);
+  }
+  const double range = hi - lo;
+  if (range <= 0) {
+    std::vector<double> errors;
+    errors.reserve(predictions.size());
+    for (std::size_t i = 0; i < predictions.size(); ++i)
+      errors.push_back(relative_error_of(predictions[i], truths[i]));
+    bins_.push_back({lo, hi, median_of(errors), predictions.size()});
+    return;
+  }
+
+  // First choice: DBSCAN along the prediction axis (§4.3).
+  stats::dbscan_params params;
+  params.eps = std::max(range * eps_fraction, 1e-12);
+  params.min_points = min_points;
+  const auto labels = stats::dbscan_1d(predictions, params);
+
+  std::map<int, std::pair<bin, std::vector<double>>> clusters;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    if (labels[i] == stats::dbscan_noise) continue;
+    auto& [b, errors] = clusters[labels[i]];
+    if (errors.empty()) {
+      b.lo = predictions[i];
+      b.hi = predictions[i];
+    } else {
+      b.lo = std::min(b.lo, predictions[i]);
+      b.hi = std::max(b.hi, predictions[i]);
+    }
+    errors.push_back(relative_error_of(predictions[i], truths[i]));
+  }
+  for (auto& [label, entry] : clusters) {
+    entry.first.relative_error = median_of(entry.second);
+    entry.first.count = entry.second.size();
+    bins_.push_back(entry.first);
+  }
+  std::sort(bins_.begin(), bins_.end(),
+            [](const bin& a, const bin& b) { return a.lo < b.lo; });
+
+  // Dense prediction axes chain into one DBSCAN cluster; refine with
+  // equal-count quantile bins so the correction stays local. Bin in log
+  // space of the prediction (sojourns span decades).
+  const std::size_t quantile_bins =
+      std::min<std::size_t>(32, predictions.size() / (4 * min_points));
+  if (bins_.size() < 4 && quantile_bins >= 4) {
+    bins_.clear();
+    std::vector<std::size_t> order(predictions.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return predictions[a] < predictions[b];
+    });
+    const std::size_t per_bin = order.size() / quantile_bins;
+    for (std::size_t q = 0; q < quantile_bins; ++q) {
+      const std::size_t begin = q * per_bin;
+      const std::size_t end =
+          q + 1 == quantile_bins ? order.size() : begin + per_bin;
+      bin b;
+      b.lo = predictions[order[begin]];
+      b.hi = predictions[order[end - 1]];
+      std::vector<double> errors;
+      errors.reserve(end - begin);
+      for (std::size_t i = begin; i < end; ++i)
+        errors.push_back(
+            relative_error_of(predictions[order[i]], truths[order[i]]));
+      b.relative_error = median_of(errors);
+      b.count = errors.size();
+      bins_.push_back(b);
+    }
+  }
+  for (auto& b : bins_)
+    b.relative_error = std::clamp(b.relative_error, -max_relative, max_relative);
+}
+
+// Corrections below this relative magnitude are statistically
+// indistinguishable from an unbiased model on held-out data; applying them
+// would inject validation-set noise into every prediction.
+constexpr double significance_threshold = 0.05;
+
+double sec_table::correct(double prediction) const noexcept {
+  if (bins_.empty() || prediction <= 0) return prediction;
+  const bin* best = nullptr;
+  double best_distance = std::numeric_limits<double>::infinity();
+  auto it = std::lower_bound(bins_.begin(), bins_.end(), prediction,
+                             [](const bin& b, double p) { return b.hi < p; });
+  if (it != bins_.end() && prediction >= it->lo && prediction <= it->hi) {
+    best = &*it;
+  } else {
+    for (const auto& b : bins_) {
+      const double centre = 0.5 * (b.lo + b.hi);
+      const double distance = std::abs(prediction - centre);
+      if (distance < best_distance) {
+        best_distance = distance;
+        best = &b;
+      }
+    }
+  }
+  if (std::abs(best->relative_error) < significance_threshold) return prediction;
+  return std::max(0.0, prediction * (1.0 - best->relative_error));
+}
+
+void sec_table::save(std::ostream& out) const {
+  const std::uint64_t n = bins_.size();
+  out.write(reinterpret_cast<const char*>(&n), sizeof n);
+  for (const auto& b : bins_) {
+    out.write(reinterpret_cast<const char*>(&b.lo), sizeof b.lo);
+    out.write(reinterpret_cast<const char*>(&b.hi), sizeof b.hi);
+    out.write(reinterpret_cast<const char*>(&b.relative_error),
+              sizeof b.relative_error);
+    const std::uint64_t count = b.count;
+    out.write(reinterpret_cast<const char*>(&count), sizeof count);
+  }
+}
+
+void sec_table::load(std::istream& in) {
+  std::uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof n);
+  if (!in) throw std::runtime_error{"sec_table::load: truncated stream"};
+  bins_.assign(static_cast<std::size_t>(n), {});
+  for (auto& b : bins_) {
+    std::uint64_t count = 0;
+    in.read(reinterpret_cast<char*>(&b.lo), sizeof b.lo);
+    in.read(reinterpret_cast<char*>(&b.hi), sizeof b.hi);
+    in.read(reinterpret_cast<char*>(&b.relative_error), sizeof b.relative_error);
+    in.read(reinterpret_cast<char*>(&count), sizeof count);
+    b.count = static_cast<std::size_t>(count);
+  }
+  if (!in) throw std::runtime_error{"sec_table::load: truncated stream"};
+}
+
+}  // namespace dqn::core

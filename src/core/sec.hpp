@@ -1,0 +1,52 @@
+// Post-PTM statistical error correction (§4.3). After training converges,
+// the PTM's residuals on held-out data are clustered along the predicted-
+// sojourn axis with DBSCAN; at inference, a prediction falling inside a
+// bin's range has that bin's mean error subtracted. The correction is a
+// by-product of training and costs one binary search per prediction.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "stats/dbscan.hpp"
+
+namespace dqn::core {
+
+class sec_table {
+ public:
+  struct bin {
+    double lo = 0;
+    double hi = 0;
+    // Median *relative* error within the bin: (pred - truth) / pred.
+    // Figure 6 plots relative error against predicted sojourn, and the
+    // correction must be multiplicative to transfer across load regimes
+    // (sojourns span decades; an additive offset fit at one load level is
+    // systematically wrong at another).
+    double relative_error = 0;
+    std::size_t count = 0;
+  };
+
+  // Fit bins from validation predictions and ground-truth sojourns.
+  // eps_fraction scales DBSCAN's radius relative to the prediction range.
+  // When the predictions are dense along the axis, 1-D DBSCAN chains them
+  // into a single cluster; in that case the fit falls back to equal-count
+  // quantile bins (same per-bin mean-error correction, finer resolution).
+  void fit(std::span<const double> predictions, std::span<const double> truths,
+           double eps_fraction = 0.02, std::size_t min_points = 8);
+
+  // Corrected prediction: pred * (1 - relative_error(bin)); predictions
+  // outside every bin use the nearest bin. Uncorrected if no bins were fit.
+  [[nodiscard]] double correct(double prediction) const noexcept;
+
+  [[nodiscard]] bool fitted() const noexcept { return !bins_.empty(); }
+  [[nodiscard]] const std::vector<bin>& bins() const noexcept { return bins_; }
+
+  void save(std::ostream& out) const;
+  void load(std::istream& in);
+
+ private:
+  std::vector<bin> bins_;  // sorted by lo
+};
+
+}  // namespace dqn::core

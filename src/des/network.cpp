@@ -1,0 +1,169 @@
+#include "des/network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/stopwatch.hpp"
+
+namespace dqn::des {
+
+namespace {
+
+// Hosts always use a plain FIFO NIC regardless of the switch TM.
+tm_config host_tm(const tm_config& base) {
+  tm_config cfg;
+  cfg.kind = scheduler_kind::fifo;
+  cfg.classes = 1;
+  cfg.buffer_packets = base.buffer_packets;
+  return cfg;
+}
+
+}  // namespace
+
+network::network(const topo::topology& topo, const topo::routing& routes,
+                 network_config config)
+    : topo_{&topo}, routes_{&routes}, config_{std::move(config)} {
+  devices_.resize(topo.node_count());
+  for (std::size_t i = 0; i < topo.node_count(); ++i) {
+    const auto id = static_cast<topo::node_id>(i);
+    const auto& node = topo.at(id);
+    auto& state = devices_[i];
+    state.ports.reserve(node.links.size());
+    const tm_config* node_tm = &config_.tm;
+    if (const auto it = config_.tm_overrides.find(id);
+        it != config_.tm_overrides.end())
+      node_tm = &it->second;
+    for (std::size_t port = 0; port < node.links.size(); ++port) {
+      const auto& link = topo.link_at(node.links[port]);
+      const auto peer = topo.peer_of(id, port);
+      egress_port ep{
+          traffic_manager{node.kind == topo::node_kind::host ? host_tm(config_.tm)
+                                                             : *node_tm},
+          false, link.bandwidth_bps, link.propagation_delay, peer.node, peer.port};
+      state.ports.push_back(std::move(ep));
+    }
+  }
+}
+
+void network::receive(topo::node_id node, std::size_t in_port,
+                      const traffic::packet& pkt) {
+  const auto& info = topo_->at(node);
+  if (info.kind == topo::node_kind::host) {
+    if (pkt.dst_host == node) {
+      delivery_record d;
+      d.pid = pkt.pid;
+      d.flow_id = pkt.flow_id;
+      d.src = pkt.src_host;
+      d.dst = pkt.dst_host;
+      d.send_time = send_times_.at(pkt.pid);
+      d.delivery_time = sim_.now();
+      result_.deliveries.push_back(d);
+    }
+    // Packets reaching a foreign host are dropped silently; shortest-path
+    // routing never produces them.
+    return;
+  }
+  auto& state = devices_[static_cast<std::size_t>(node)];
+  const std::size_t out_port = routes_->egress_port(node, pkt.dst_host, pkt.flow_id);
+  auto& port = state.ports[out_port];
+  if (!port.tm.enqueue(pkt)) {
+    ++result_.drops;
+    return;
+  }
+  state.pending.emplace(pkt.pid, std::make_pair(sim_.now(), in_port));
+  if (!port.busy) try_transmit(node, out_port);
+}
+
+void network::try_transmit(topo::node_id node, std::size_t port_index) {
+  auto& state = devices_[static_cast<std::size_t>(node)];
+  auto& port = state.ports[port_index];
+  if (port.busy) return;
+  auto pkt = port.tm.dequeue();
+  if (!pkt) return;
+  port.busy = true;
+  const double now = sim_.now();
+
+  if (topo_->at(node).kind == topo::node_kind::device) {
+    const auto it = state.pending.find(pkt->pid);
+    if (it == state.pending.end())
+      throw std::logic_error{"network: dequeued packet without pending record"};
+    if (config_.record_hops) {
+      hop_record h;
+      h.pid = pkt->pid;
+      h.flow_id = pkt->flow_id;
+      h.device = node;
+      h.in_port = it->second.second;
+      h.out_port = port_index;
+      h.arrival = it->second.first;
+      h.departure = now;
+      h.size_bytes = pkt->size_bytes;
+      h.priority = pkt->priority;
+      h.weight = pkt->weight;
+      h.protocol = pkt->protocol;
+      result_.hops.push_back(h);
+    }
+    state.pending.erase(it);
+  }
+
+  const double tx_time = static_cast<double>(pkt->size_bytes) * 8.0 / port.bandwidth_bps;
+  const auto peer = port.peer;
+  const auto peer_port = port.peer_port;
+  const traffic::packet delivered = *pkt;
+  // Line frees after serialization; the packet lands after propagation.
+  sim_.schedule_in(tx_time, [this, node, port_index] {
+    devices_[static_cast<std::size_t>(node)].ports[port_index].busy = false;
+    try_transmit(node, port_index);
+  });
+  sim_.schedule_in(tx_time + port.propagation_delay,
+                   [this, peer, peer_port, delivered] {
+                     receive(peer, peer_port, delivered);
+                   });
+}
+
+run_result network::run(const std::vector<traffic::packet_stream>& host_streams,
+                        double horizon) {
+  const auto hosts = topo_->hosts();
+  if (host_streams.size() != hosts.size())
+    throw std::invalid_argument{"network::run: one stream per host required"};
+  util::stopwatch watch;
+  result_ = {};
+  send_times_.clear();
+
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    const topo::node_id host = hosts[i];
+    for (const auto& ev : host_streams[i]) {
+      if (ev.time > horizon) break;
+      send_times_.emplace(ev.pkt.pid, ev.time);
+      traffic::packet pkt = ev.pkt;
+      // Streams address hosts by index among topo.hosts(); translate both
+      // endpoints to topology node ids.
+      pkt.src_host = host;
+      if (pkt.dst_host < 0 || static_cast<std::size_t>(pkt.dst_host) >= hosts.size())
+        throw std::invalid_argument{"network::run: dst_host index out of range"};
+      pkt.dst_host = hosts[static_cast<std::size_t>(pkt.dst_host)];
+      sim_.schedule_at(ev.time, [this, host, pkt] {
+        // Host NIC: enqueue on the single uplink port.
+        auto& state = devices_[static_cast<std::size_t>(host)];
+        if (!state.ports[0].tm.enqueue(pkt)) {
+          ++result_.drops;
+          return;
+        }
+        if (!state.ports[0].busy) try_transmit(host, 0);
+      });
+    }
+  }
+
+  // Drain: generous allowance for queued packets to leave the network.
+  sim_.run(horizon * 1.5 + 1.0);
+  result_.events = sim_.events_processed();
+  std::sort(result_.deliveries.begin(), result_.deliveries.end(),
+            [](const delivery_record& a, const delivery_record& b) {
+              if (a.delivery_time != b.delivery_time)
+                return a.delivery_time < b.delivery_time;
+              return a.pid < b.pid;
+            });
+  result_.wall_seconds = watch.elapsed_seconds();
+  return std::move(result_);
+}
+
+}  // namespace dqn::des

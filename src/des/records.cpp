@@ -1,0 +1,19 @@
+#include "des/records.hpp"
+
+namespace dqn::des {
+
+std::map<std::uint32_t, std::vector<double>> per_flow_latencies(
+    const run_result& result) {
+  std::map<std::uint32_t, std::vector<double>> out;
+  for (const auto& d : result.deliveries) out[d.flow_id].push_back(d.latency());
+  return out;
+}
+
+std::vector<double> all_latencies(const run_result& result) {
+  std::vector<double> out;
+  out.reserve(result.deliveries.size());
+  for (const auto& d : result.deliveries) out.push_back(d.latency());
+  return out;
+}
+
+}  // namespace dqn::des

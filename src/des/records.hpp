@@ -1,0 +1,61 @@
+// Trace records produced by simulation runs. DES and DeepQueueNet emit the
+// same record types, so every metric (RTT, jitter, per-device sojourn,
+// anything a user computes later — the packet-level visibility claim) is a
+// pure function of these traces.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "topo/graph.hpp"
+#include "traffic/packet.hpp"
+
+namespace dqn::des {
+
+// One packet's passage through one device: arrival at the ingress port and
+// departure (start of transmission) from the egress port. Sojourn =
+// departure - arrival is the PTM's regression target.
+struct hop_record {
+  std::uint64_t pid = 0;
+  std::uint32_t flow_id = 0;
+  topo::node_id device = -1;
+  std::size_t in_port = 0;
+  std::size_t out_port = 0;
+  double arrival = 0;
+  double departure = 0;
+  std::uint32_t size_bytes = 0;
+  std::uint8_t priority = 0;
+  std::uint16_t weight = 1;
+  std::uint8_t protocol = 17;
+};
+
+// End-to-end delivery of one packet.
+struct delivery_record {
+  std::uint64_t pid = 0;
+  std::uint32_t flow_id = 0;
+  topo::node_id src = -1;
+  topo::node_id dst = -1;
+  double send_time = 0;
+  double delivery_time = 0;
+
+  [[nodiscard]] double latency() const noexcept { return delivery_time - send_time; }
+};
+
+struct run_result {
+  std::vector<hop_record> hops;            // empty if hop recording disabled
+  std::vector<delivery_record> deliveries; // sorted by delivery time
+  std::uint64_t drops = 0;
+  std::uint64_t events = 0;
+  double wall_seconds = 0;
+};
+
+// Latency series per flow (delivery order) — the "path-wise" unit of the
+// paper's accuracy metrics.
+[[nodiscard]] std::map<std::uint32_t, std::vector<double>> per_flow_latencies(
+    const run_result& result);
+
+// All end-to-end latencies, in delivery order.
+[[nodiscard]] std::vector<double> all_latencies(const run_result& result);
+
+}  // namespace dqn::des

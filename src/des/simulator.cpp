@@ -1,0 +1,28 @@
+#include "des/simulator.hpp"
+
+#include <stdexcept>
+
+namespace dqn::des {
+
+void simulator::schedule_at(double when, std::function<void()> action) {
+  if (when < now_)
+    throw std::invalid_argument{"simulator::schedule_at: time in the past"};
+  queue_.push({when, next_seq_++, std::move(action)});
+}
+
+void simulator::run(double until) {
+  while (!queue_.empty()) {
+    if (queue_.top().time > until) break;
+    // priority_queue::top() is const; move out via const_cast-free copy of
+    // the action by re-pushing semantics: take a copy, then pop.
+    event e{queue_.top().time, queue_.top().seq,
+            std::move(const_cast<event&>(queue_.top()).action)};
+    queue_.pop();
+    now_ = e.time;
+    ++processed_;
+    e.action();
+  }
+  now_ = until;
+}
+
+}  // namespace dqn::des

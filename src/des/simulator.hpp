@@ -1,0 +1,52 @@
+// Discrete-event simulation kernel: a time-ordered event heap with
+// deterministic FIFO tie-breaking. This is the substrate equivalent of the
+// paper's ns.py (§4.2) — the ground-truth oracle for training data and the
+// sequential-DES baseline of Table 7.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace dqn::des {
+
+class simulator {
+ public:
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  // Schedule `action` at absolute time `when` (>= now).
+  void schedule_at(double when, std::function<void()> action);
+
+  // Schedule `action` after `delay` seconds.
+  void schedule_in(double delay, std::function<void()> action) {
+    schedule_at(now_ + delay, std::move(action));
+  }
+
+  // Run until the event queue drains or simulated time exceeds `until`.
+  void run(double until);
+
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return processed_;
+  }
+
+ private:
+  struct event {
+    double time;
+    std::uint64_t seq;  // FIFO among equal times, and determinism
+    std::function<void()> action;
+  };
+  struct later {
+    bool operator()(const event& a, const event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<event, std::vector<event>, later> queue_;
+};
+
+}  // namespace dqn::des

@@ -1,0 +1,103 @@
+#include "des/single_device.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "des/simulator.hpp"
+
+namespace dqn::des {
+
+single_switch_result run_single_switch(const single_switch_config& config,
+                                       const std::vector<traffic::packet_stream>& ingress,
+                                       const forward_fn& forward, double horizon,
+                                       bool sample_queues) {
+  if (config.ports == 0)
+    throw std::invalid_argument{"run_single_switch: need >= 1 port"};
+  if (ingress.size() != config.ports)
+    throw std::invalid_argument{"run_single_switch: one stream per ingress port"};
+
+  struct egress {
+    traffic_manager tm;
+    bool busy = false;
+    std::size_t serving_class = 0;  // valid while busy
+  };
+  simulator sim;
+  single_switch_result result;
+  std::vector<egress> ports;
+  ports.reserve(config.ports);
+  for (std::size_t i = 0; i < config.ports; ++i)
+    ports.push_back({traffic_manager{config.tm}, false});
+  std::unordered_map<std::uint64_t, std::pair<double, std::size_t>> pending;
+
+  // Forward declaration of the service loop as a recursive lambda.
+  std::function<void(std::size_t)> try_transmit = [&](std::size_t out_port) {
+    auto& port = ports[out_port];
+    if (port.busy) return;
+    auto pkt = port.tm.dequeue();
+    if (!pkt) return;
+    port.busy = true;
+    port.serving_class =
+        port.tm.config().kind == scheduler_kind::fifo
+            ? 0
+            : std::min<std::size_t>(pkt->priority, port.tm.config().classes - 1);
+    const auto it = pending.find(pkt->pid);
+    if (it == pending.end())
+      throw std::logic_error{"run_single_switch: missing pending record"};
+    hop_record h;
+    h.pid = pkt->pid;
+    h.flow_id = pkt->flow_id;
+    h.device = 0;
+    h.in_port = it->second.second;
+    h.out_port = out_port;
+    h.arrival = it->second.first;
+    h.departure = sim.now();
+    h.size_bytes = pkt->size_bytes;
+    h.priority = pkt->priority;
+    h.weight = pkt->weight;
+    h.protocol = pkt->protocol;
+    result.hops.push_back(h);
+    pending.erase(it);
+    const double tx = static_cast<double>(pkt->size_bytes) * 8.0 / config.bandwidth_bps;
+    sim.schedule_in(tx, [&, out_port] {
+      ports[out_port].busy = false;
+      try_transmit(out_port);
+    });
+  };
+
+  for (std::size_t in_port = 0; in_port < config.ports; ++in_port) {
+    for (const auto& ev : ingress[in_port]) {
+      if (ev.time > horizon) break;
+      const traffic::packet pkt = ev.pkt;
+      sim.schedule_at(ev.time, [&, pkt, in_port] {
+        const std::size_t out_port = forward(pkt.flow_id, in_port);
+        if (out_port >= config.ports)
+          throw std::out_of_range{"run_single_switch: forward() port out of range"};
+        if (!ports[out_port].tm.enqueue(pkt)) {
+          ++result.drops;
+          return;
+        }
+        pending.emplace(pkt.pid, std::make_pair(sim.now(), in_port));
+        try_transmit(out_port);
+      });
+    }
+  }
+
+  if (sample_queues && config.queue_sample_count > 0) {
+    const double step = horizon / static_cast<double>(config.queue_sample_count);
+    for (std::size_t i = 0; i < config.queue_sample_count; ++i) {
+      sim.schedule_at((static_cast<double>(i) + 0.5) * step, [&] {
+        const std::size_t classes = ports[0].tm.config().classes;
+        std::vector<std::size_t> sample(classes + 1);
+        for (std::size_t k = 0; k < classes; ++k)
+          sample[k] = ports[0].tm.queue_length(k);
+        sample[classes] = ports[0].busy ? ports[0].serving_class + 1 : 0;
+        result.queue_samples.push_back(std::move(sample));
+      });
+    }
+  }
+
+  sim.run(horizon * 2 + 1.0);
+  return result;
+}
+
+}  // namespace dqn::des

@@ -1,0 +1,50 @@
+// Single K-port switch DES harness. This is where PTM training data comes
+// from (§5.2): feed K ingress packet streams through one switch with a given
+// forwarding map and TM configuration, and record each packet's sojourn
+// (scheduler waiting time). It is also the ground truth for Table 2 and the
+// DES side of the Appendix B numerical comparison (Figure 14).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "des/records.hpp"
+#include "des/traffic_manager.hpp"
+#include "traffic/packet.hpp"
+
+namespace dqn::des {
+
+struct single_switch_config {
+  std::size_t ports = 4;  // K
+  tm_config tm;
+  double bandwidth_bps = 10e9;
+  double propagation_delay = 1e-6;
+  // Number of uniformly-spaced queue-state samples taken over the horizon
+  // when sample_queues is set. Time sampling (not arrival sampling) matches
+  // the stationary marginals of the queueing model: PASTA does not hold for
+  // correlated MAP arrivals.
+  std::size_t queue_sample_count = 20'000;
+};
+
+// forward(flow_id, in_port) -> out_port, the paper's Eq. 6.
+using forward_fn = std::function<std::size_t(std::uint32_t, std::size_t)>;
+
+// ingress[i] is the packet stream arriving at ingress port i. Returns hop
+// records (device id 0) with sojourn = departure - arrival, plus queue-state
+// samples if `sample_queues` is set (used by the Appendix B comparison).
+struct single_switch_result {
+  std::vector<hop_record> hops;
+  std::uint64_t drops = 0;
+  // Queue state of egress port 0 sampled at uniform times (Figure 14): one
+  // entry per class with the waiting count, plus a final entry encoding the
+  // in-service packet (0 = idle, k+1 = serving class k), so per-class
+  // in-system counts are recoverable.
+  std::vector<std::vector<std::size_t>> queue_samples;
+};
+
+[[nodiscard]] single_switch_result run_single_switch(
+    const single_switch_config& config,
+    const std::vector<traffic::packet_stream>& ingress, const forward_fn& forward,
+    double horizon, bool sample_queues = false);
+
+}  // namespace dqn::des

@@ -1,0 +1,194 @@
+#include "des/traffic_manager.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dqn::des {
+
+const char* to_string(scheduler_kind kind) noexcept {
+  switch (kind) {
+    case scheduler_kind::fifo: return "FIFO";
+    case scheduler_kind::sp: return "SP";
+    case scheduler_kind::wrr: return "WRR";
+    case scheduler_kind::drr: return "DRR";
+    case scheduler_kind::wfq: return "WFQ";
+  }
+  return "?";
+}
+
+traffic_manager::traffic_manager(tm_config config) : config_{std::move(config)} {
+  if (config_.classes == 0)
+    throw std::invalid_argument{"traffic_manager: classes must be >= 1"};
+  if (config_.buffer_packets == 0)
+    throw std::invalid_argument{"traffic_manager: buffer must hold >= 1 packet"};
+  const bool weighted = config_.kind == scheduler_kind::wrr ||
+                        config_.kind == scheduler_kind::drr ||
+                        config_.kind == scheduler_kind::wfq;
+  if (weighted) {
+    if (config_.class_weights.size() != config_.classes)
+      throw std::invalid_argument{"traffic_manager: need one weight per class"};
+    for (double w : config_.class_weights)
+      if (w <= 0) throw std::invalid_argument{"traffic_manager: weights must be > 0"};
+  }
+  if (config_.kind == scheduler_kind::fifo && config_.classes != 1)
+    throw std::invalid_argument{"traffic_manager: FIFO has exactly one class"};
+  if (config_.kind == scheduler_kind::wfq) {
+    wfq_queues_.resize(config_.classes);
+    wfq_last_finish_.assign(config_.classes, 0.0);
+  } else {
+    queues_.resize(config_.classes);
+  }
+  drr_deficit_.assign(config_.classes, 0.0);
+}
+
+std::size_t traffic_manager::class_of(const traffic::packet& pkt) const noexcept {
+  if (config_.kind == scheduler_kind::fifo) return 0;
+  return std::min<std::size_t>(pkt.priority, config_.classes - 1);
+}
+
+bool traffic_manager::enqueue(const traffic::packet& pkt) {
+  if (backlog_ >= config_.buffer_packets ||
+      (config_.buffer_bytes > 0 &&
+       backlog_bytes_ + pkt.size_bytes > config_.buffer_bytes)) {
+    ++drops_;
+    return false;
+  }
+  const std::size_t klass = class_of(pkt);
+  if (config_.kind == scheduler_kind::wfq) {
+    // SCFQ finish tag: F = max(V, F_last[class]) + len / weight.
+    const double start = std::max(wfq_virtual_time_, wfq_last_finish_[klass]);
+    const double finish =
+        start + static_cast<double>(pkt.size_bytes) / config_.class_weights[klass];
+    wfq_last_finish_[klass] = finish;
+    wfq_queues_[klass].push_back({pkt, finish});
+  } else {
+    queues_[klass].push_back(pkt);
+  }
+  ++backlog_;
+  backlog_bytes_ += pkt.size_bytes;
+  return true;
+}
+
+std::optional<traffic::packet> traffic_manager::dequeue() {
+  if (backlog_ == 0) return std::nullopt;
+  std::optional<traffic::packet> out;
+  switch (config_.kind) {
+    case scheduler_kind::fifo:
+    case scheduler_kind::sp:
+      out = dequeue_sp();  // FIFO is 1-class SP
+      break;
+    case scheduler_kind::wrr:
+      out = dequeue_wrr();
+      break;
+    case scheduler_kind::drr:
+      out = dequeue_drr();
+      break;
+    case scheduler_kind::wfq:
+      out = dequeue_wfq();
+      break;
+  }
+  if (out) {
+    --backlog_;
+    backlog_bytes_ -= out->size_bytes;
+  }
+  return out;
+}
+
+std::optional<traffic::packet> traffic_manager::dequeue_sp() {
+  for (auto& queue : queues_) {
+    if (!queue.empty()) {
+      traffic::packet pkt = queue.front();
+      queue.pop_front();
+      return pkt;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<traffic::packet> traffic_manager::dequeue_wrr() {
+  // Serve up to round(weight) packets from the cursor class per turn,
+  // skipping empty queues (work-conserving).
+  for (std::size_t scanned = 0; scanned < 2 * config_.classes; ++scanned) {
+    auto& queue = queues_[rr_cursor_];
+    const auto quota = static_cast<std::uint32_t>(
+        std::max(1.0, config_.class_weights[rr_cursor_]));
+    if (!queue.empty() && wrr_served_in_turn_ < quota) {
+      traffic::packet pkt = queue.front();
+      queue.pop_front();
+      ++wrr_served_in_turn_;
+      if (queue.empty() || wrr_served_in_turn_ >= quota) {
+        rr_cursor_ = (rr_cursor_ + 1) % config_.classes;
+        wrr_served_in_turn_ = 0;
+      }
+      return pkt;
+    }
+    rr_cursor_ = (rr_cursor_ + 1) % config_.classes;
+    wrr_served_in_turn_ = 0;
+  }
+  return std::nullopt;
+}
+
+std::optional<traffic::packet> traffic_manager::dequeue_drr() {
+  // Deficit round robin (Shreedhar & Varghese): grant the quantum once per
+  // visit to a backlogged queue, serve while the head fits in the deficit,
+  // then move on. Without the once-per-visit rule a queue could monopolise
+  // the scheduler by re-earning its quantum on every call.
+  for (std::size_t scanned = 0; scanned < 2 * config_.classes; ++scanned) {
+    auto& queue = queues_[rr_cursor_];
+    if (queue.empty()) {
+      drr_deficit_[rr_cursor_] = 0;  // idle queues lose their deficit
+      drr_granted_ = false;
+      rr_cursor_ = (rr_cursor_ + 1) % config_.classes;
+      continue;
+    }
+    if (!drr_granted_) {
+      drr_deficit_[rr_cursor_] +=
+          config_.class_weights[rr_cursor_] * config_.drr_quantum_bytes;
+      drr_granted_ = true;
+    }
+    if (drr_deficit_[rr_cursor_] >= queue.front().size_bytes) {
+      traffic::packet pkt = queue.front();
+      queue.pop_front();
+      drr_deficit_[rr_cursor_] -= pkt.size_bytes;
+      if (queue.empty()) {
+        drr_deficit_[rr_cursor_] = 0;
+        drr_granted_ = false;
+        rr_cursor_ = (rr_cursor_ + 1) % config_.classes;
+      }
+      return pkt;
+    }
+    // The head no longer fits: this queue's turn ends, keep the deficit.
+    drr_granted_ = false;
+    rr_cursor_ = (rr_cursor_ + 1) % config_.classes;
+  }
+  return std::nullopt;
+}
+
+std::optional<traffic::packet> traffic_manager::dequeue_wfq() {
+  std::size_t best = config_.classes;
+  double best_tag = 0;
+  for (std::size_t klass = 0; klass < config_.classes; ++klass) {
+    if (wfq_queues_[klass].empty()) continue;
+    const double tag = wfq_queues_[klass].front().finish_tag;
+    if (best == config_.classes || tag < best_tag) {
+      best = klass;
+      best_tag = tag;
+    }
+  }
+  if (best == config_.classes) return std::nullopt;
+  wfq_entry entry = wfq_queues_[best].front();
+  wfq_queues_[best].pop_front();
+  // Self-clocked fair queueing: the virtual clock jumps to the finish tag of
+  // the packet entering service.
+  wfq_virtual_time_ = entry.finish_tag;
+  return entry.pkt;
+}
+
+std::size_t traffic_manager::queue_length(std::size_t klass) const {
+  if (klass >= config_.classes)
+    throw std::out_of_range{"traffic_manager::queue_length"};
+  if (config_.kind == scheduler_kind::wfq) return wfq_queues_[klass].size();
+  return queues_[klass].size();
+}
+
+}  // namespace dqn::des

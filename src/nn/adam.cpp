@@ -1,0 +1,51 @@
+#include "nn/adam.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dqn::nn {
+
+adam::adam(param_list params, const adam_config& config)
+    : params_{std::move(params)}, config_{config} {
+  if (params_.empty()) throw std::invalid_argument{"adam: no parameters"};
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p.value->size(), 0.0);
+    v_.emplace_back(p.value->size(), 0.0);
+  }
+}
+
+void adam::step() {
+  ++t_;
+  // Global-norm gradient clipping.
+  if (config_.grad_clip > 0) {
+    double norm2 = 0;
+    for (const auto& p : params_)
+      for (double g : *p.grad) norm2 += g * g;
+    const double norm = std::sqrt(norm2);
+    if (norm > config_.grad_clip) {
+      const double scale = config_.grad_clip / norm;
+      for (const auto& p : params_)
+        for (auto& g : *p.grad) g *= scale;
+    }
+  }
+  const double bias1 = 1 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double bias2 = 1 - std::pow(config_.beta2, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& value = *params_[i].value;
+    auto& grad = *params_[i].grad;
+    auto& m = m_[i];
+    auto& v = v_[i];
+    for (std::size_t j = 0; j < value.size(); ++j) {
+      m[j] = config_.beta1 * m[j] + (1 - config_.beta1) * grad[j];
+      v[j] = config_.beta2 * v[j] + (1 - config_.beta2) * grad[j] * grad[j];
+      const double m_hat = m[j] / bias1;
+      const double v_hat = v[j] / bias2;
+      value[j] -= config_.learning_rate * m_hat / (std::sqrt(v_hat) + config_.epsilon);
+      grad[j] = 0;
+    }
+  }
+}
+
+}  // namespace dqn::nn

@@ -1,0 +1,188 @@
+#include "nn/attention.hpp"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace dqn::nn {
+
+multi_head_attention::multi_head_attention(const attention_config& config,
+                                           util::rng& rng)
+    : config_{config} {
+  if (config.heads == 0) throw std::invalid_argument{"attention: heads must be > 0"};
+  for (std::size_t h = 0; h < config.heads; ++h) {
+    wq_.push_back(matrix::glorot(config.model_dim, config.key_dim, rng));
+    wk_.push_back(matrix::glorot(config.model_dim, config.key_dim, rng));
+    wv_.push_back(matrix::glorot(config.model_dim, config.value_dim, rng));
+    gwq_.emplace_back(config.model_dim, config.key_dim);
+    gwk_.emplace_back(config.model_dim, config.key_dim);
+    gwv_.emplace_back(config.model_dim, config.value_dim);
+  }
+  wo_ = matrix::glorot(config.heads * config.value_dim, config.out_dim, rng);
+  gwo_ = matrix{wo_.rows(), wo_.cols()};
+}
+
+matrix multi_head_attention::forward_sample(const matrix& x, sample_cache* cache) const {
+  const std::size_t time = x.rows();
+  const double scale = 1.0 / std::sqrt(static_cast<double>(config_.key_dim));
+  matrix concat{time, config_.heads * config_.value_dim};
+  if (cache != nullptr) {
+    cache->x = x;
+    cache->heads.assign(config_.heads, {});
+  }
+  for (std::size_t h = 0; h < config_.heads; ++h) {
+    matrix q = matmul(x, wq_[h]);
+    matrix k = matmul(x, wk_[h]);
+    matrix v = matmul(x, wv_[h]);
+    matrix scores = matmul_nt(q, k);
+    for (auto& s : scores.data()) s *= scale;
+    // Row-wise softmax with max-subtraction for stability.
+    for (std::size_t i = 0; i < time; ++i) {
+      auto row = scores.row(i);
+      double mx = row[0];
+      for (double s : row) mx = std::max(mx, s);
+      double total = 0;
+      for (auto& s : row) {
+        s = std::exp(s - mx);
+        total += s;
+      }
+      for (auto& s : row) s /= total;
+    }
+    matrix head_out = matmul(scores, v);
+    for (std::size_t t = 0; t < time; ++t)
+      for (std::size_t f = 0; f < config_.value_dim; ++f)
+        concat(t, h * config_.value_dim + f) = head_out(t, f);
+    if (cache != nullptr) {
+      cache->heads[h].q = std::move(q);
+      cache->heads[h].k = std::move(k);
+      cache->heads[h].v = std::move(v);
+      cache->heads[h].attn = std::move(scores);
+    }
+  }
+  matrix out = matmul(concat, wo_);
+  if (cache != nullptr) cache->concat = std::move(concat);
+  return out;
+}
+
+seq_batch multi_head_attention::forward(const seq_batch& x) {
+  if (x.features() != config_.model_dim)
+    throw std::invalid_argument{"attention::forward: feature dim mismatch"};
+  caches_.assign(x.batch(), {});
+  seq_batch out{x.batch(), x.time(), config_.out_dim};
+  for (std::size_t b = 0; b < x.batch(); ++b)
+    out.set_sample(b, forward_sample(x.sample(b), &caches_[b]));
+  return out;
+}
+
+seq_batch multi_head_attention::forward_const(const seq_batch& x) const {
+  if (x.features() != config_.model_dim)
+    throw std::invalid_argument{"attention::forward_const: feature dim mismatch"};
+  seq_batch out{x.batch(), x.time(), config_.out_dim};
+  for (std::size_t b = 0; b < x.batch(); ++b)
+    out.set_sample(b, forward_sample(x.sample(b), nullptr));
+  return out;
+}
+
+seq_batch multi_head_attention::backward(const seq_batch& grad_out) {
+  if (caches_.size() != grad_out.batch())
+    throw std::logic_error{"attention::backward before forward"};
+  const double scale = 1.0 / std::sqrt(static_cast<double>(config_.key_dim));
+  seq_batch grad_x{grad_out.batch(), grad_out.time(), config_.model_dim};
+  for (std::size_t b = 0; b < grad_out.batch(); ++b) {
+    const sample_cache& cache = caches_[b];
+    const matrix d_out = grad_out.sample(b);
+    // Output projection.
+    matmul_tn_acc(cache.concat, d_out, gwo_);
+    const matrix d_concat = matmul_nt(d_out, wo_);
+    matrix dx{grad_out.time(), config_.model_dim};
+    for (std::size_t h = 0; h < config_.heads; ++h) {
+      const head_cache& hc = cache.heads[h];
+      const std::size_t time = hc.q.rows();
+      matrix d_head{time, config_.value_dim};
+      for (std::size_t t = 0; t < time; ++t)
+        for (std::size_t f = 0; f < config_.value_dim; ++f)
+          d_head(t, f) = d_concat(t, h * config_.value_dim + f);
+      // head_out = attn · v
+      matrix d_attn = matmul_nt(d_head, hc.v);
+      matrix d_v = matmul_tn(hc.attn, d_head);
+      // Softmax backward, row-wise: ds = a ∘ (da − <da, a>).
+      matrix d_scores{time, time};
+      for (std::size_t i = 0; i < time; ++i) {
+        double dot = 0;
+        for (std::size_t j = 0; j < time; ++j) dot += d_attn(i, j) * hc.attn(i, j);
+        for (std::size_t j = 0; j < time; ++j)
+          d_scores(i, j) = hc.attn(i, j) * (d_attn(i, j) - dot);
+      }
+      for (auto& s : d_scores.data()) s *= scale;
+      // scores = q·kᵀ
+      const matrix d_q = matmul(d_scores, hc.k);
+      const matrix d_k = matmul_tn(d_scores, hc.q);
+      matmul_tn_acc(cache.x, d_q, gwq_[h]);
+      matmul_tn_acc(cache.x, d_k, gwk_[h]);
+      matmul_tn_acc(cache.x, d_v, gwv_[h]);
+      matmul_nt_acc(d_q, wq_[h], dx);
+      matmul_nt_acc(d_k, wk_[h], dx);
+      matmul_nt_acc(d_v, wv_[h], dx);
+    }
+    grad_x.set_sample(b, dx);
+  }
+  return grad_x;
+}
+
+void multi_head_attention::collect_params(param_list& out) {
+  for (std::size_t h = 0; h < config_.heads; ++h) {
+    out.push_back({&wq_[h].data(), &gwq_[h].data()});
+    out.push_back({&wk_[h].data(), &gwk_[h].data()});
+    out.push_back({&wv_[h].data(), &gwv_[h].data()});
+  }
+  out.push_back({&wo_.data(), &gwo_.data()});
+}
+
+const matrix& multi_head_attention::attention_weights(std::size_t b,
+                                                      std::size_t h) const {
+  if (b >= caches_.size() || h >= config_.heads)
+    throw std::out_of_range{"attention_weights: no cached forward pass for index"};
+  return caches_[b].heads[h].attn;
+}
+
+void multi_head_attention::save(std::ostream& out) const {
+  const std::uint64_t heads = config_.heads;
+  const std::uint64_t dims[4] = {config_.model_dim, config_.key_dim,
+                                 config_.value_dim, config_.out_dim};
+  out.write(reinterpret_cast<const char*>(&heads), sizeof heads);
+  out.write(reinterpret_cast<const char*>(dims), sizeof dims);
+  for (std::size_t h = 0; h < config_.heads; ++h) {
+    save_matrix(out, wq_[h]);
+    save_matrix(out, wk_[h]);
+    save_matrix(out, wv_[h]);
+  }
+  save_matrix(out, wo_);
+}
+
+void multi_head_attention::load(std::istream& in) {
+  std::uint64_t heads = 0;
+  std::uint64_t dims[4] = {};
+  in.read(reinterpret_cast<char*>(&heads), sizeof heads);
+  in.read(reinterpret_cast<char*>(dims), sizeof dims);
+  if (!in) throw std::runtime_error{"attention::load: truncated stream"};
+  config_.heads = static_cast<std::size_t>(heads);
+  config_.model_dim = static_cast<std::size_t>(dims[0]);
+  config_.key_dim = static_cast<std::size_t>(dims[1]);
+  config_.value_dim = static_cast<std::size_t>(dims[2]);
+  config_.out_dim = static_cast<std::size_t>(dims[3]);
+  wq_.clear(); wk_.clear(); wv_.clear();
+  gwq_.clear(); gwk_.clear(); gwv_.clear();
+  for (std::size_t h = 0; h < config_.heads; ++h) {
+    wq_.push_back(load_matrix(in));
+    wk_.push_back(load_matrix(in));
+    wv_.push_back(load_matrix(in));
+    gwq_.emplace_back(config_.model_dim, config_.key_dim);
+    gwk_.emplace_back(config_.model_dim, config_.key_dim);
+    gwv_.emplace_back(config_.model_dim, config_.value_dim);
+  }
+  wo_ = load_matrix(in);
+  gwo_ = matrix{wo_.rows(), wo_.cols()};
+}
+
+}  // namespace dqn::nn

@@ -1,0 +1,51 @@
+// Fully-connected layer with optional activation, explicit forward/backward.
+#pragma once
+
+#include <iosfwd>
+
+#include "nn/matrix.hpp"
+#include "nn/params.hpp"
+#include "util/rng.hpp"
+
+namespace dqn::nn {
+
+enum class activation { identity, relu, tanh, sigmoid };
+
+[[nodiscard]] double apply_activation(activation act, double x) noexcept;
+// Derivative expressed in terms of the activation output y = act(x).
+[[nodiscard]] double activation_grad_from_output(activation act, double y) noexcept;
+
+class dense {
+ public:
+  dense() = default;
+  dense(std::size_t in_dim, std::size_t out_dim, activation act, util::rng& rng);
+
+  // x: (batch, in_dim) → (batch, out_dim). Caches x and y for backward.
+  [[nodiscard]] matrix forward(const matrix& x);
+  // Inference-only forward: no caches touched (usable concurrently from
+  // multiple threads on a const layer).
+  [[nodiscard]] matrix forward_const(const matrix& x) const;
+
+  // grad_y: (batch, out_dim) → returns grad_x; accumulates weight grads.
+  [[nodiscard]] matrix backward(const matrix& grad_y);
+
+  void collect_params(param_list& out);
+
+  [[nodiscard]] std::size_t in_dim() const noexcept { return w_.rows(); }
+  [[nodiscard]] std::size_t out_dim() const noexcept { return w_.cols(); }
+  [[nodiscard]] const matrix& weights() const noexcept { return w_; }
+
+  void save(std::ostream& out) const;
+  void load(std::istream& in);
+
+ private:
+  matrix w_;                     // (in, out)
+  std::vector<double> b_;        // (out)
+  matrix gw_;
+  std::vector<double> gb_;
+  activation act_ = activation::identity;
+  matrix last_x_;
+  matrix last_y_;
+};
+
+}  // namespace dqn::nn

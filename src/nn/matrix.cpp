@@ -1,0 +1,134 @@
+#include "nn/matrix.hpp"
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace dqn::nn {
+
+namespace {
+
+void check(bool ok, const char* what) {
+  if (!ok) throw std::invalid_argument{what};
+}
+
+}  // namespace
+
+// i-k-j loop order: the inner loop walks both b and out contiguously, which
+// keeps the naive kernel within a small factor of a tuned BLAS for the sizes
+// these models use.
+void matmul_acc(const matrix& a, const matrix& b, matrix& out) {
+  check(a.cols() == b.rows(), "matmul: inner dimensions differ");
+  check(out.rows() == a.rows() && out.cols() == b.cols(), "matmul: bad out shape");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    double* out_row = out.data().data() + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double aik = a(i, kk);
+      if (aik == 0.0) continue;
+      const double* b_row = b.data().data() + kk * n;
+      for (std::size_t j = 0; j < n; ++j) out_row[j] += aik * b_row[j];
+    }
+  }
+}
+
+matrix matmul(const matrix& a, const matrix& b) {
+  matrix out{a.rows(), b.cols()};
+  matmul_acc(a, b, out);
+  return out;
+}
+
+void matmul_tn_acc(const matrix& a, const matrix& b, matrix& out) {
+  check(a.rows() == b.rows(), "matmul_tn: leading dimensions differ");
+  check(out.rows() == a.cols() && out.cols() == b.cols(), "matmul_tn: bad out shape");
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const double* a_row = a.data().data() + kk * m;
+    const double* b_row = b.data().data() + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double aki = a_row[i];
+      if (aki == 0.0) continue;
+      double* out_row = out.data().data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) out_row[j] += aki * b_row[j];
+    }
+  }
+}
+
+matrix matmul_tn(const matrix& a, const matrix& b) {
+  matrix out{a.cols(), b.cols()};
+  matmul_tn_acc(a, b, out);
+  return out;
+}
+
+void matmul_nt_acc(const matrix& a, const matrix& b, matrix& out) {
+  check(a.cols() == b.cols(), "matmul_nt: trailing dimensions differ");
+  check(out.rows() == a.rows() && out.cols() == b.rows(), "matmul_nt: bad out shape");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* a_row = a.data().data() + i * k;
+    double* out_row = out.data().data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* b_row = b.data().data() + j * k;
+      double acc = 0;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += a_row[kk] * b_row[kk];
+      out_row[j] += acc;
+    }
+  }
+}
+
+matrix matmul_nt(const matrix& a, const matrix& b) {
+  matrix out{a.rows(), b.rows()};
+  matmul_nt_acc(a, b, out);
+  return out;
+}
+
+void add_inplace(matrix& a, const matrix& b) {
+  check(a.rows() == b.rows() && a.cols() == b.cols(), "add_inplace: shape mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] += b.data()[i];
+}
+
+void add_row_vector(matrix& m, std::span<const double> bias) {
+  check(bias.size() == m.cols(), "add_row_vector: width mismatch");
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    auto row = m.row(r);
+    for (std::size_t c = 0; c < m.cols(); ++c) row[c] += bias[c];
+  }
+}
+
+matrix hadamard(const matrix& a, const matrix& b) {
+  check(a.rows() == b.rows() && a.cols() == b.cols(), "hadamard: shape mismatch");
+  matrix out{a.rows(), a.cols()};
+  for (std::size_t i = 0; i < a.size(); ++i)
+    out.data()[i] = a.data()[i] * b.data()[i];
+  return out;
+}
+
+matrix transpose(const matrix& m) {
+  matrix out{m.cols(), m.rows()};
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c) out(c, r) = m(r, c);
+  return out;
+}
+
+void save_matrix(std::ostream& out, const matrix& m) {
+  const std::uint64_t rows = m.rows(), cols = m.cols();
+  out.write(reinterpret_cast<const char*>(&rows), sizeof rows);
+  out.write(reinterpret_cast<const char*>(&cols), sizeof cols);
+  out.write(reinterpret_cast<const char*>(m.data().data()),
+            static_cast<std::streamsize>(m.size() * sizeof(double)));
+}
+
+matrix load_matrix(std::istream& in) {
+  std::uint64_t rows = 0, cols = 0;
+  in.read(reinterpret_cast<char*>(&rows), sizeof rows);
+  in.read(reinterpret_cast<char*>(&cols), sizeof cols);
+  if (!in) throw std::runtime_error{"load_matrix: truncated header"};
+  matrix m{static_cast<std::size_t>(rows), static_cast<std::size_t>(cols)};
+  in.read(reinterpret_cast<char*>(m.data().data()),
+          static_cast<std::streamsize>(m.size() * sizeof(double)));
+  if (!in) throw std::runtime_error{"load_matrix: truncated payload"};
+  return m;
+}
+
+}  // namespace dqn::nn

@@ -1,0 +1,38 @@
+// Plain multi-layer perceptron regressor. Used by the RouteNet baseline's
+// readout, the MimicNet mimic heads, and as the PTM's fast architecture
+// variant (DESIGN.md §4).
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "nn/dense.hpp"
+#include "nn/matrix.hpp"
+#include "nn/params.hpp"
+#include "util/rng.hpp"
+
+namespace dqn::nn {
+
+class mlp {
+ public:
+  mlp() = default;
+  // layer_dims = {in, hidden..., out}; hidden layers use `act`, output is linear.
+  mlp(const std::vector<std::size_t>& layer_dims, activation act, util::rng& rng);
+
+  [[nodiscard]] matrix forward(const matrix& x);
+  [[nodiscard]] matrix forward_const(const matrix& x) const;
+  [[nodiscard]] matrix backward(const matrix& grad_y);
+
+  void collect_params(param_list& out);
+
+  [[nodiscard]] std::size_t in_dim() const;
+  [[nodiscard]] std::size_t out_dim() const;
+
+  void save(std::ostream& out) const;
+  void load(std::istream& in);
+
+ private:
+  std::vector<dense> layers_;
+};
+
+}  // namespace dqn::nn

@@ -1,0 +1,27 @@
+// Parameter registry: every trainable layer exposes its (value, gradient)
+// vector pairs through collect_params, and the optimizer walks the flat list.
+#pragma once
+
+#include <vector>
+
+namespace dqn::nn {
+
+struct param_ref {
+  std::vector<double>* value = nullptr;
+  std::vector<double>* grad = nullptr;
+};
+
+using param_list = std::vector<param_ref>;
+
+inline void zero_grads(const param_list& params) {
+  for (const auto& p : params)
+    for (auto& g : *p.grad) g = 0.0;
+}
+
+inline std::size_t param_count(const param_list& params) {
+  std::size_t n = 0;
+  for (const auto& p : params) n += p.value->size();
+  return n;
+}
+
+}  // namespace dqn::nn

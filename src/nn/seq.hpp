@@ -1,0 +1,83 @@
+// Contiguous (batch, time, feature) tensor for sequence models. The PTM
+// consumes sliding windows of `time_steps` packets (Table 1: 21) and predicts
+// the sojourn time of the window's final packet.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace dqn::nn {
+
+class seq_batch {
+ public:
+  seq_batch() = default;
+  seq_batch(std::size_t batch, std::size_t time, std::size_t features)
+      : batch_{batch},
+        time_{time},
+        features_{features},
+        data_(batch * time * features, 0.0) {}
+
+  [[nodiscard]] std::size_t batch() const noexcept { return batch_; }
+  [[nodiscard]] std::size_t time() const noexcept { return time_; }
+  [[nodiscard]] std::size_t features() const noexcept { return features_; }
+
+  [[nodiscard]] double& at(std::size_t b, std::size_t t, std::size_t f) noexcept {
+    return data_[(b * time_ + t) * features_ + f];
+  }
+  [[nodiscard]] double at(std::size_t b, std::size_t t, std::size_t f) const noexcept {
+    return data_[(b * time_ + t) * features_ + f];
+  }
+
+  [[nodiscard]] std::vector<double>& data() noexcept { return data_; }
+  [[nodiscard]] const std::vector<double>& data() const noexcept { return data_; }
+
+  // Copy of the cross-batch slice at time t, shaped (batch, features).
+  [[nodiscard]] matrix time_slice(std::size_t t) const {
+    if (t >= time_) throw std::out_of_range{"seq_batch::time_slice"};
+    matrix m{batch_, features_};
+    for (std::size_t b = 0; b < batch_; ++b)
+      for (std::size_t f = 0; f < features_; ++f) m(b, f) = at(b, t, f);
+    return m;
+  }
+
+  void set_time_slice(std::size_t t, const matrix& m) {
+    if (t >= time_ || m.rows() != batch_ || m.cols() != features_)
+      throw std::invalid_argument{"seq_batch::set_time_slice: shape mismatch"};
+    for (std::size_t b = 0; b < batch_; ++b)
+      for (std::size_t f = 0; f < features_; ++f) at(b, t, f) = m(b, f);
+  }
+
+  void add_time_slice(std::size_t t, const matrix& m) {
+    if (t >= time_ || m.rows() != batch_ || m.cols() != features_)
+      throw std::invalid_argument{"seq_batch::add_time_slice: shape mismatch"};
+    for (std::size_t b = 0; b < batch_; ++b)
+      for (std::size_t f = 0; f < features_; ++f) at(b, t, f) += m(b, f);
+  }
+
+  // Copy of sample b, shaped (time, features).
+  [[nodiscard]] matrix sample(std::size_t b) const {
+    if (b >= batch_) throw std::out_of_range{"seq_batch::sample"};
+    matrix m{time_, features_};
+    for (std::size_t t = 0; t < time_; ++t)
+      for (std::size_t f = 0; f < features_; ++f) m(t, f) = at(b, t, f);
+    return m;
+  }
+
+  void set_sample(std::size_t b, const matrix& m) {
+    if (b >= batch_ || m.rows() != time_ || m.cols() != features_)
+      throw std::invalid_argument{"seq_batch::set_sample: shape mismatch"};
+    for (std::size_t t = 0; t < time_; ++t)
+      for (std::size_t f = 0; f < features_; ++f) at(b, t, f) = m(t, f);
+  }
+
+ private:
+  std::size_t batch_ = 0;
+  std::size_t time_ = 0;
+  std::size_t features_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace dqn::nn

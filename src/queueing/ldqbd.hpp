@@ -1,0 +1,75 @@
+// State-aware queueing model of multi-queue packet schedulers (Appendix B).
+//
+// A K-class scheduler fed by a MAP-modulated aggregate flow is reformulated
+// as a level-dependent quasi-birth-death (LDQBD) process whose level is the
+// total queue length l = n·1. We build the block-tridiagonal generator
+// exactly as Appendix B.2 specifies and solve the stationary distribution of
+// the level-truncated chain by backward block reduction. The per-class
+// queue-length marginals reproduce Figure 14; the exponential growth of the
+// state space (d_l = M·C(l+K-1, K-1)) reproduces Figure 15.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "queueing/markovian_arrival.hpp"
+
+namespace dqn::queueing {
+
+enum class scheduler_discipline : std::uint8_t { wfq, sp };
+
+struct scheduler_model_config {
+  std::vector<double> class_probs;  // p_k, must sum to 1
+  double service_rate = 0;          // mu, packets per second
+  scheduler_discipline discipline = scheduler_discipline::wfq;
+  std::vector<double> weights;      // alpha_k for WFQ (ignored for SP)
+  std::size_t truncation_level = 20;
+};
+
+class ldqbd_scheduler_model {
+ public:
+  ldqbd_scheduler_model(map_process arrivals, scheduler_model_config config);
+
+  // Solve the stationary distribution (expensive; deliberately so — this is
+  // the cost DeepQueueNet's PTM replaces). Must be called before queries.
+  void solve();
+
+  [[nodiscard]] bool solved() const noexcept { return !phi_.empty(); }
+
+  // P(total queue length == l) for l in [0, truncation_level].
+  [[nodiscard]] std::vector<double> level_distribution() const;
+
+  // P(queue length of class k == q).
+  [[nodiscard]] std::vector<double> class_queue_length_distribution(
+      std::size_t class_index) const;
+
+  [[nodiscard]] double mean_queue_length(std::size_t class_index) const;
+
+  // Mean sojourn of class k via Little's law (lambda_k = p_k * lambda).
+  [[nodiscard]] double mean_sojourn(std::size_t class_index) const;
+
+  // Total number of CTMC states in the truncated model (Figure 15's cost).
+  [[nodiscard]] std::size_t state_count() const;
+
+  [[nodiscard]] std::size_t classes() const noexcept { return config_.class_probs.size(); }
+
+  // Actual service rate allocated to class k in queue state n (Appendix
+  // B.1.2). Exposed for tests.
+  [[nodiscard]] double service_share(std::span<const std::size_t> n,
+                                     std::size_t class_index) const;
+
+ private:
+  // All compositions of `level` into `classes()` parts, descending
+  // lexicographic order (the paper's "level-ascending-state-descending").
+  [[nodiscard]] std::vector<std::vector<std::size_t>> compositions(
+      std::size_t level) const;
+
+  [[nodiscard]] matrix build_block(std::size_t from_level, std::size_t to_level) const;
+
+  map_process arrivals_;
+  scheduler_model_config config_;
+  std::vector<std::vector<std::vector<std::size_t>>> comps_;  // per level
+  std::vector<std::vector<double>> phi_;  // stationary vector per level
+};
+
+}  // namespace dqn::queueing

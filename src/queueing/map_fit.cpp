@@ -1,0 +1,370 @@
+#include "queueing/map_fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dqn::queueing {
+
+iat_statistics compute_iat_statistics(std::span<const double> iats) {
+  if (iats.size() < 3)
+    throw std::invalid_argument{"compute_iat_statistics: need at least 3 IATs"};
+  const auto n = static_cast<double>(iats.size());
+  double mean = 0;
+  for (double x : iats) mean += x;
+  mean /= n;
+  double var = 0;
+  for (double x : iats) var += (x - mean) * (x - mean);
+  var /= n;
+  double lag_cov = 0;
+  for (std::size_t i = 0; i + 1 < iats.size(); ++i)
+    lag_cov += (iats[i] - mean) * (iats[i + 1] - mean);
+  lag_cov /= (n - 1);
+  iat_statistics stats;
+  stats.mean = mean;
+  stats.scv = var > 0 && mean > 0 ? var / (mean * mean) : 0;
+  stats.lag1 = var > 0 ? lag_cov / var : 0;
+  std::vector<double> sorted(iats.begin(), iats.end());
+  std::sort(sorted.begin(), sorted.end());
+  stats.q10 = sorted[static_cast<std::size_t>(0.10 * (sorted.size() - 1))];
+  stats.q50 = sorted[static_cast<std::size_t>(0.50 * (sorted.size() - 1))];
+  stats.q90 = sorted[static_cast<std::size_t>(0.90 * (sorted.size() - 1))];
+  return stats;
+}
+
+namespace {
+
+enum class map2_family { mmpp, chain, full };
+
+// MMPP parameter vector: log(sigma1), log(sigma2), log(r1), log(r2).
+// Chain parameter vector: log(a), log(b), log(c), logit(q).
+// Full MAP(2) vector (all 2M^2 - M = 6 degrees of freedom): log exit rates
+// R1, R2, plus two 3-way softmaxes splitting each state's exit rate among
+// {phase change, arrival w/o switch, arrival w/ switch}.
+map_process decode(map2_family family, std::span<const double> params) {
+  if (family == map2_family::mmpp)
+    return map_process::mmpp2(std::exp(params[0]), std::exp(params[1]),
+                              std::exp(params[2]), std::exp(params[3]));
+  if (family == map2_family::chain) {
+    const double q = 0.05 + 0.95 / (1.0 + std::exp(-params[3]));
+    return map_process::chain2(std::exp(params[0]), std::exp(params[1]),
+                               std::exp(params[2]), q);
+  }
+  const double r1 = std::exp(params[0]);
+  const double r2 = std::exp(params[1]);
+  auto softmax3 = [](double l1, double l2) {
+    const double m = std::max({l1, l2, 0.0});
+    const double e1 = std::exp(l1 - m), e2 = std::exp(l2 - m), e3 = std::exp(-m);
+    const double total = e1 + e2 + e3;
+    return std::array<double, 3>{e1 / total, e2 / total, e3 / total};
+  };
+  const auto s1 = softmax3(params[2], params[3]);
+  const auto s2 = softmax3(params[4], params[5]);
+  nn::matrix d0{2, 2};
+  nn::matrix d1{2, 2};
+  d0(0, 0) = -r1;
+  d0(0, 1) = r1 * s1[0];        // phase change 1 -> 2
+  d1(0, 0) = r1 * s1[1];        // arrival, stay in 1
+  d1(0, 1) = r1 * s1[2];        // arrival, switch to 2
+  d0(1, 1) = -r2;
+  d0(1, 0) = r2 * s2[0];
+  d1(1, 1) = r2 * s2[1];
+  d1(1, 0) = r2 * s2[2];
+  return map_process{std::move(d0), std::move(d1)};
+}
+
+double objective(map2_family family, std::span<const double> params,
+                 const iat_statistics& target) {
+  // Guard the search domain: rates spanning more than ~12 orders of
+  // magnitude produce numerically useless models.
+  for (double p : params)
+    if (!std::isfinite(p) || p < -30 || p > 30) return 1e9;
+  try {
+    const map_process candidate = decode(family, params);
+    const double mean = candidate.iat_mean();
+    const double scv = candidate.iat_scv();
+    const double lag1 = candidate.iat_lag1_correlation();
+    const double e_mean = (mean - target.mean) / target.mean;
+    const double e_scv =
+        (scv - target.scv) / std::max(target.scv, 0.1);
+    const double e_lag = lag1 - target.lag1;
+    double value = e_mean * e_mean + e_scv * e_scv + 4.0 * e_lag * e_lag;
+    // CDF-quantile terms: pull the model CDF onto the empirical one.
+    if (target.q10 > 0) {
+      const double e_q10 = candidate.iat_cdf(target.q10) - 0.10;
+      const double e_q50 = candidate.iat_cdf(target.q50) - 0.50;
+      const double e_q90 = candidate.iat_cdf(target.q90) - 0.90;
+      value += 2.0 * (e_q10 * e_q10 + e_q50 * e_q50 + e_q90 * e_q90);
+    }
+    return value;
+  } catch (const std::exception&) {
+    return 1e9;
+  }
+}
+
+// Minimal Nelder-Mead for the 4-parameter fit.
+std::vector<double> nelder_mead(std::vector<std::vector<double>> simplex,
+                                map2_family family, const iat_statistics& target,
+                                int max_iters) {
+  const std::size_t dim = simplex.front().size();
+  std::vector<double> values(simplex.size());
+  for (std::size_t i = 0; i < simplex.size(); ++i)
+    values[i] = objective(family, simplex[i], target);
+
+  for (int iter = 0; iter < max_iters; ++iter) {
+    // Order the simplex.
+    std::vector<std::size_t> order(simplex.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+    const std::size_t best = order.front(), worst = order.back();
+    if (values[best] < 1e-12) break;
+
+    // Centroid of all but the worst.
+    std::vector<double> centroid(dim, 0.0);
+    for (std::size_t i : order)
+      if (i != worst)
+        for (std::size_t d = 0; d < dim; ++d) centroid[d] += simplex[i][d];
+    for (auto& c : centroid) c /= static_cast<double>(simplex.size() - 1);
+
+    auto blend = [&](double alpha) {
+      std::vector<double> p(dim);
+      for (std::size_t d = 0; d < dim; ++d)
+        p[d] = centroid[d] + alpha * (centroid[d] - simplex[worst][d]);
+      return p;
+    };
+
+    const auto reflected = blend(1.0);
+    const double f_reflected = objective(family, reflected, target);
+    if (f_reflected < values[best]) {
+      const auto expanded = blend(2.0);
+      const double f_expanded = objective(family, expanded, target);
+      if (f_expanded < f_reflected) {
+        simplex[worst] = expanded;
+        values[worst] = f_expanded;
+      } else {
+        simplex[worst] = reflected;
+        values[worst] = f_reflected;
+      }
+    } else if (f_reflected < values[order[order.size() - 2]]) {
+      simplex[worst] = reflected;
+      values[worst] = f_reflected;
+    } else {
+      const auto contracted = blend(-0.5);
+      const double f_contracted = objective(family, contracted, target);
+      if (f_contracted < values[worst]) {
+        simplex[worst] = contracted;
+        values[worst] = f_contracted;
+      } else {
+        // Shrink towards the best vertex.
+        for (std::size_t i : order) {
+          if (i == best) continue;
+          for (std::size_t d = 0; d < dim; ++d)
+            simplex[i][d] = simplex[best][d] + 0.5 * (simplex[i][d] - simplex[best][d]);
+          values[i] = objective(family, simplex[i], target);
+        }
+      }
+    }
+  }
+  const auto best_it = std::min_element(values.begin(), values.end());
+  return simplex[static_cast<std::size_t>(best_it - values.begin())];
+}
+
+}  // namespace
+
+map_fit_result fit_mmpp2(std::span<const double> iats, std::uint64_t seed) {
+  const iat_statistics target = compute_iat_statistics(iats);
+  util::rng rng{seed};
+  const double base_rate = 1.0 / target.mean;
+
+  std::vector<double> best_params;
+  map2_family best_family = map2_family::mmpp;
+  double best_value = 1e18;
+  auto polish = [&](map2_family family, std::vector<double> x0) {
+    std::vector<std::vector<double>> simplex{x0};
+    for (std::size_t d = 0; d < x0.size(); ++d) {
+      auto v = x0;
+      v[d] += 0.7;
+      simplex.push_back(v);
+    }
+    const auto polished = nelder_mead(std::move(simplex), family, target, 400);
+    const double value = objective(family, polished, target);
+    if (value < best_value) {
+      best_value = value;
+      best_params = polished;
+      best_family = family;
+    }
+  };
+
+  // Multi-start over both MAP(2) families: MMPP covers bursty traffic
+  // (SCV >= 1), the Markov-switched chain covers smooth/quasi-periodic
+  // traffic (SCV < 1). Nelder-Mead polishes each start.
+  for (int start = 0; start < 6; ++start) {
+    const double burst = std::exp(rng.uniform(0.5, 3.0));     // r1/r2 ratio
+    const double switching = std::exp(rng.uniform(-4.0, 0.0)); // sigma vs rate
+    polish(map2_family::mmpp,
+           {std::log(base_rate * switching), std::log(base_rate * switching * 0.5),
+            std::log(base_rate * burst), std::log(base_rate / burst)});
+  }
+  for (int start = 0; start < 6; ++start) {
+    const double spread = std::exp(rng.uniform(-0.5, 1.5));
+    polish(map2_family::chain,
+           {std::log(base_rate * rng.uniform(0.05, 0.8)),
+            std::log(2 * base_rate * spread), std::log(2 * base_rate / spread),
+            rng.uniform(-2.0, 4.0)});
+  }
+  for (int start = 0; start < 8; ++start) {
+    polish(map2_family::full,
+           {std::log(base_rate * std::exp(rng.uniform(-1.5, 2.5))),
+            std::log(base_rate * std::exp(rng.uniform(-1.5, 2.5))),
+            rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0),
+            rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0)});
+  }
+  if (best_params.empty()) throw std::runtime_error{"fit_mmpp2: all starts failed"};
+
+  map_process fitted = decode(best_family, best_params);
+  map_fit_result result{std::move(fitted), target, {}, best_value};
+  result.achieved.mean = result.fitted.iat_mean();
+  result.achieved.scv = result.fitted.iat_scv();
+  result.achieved.lag1 = result.fitted.iat_lag1_correlation();
+  return result;
+}
+
+namespace {
+
+// MAP(4) = superposition of two full MAP(2)s: 12 parameters (6 each).
+map_process decode_map4(std::span<const double> params) {
+  return map_process::superpose(decode(map2_family::full, params.subspan(0, 6)),
+                                decode(map2_family::full, params.subspan(6, 6)));
+}
+
+double objective_map4(std::span<const double> params, const iat_statistics& target) {
+  for (double p : params)
+    if (!std::isfinite(p) || p < -30 || p > 30) return 1e9;
+  try {
+    const map_process candidate = decode_map4(params);
+    iat_statistics achieved;
+    achieved.mean = candidate.iat_mean();
+    achieved.scv = candidate.iat_scv();
+    achieved.lag1 = candidate.iat_lag1_correlation();
+    const double e_mean = (achieved.mean - target.mean) / target.mean;
+    const double e_scv =
+        (achieved.scv - target.scv) / std::max(target.scv, 0.1);
+    const double e_lag = achieved.lag1 - target.lag1;
+    double value = e_mean * e_mean + e_scv * e_scv + 4.0 * e_lag * e_lag;
+    if (target.q10 > 0) {
+      const double e_q10 = candidate.iat_cdf(target.q10) - 0.10;
+      const double e_q50 = candidate.iat_cdf(target.q50) - 0.50;
+      const double e_q90 = candidate.iat_cdf(target.q90) - 0.90;
+      value += 2.0 * (e_q10 * e_q10 + e_q50 * e_q50 + e_q90 * e_q90);
+    }
+    return value;
+  } catch (const std::exception&) {
+    return 1e9;
+  }
+}
+
+std::vector<double> nelder_mead_map4(std::vector<std::vector<double>> simplex,
+                                     const iat_statistics& target, int max_iters) {
+  // Same Nelder-Mead as the MAP(2) fit, over the 12-parameter objective.
+  const std::size_t dim = simplex.front().size();
+  std::vector<double> values(simplex.size());
+  for (std::size_t i = 0; i < simplex.size(); ++i)
+    values[i] = objective_map4(simplex[i], target);
+  for (int iter = 0; iter < max_iters; ++iter) {
+    std::vector<std::size_t> order(simplex.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+    const std::size_t best = order.front(), worst = order.back();
+    if (values[best] < 1e-12) break;
+    std::vector<double> centroid(dim, 0.0);
+    for (std::size_t i : order)
+      if (i != worst)
+        for (std::size_t d = 0; d < dim; ++d) centroid[d] += simplex[i][d];
+    for (auto& c : centroid) c /= static_cast<double>(simplex.size() - 1);
+    auto blend = [&](double alpha) {
+      std::vector<double> p(dim);
+      for (std::size_t d = 0; d < dim; ++d)
+        p[d] = centroid[d] + alpha * (centroid[d] - simplex[worst][d]);
+      return p;
+    };
+    const auto reflected = blend(1.0);
+    const double f_reflected = objective_map4(reflected, target);
+    if (f_reflected < values[best]) {
+      const auto expanded = blend(2.0);
+      const double f_expanded = objective_map4(expanded, target);
+      if (f_expanded < f_reflected) {
+        simplex[worst] = expanded;
+        values[worst] = f_expanded;
+      } else {
+        simplex[worst] = reflected;
+        values[worst] = f_reflected;
+      }
+    } else if (f_reflected < values[order[order.size() - 2]]) {
+      simplex[worst] = reflected;
+      values[worst] = f_reflected;
+    } else {
+      const auto contracted = blend(-0.5);
+      const double f_contracted = objective_map4(contracted, target);
+      if (f_contracted < values[worst]) {
+        simplex[worst] = contracted;
+        values[worst] = f_contracted;
+      } else {
+        for (std::size_t i : order) {
+          if (i == best) continue;
+          for (std::size_t d = 0; d < dim; ++d)
+            simplex[i][d] =
+                simplex[best][d] + 0.5 * (simplex[i][d] - simplex[best][d]);
+          values[i] = objective_map4(simplex[i], target);
+        }
+      }
+    }
+  }
+  const auto best_it = std::min_element(values.begin(), values.end());
+  return simplex[static_cast<std::size_t>(best_it - values.begin())];
+}
+
+}  // namespace
+
+map_fit_result fit_map4(std::span<const double> iats, std::uint64_t seed) {
+  // Warm start from the best MAP(2): superpose a slowed copy of it with a
+  // second component that carries the other half of the rate, then polish
+  // all 12 parameters jointly.
+  const iat_statistics target = compute_iat_statistics(iats);
+  util::rng rng{util::derive_seed(seed, 4)};
+  const double base_rate = 1.0 / target.mean;
+
+  std::vector<double> best_params;
+  double best_value = 1e18;
+  for (int start = 0; start < 8; ++start) {
+    std::vector<double> x0;
+    for (int component = 0; component < 2; ++component) {
+      // Each component carries roughly half the rate.
+      x0.push_back(std::log(0.5 * base_rate * std::exp(rng.uniform(-1.5, 2.5))));
+      x0.push_back(std::log(0.5 * base_rate * std::exp(rng.uniform(-1.5, 2.5))));
+      for (int l = 0; l < 4; ++l) x0.push_back(rng.uniform(-2.0, 2.0));
+    }
+    std::vector<std::vector<double>> simplex{x0};
+    for (std::size_t d = 0; d < x0.size(); ++d) {
+      auto v = x0;
+      v[d] += 0.7;
+      simplex.push_back(v);
+    }
+    const auto polished = nelder_mead_map4(std::move(simplex), target, 600);
+    const double value = objective_map4(polished, target);
+    if (value < best_value) {
+      best_value = value;
+      best_params = polished;
+    }
+  }
+  if (best_params.empty()) throw std::runtime_error{"fit_map4: all starts failed"};
+  map_process fitted = decode_map4(best_params);
+  map_fit_result result{std::move(fitted), target, {}, best_value};
+  result.achieved.mean = result.fitted.iat_mean();
+  result.achieved.scv = result.fitted.iat_scv();
+  result.achieved.lag1 = result.fitted.iat_lag1_correlation();
+  return result;
+}
+
+}  // namespace dqn::queueing

@@ -1,0 +1,51 @@
+// Fitting a MAP to observed inter-arrival times (Appendix A.1). We implement
+// a moment-matching fit of a 2-state MMPP: mean, squared coefficient of
+// variation, and lag-1 autocorrelation of the sample are matched by a
+// Nelder-Mead search over the four MMPP parameters in log space. This is the
+// "moderate dimension" regime the paper recommends (Figure 12): accurate
+// enough to capture burstiness, cheap enough to avoid overfitting.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "queueing/markovian_arrival.hpp"
+#include "util/rng.hpp"
+
+namespace dqn::queueing {
+
+struct iat_statistics {
+  double mean = 0;
+  double scv = 0;   // squared coefficient of variation
+  double lag1 = 0;  // lag-1 autocorrelation
+  // Sample quantiles (10/50/90%), used by the fit objective so the model CDF
+  // tracks the empirical CDF (Figure 12), not just the moments. Zero when
+  // unavailable.
+  double q10 = 0;
+  double q50 = 0;
+  double q90 = 0;
+};
+
+[[nodiscard]] iat_statistics compute_iat_statistics(std::span<const double> iats);
+
+struct map_fit_result {
+  map_process fitted;
+  iat_statistics target;   // sample statistics
+  iat_statistics achieved; // fitted model's analytic statistics
+  double objective = 0;    // final weighted moment error
+};
+
+// Fit a MAP(2) to the sample, searching three 2-state families (MMPP,
+// Markov-switched hypoexponential chain, and the full 6-parameter MAP(2)).
+// Deterministic given `seed` (used for the multi-start initialisation).
+[[nodiscard]] map_fit_result fit_mmpp2(std::span<const double> iats,
+                                       std::uint64_t seed = 1);
+
+// Fit a MAP(4) built as the superposition of two MAP(2)s (Kronecker sums) —
+// the "higher dimensional MAP improves the fitting accuracy" step of
+// Appendix A.1. Strictly contains the MAP(2) families above, so the fit is
+// never worse than fit_mmpp2's on the same objective.
+[[nodiscard]] map_fit_result fit_map4(std::span<const double> iats,
+                                      std::uint64_t seed = 1);
+
+}  // namespace dqn::queueing

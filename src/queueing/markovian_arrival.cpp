@@ -1,0 +1,246 @@
+#include "queueing/markovian_arrival.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dqn::queueing {
+
+namespace {
+
+double dot_ones(std::span<const double> v) {
+  double acc = 0;
+  for (double x : v) acc += x;
+  return acc;
+}
+
+}  // namespace
+
+map_process::map_process(matrix d0, matrix d1) : d0_{std::move(d0)}, d1_{std::move(d1)} {
+  const std::size_t m = d0_.rows();
+  if (m == 0 || d0_.cols() != m || d1_.rows() != m || d1_.cols() != m)
+    throw std::invalid_argument{"map_process: D0/D1 must be square and same size"};
+  constexpr double tol = 1e-9;
+  for (std::size_t i = 0; i < m; ++i) {
+    double row_sum = 0;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (i != j && d0_(i, j) < -tol)
+        throw std::invalid_argument{"map_process: off-diagonal D0 must be >= 0"};
+      if (d1_(i, j) < -tol)
+        throw std::invalid_argument{"map_process: D1 must be non-negative"};
+      row_sum += d0_(i, j) + d1_(i, j);
+    }
+    if (d0_(i, i) >= 0)
+      throw std::invalid_argument{"map_process: diagonal of D0 must be negative"};
+    if (std::abs(row_sum) > tol * std::max(1.0, std::abs(d0_(i, i))))
+      throw std::invalid_argument{"map_process: rows of D0 + D1 must sum to zero"};
+  }
+}
+
+std::vector<double> map_process::stationary() const {
+  matrix q = d0_;
+  nn::add_inplace(q, d1_);
+  return ctmc_stationary(q);
+}
+
+std::vector<double> map_process::embedded_stationary() const {
+  // pi_a = pi D1 / lambda is the stationary vector of P = (-D0)^{-1} D1.
+  const auto pi = stationary();
+  const std::size_t m = states();
+  std::vector<double> pia(m, 0.0);
+  double lambda = 0;
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t i = 0; i < m; ++i) pia[j] += pi[i] * d1_(i, j);
+    lambda += pia[j];
+  }
+  for (auto& x : pia) x /= lambda;
+  return pia;
+}
+
+double map_process::mean_rate() const {
+  const auto pi = stationary();
+  double lambda = 0;
+  for (std::size_t i = 0; i < states(); ++i)
+    for (std::size_t j = 0; j < states(); ++j) lambda += pi[i] * d1_(i, j);
+  return lambda;
+}
+
+double map_process::iat_moment(int k) const {
+  if (k < 1) throw std::invalid_argument{"iat_moment: k must be >= 1"};
+  const auto pia = embedded_stationary();
+  const std::size_t m = states();
+  matrix neg_d0 = d0_;
+  for (auto& x : neg_d0.data()) x = -x;
+  const matrix inv = inverse(neg_d0);
+  // v = pi_a (-D0)^{-k}
+  std::vector<double> v = pia;
+  double factorial = 1;
+  for (int step = 1; step <= k; ++step) {
+    factorial *= step;
+    std::vector<double> next(m, 0.0);
+    for (std::size_t j = 0; j < m; ++j)
+      for (std::size_t i = 0; i < m; ++i) next[j] += v[i] * inv(i, j);
+    v = std::move(next);
+  }
+  return factorial * dot_ones(v);
+}
+
+double map_process::iat_scv() const {
+  const double m1 = iat_moment(1);
+  const double m2 = iat_moment(2);
+  return (m2 - m1 * m1) / (m1 * m1);
+}
+
+double map_process::iat_lag1_correlation() const {
+  // E[X0 X1] = pi_a (-D0)^{-1} P (-D0)^{-1} 1 with P = (-D0)^{-1} D1.
+  const auto pia = embedded_stationary();
+  const std::size_t m = states();
+  matrix neg_d0 = d0_;
+  for (auto& x : neg_d0.data()) x = -x;
+  const matrix inv = inverse(neg_d0);
+  const matrix p = nn::matmul(inv, d1_);
+  const matrix mid = nn::matmul(nn::matmul(inv, p), inv);
+  double joint = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    double row = 0;
+    for (std::size_t j = 0; j < m; ++j) row += mid(i, j);
+    joint += pia[i] * row;
+  }
+  const double m1 = iat_moment(1);
+  const double m2 = iat_moment(2);
+  const double var = m2 - m1 * m1;
+  if (var <= 0) return 0;
+  return (joint - m1 * m1) / var;
+}
+
+double map_process::iat_cdf(double t) const {
+  if (t < 0) return 0;
+  const auto pia = embedded_stationary();
+  matrix d0t = d0_;
+  for (auto& x : d0t.data()) x *= t;
+  const matrix e = expm(d0t);
+  double survival = 0;
+  for (std::size_t i = 0; i < states(); ++i) {
+    double row = 0;
+    for (std::size_t j = 0; j < states(); ++j) row += e(i, j);
+    survival += pia[i] * row;
+  }
+  return 1.0 - survival;
+}
+
+map_process map_process::scaled(double factor) const {
+  if (factor <= 0) throw std::invalid_argument{"map_process::scaled: factor must be > 0"};
+  matrix d0 = d0_;
+  matrix d1 = d1_;
+  for (auto& x : d0.data()) x *= factor;
+  for (auto& x : d1.data()) x *= factor;
+  return map_process{std::move(d0), std::move(d1)};
+}
+
+map_process map_process::thinned(double p) const {
+  if (p <= 0 || p > 1)
+    throw std::invalid_argument{"map_process::thinned: p must be in (0, 1]"};
+  matrix d0 = d0_;
+  matrix d1 = d1_;
+  for (std::size_t i = 0; i < d1.size(); ++i) {
+    d0.data()[i] += (1 - p) * d1.data()[i];
+    d1.data()[i] *= p;
+  }
+  return map_process{std::move(d0), std::move(d1)};
+}
+
+double map_process::sample_iat(std::size_t& state, util::rng& rng) const {
+  const std::size_t m = states();
+  if (state >= m) throw std::invalid_argument{"sample_iat: bad state"};
+  double elapsed = 0;
+  for (;;) {
+    const double exit_rate = -d0_(state, state);
+    elapsed += rng.exponential(exit_rate);
+    // Choose the transition proportionally to its rate.
+    double u = rng.uniform() * exit_rate;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (j != state) {
+        u -= d0_(state, j);
+        if (u < 0) {
+          state = j;
+          goto no_arrival;
+        }
+      }
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      u -= d1_(state, j);
+      if (u < 0) {
+        state = j;
+        return elapsed;
+      }
+    }
+    // Rounding fell off the end: treat as an arrival staying in state.
+    return elapsed;
+  no_arrival:;
+  }
+}
+
+std::size_t map_process::sample_initial_state(util::rng& rng) const {
+  const auto pia = embedded_stationary();
+  return rng.discrete(pia);
+}
+
+map_process map_process::poisson(double lambda) {
+  if (lambda <= 0) throw std::invalid_argument{"map_process::poisson: lambda > 0"};
+  matrix d0{1, 1};
+  matrix d1{1, 1};
+  d0(0, 0) = -lambda;
+  d1(0, 0) = lambda;
+  return map_process{std::move(d0), std::move(d1)};
+}
+
+map_process map_process::mmpp2(double sigma1, double sigma2, double r1, double r2) {
+  if (sigma1 <= 0 || sigma2 <= 0 || r1 < 0 || r2 < 0 || (r1 == 0 && r2 == 0))
+    throw std::invalid_argument{"map_process::mmpp2: invalid parameters"};
+  matrix d0{2, 2};
+  matrix d1{2, 2};
+  d0(0, 0) = -(sigma1 + r1);
+  d0(0, 1) = sigma1;
+  d0(1, 0) = sigma2;
+  d0(1, 1) = -(sigma2 + r2);
+  d1(0, 0) = r1;
+  d1(1, 1) = r2;
+  return map_process{std::move(d0), std::move(d1)};
+}
+
+map_process map_process::chain2(double a, double b, double c, double q) {
+  if (a < 0 || b <= 0 || c <= 0 || q < 0 || q > 1)
+    throw std::invalid_argument{"map_process::chain2: invalid parameters"};
+  matrix d0{2, 2};
+  matrix d1{2, 2};
+  d0(0, 0) = -(a + b);
+  d0(0, 1) = b;
+  d0(1, 0) = 0;
+  d0(1, 1) = -c;
+  d1(0, 0) = a;
+  d1(0, 1) = 0;
+  d1(1, 0) = q * c;
+  d1(1, 1) = (1 - q) * c;
+  return map_process{std::move(d0), std::move(d1)};
+}
+
+map_process map_process::superpose(const map_process& a, const map_process& b) {
+  const auto ia = identity(a.states());
+  const auto ib = identity(b.states());
+  matrix d0 = kron(a.d0(), ib);
+  nn::add_inplace(d0, kron(ia, b.d0()));
+  matrix d1 = kron(a.d1(), ib);
+  nn::add_inplace(d1, kron(ia, b.d1()));
+  return map_process{std::move(d0), std::move(d1)};
+}
+
+map_process map_process::paper_example() {
+  matrix d0{2, 2};
+  matrix d1{2, 2};
+  d0(0, 0) = -12000; d0(0, 1) = 0;
+  d0(1, 0) = 0;      d0(1, 1) = -3000;
+  d1(0, 0) = 3600;   d1(0, 1) = 8400;
+  d1(1, 0) = 2100;   d1(1, 1) = 900;
+  return map_process{std::move(d0), std::move(d1)};
+}
+
+}  // namespace dqn::queueing

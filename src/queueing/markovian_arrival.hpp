@@ -1,0 +1,96 @@
+// Markovian arrival process (MAP): the paper's workhorse traffic model
+// (Appendix A). A MAP is a CTMC with rate matrices D0 (no arrival) and D1
+// (one arrival); the generator is D0 + D1. This class provides validation,
+// stationary analysis, analytic IAT moments/CDF, load scaling, per-class
+// thinning (Appendix B.1.1), and exact simulation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "queueing/linalg.hpp"
+#include "util/rng.hpp"
+
+namespace dqn::queueing {
+
+class map_process {
+ public:
+  // Throws if the pair is not a valid MAP (shape, signs, or row sums).
+  map_process(matrix d0, matrix d1);
+
+  [[nodiscard]] const matrix& d0() const noexcept { return d0_; }
+  [[nodiscard]] const matrix& d1() const noexcept { return d1_; }
+  [[nodiscard]] std::size_t states() const noexcept { return d0_.rows(); }
+
+  // Stationary vector pi of the CTMC: pi (D0 + D1) = 0.
+  [[nodiscard]] std::vector<double> stationary() const;
+
+  // Stationary vector pi_a of the chain embedded at arrival epochs:
+  // pi_a (-D0)^{-1} D1 = pi_a (Appendix A.1).
+  [[nodiscard]] std::vector<double> embedded_stationary() const;
+
+  // Mean arrival rate lambda = pi D1 1.
+  [[nodiscard]] double mean_rate() const;
+
+  // k-th raw moment of the stationary inter-arrival time:
+  // E[X^k] = k! * pi_a (-D0)^{-k} 1.
+  [[nodiscard]] double iat_moment(int k) const;
+
+  [[nodiscard]] double iat_mean() const { return iat_moment(1); }
+  // Squared coefficient of variation of the IAT.
+  [[nodiscard]] double iat_scv() const;
+  // Lag-1 autocorrelation of consecutive IATs.
+  [[nodiscard]] double iat_lag1_correlation() const;
+
+  // CDF of the stationary IAT: F(t) = 1 - pi_a e^{D0 t} 1 (Appendix A.1).
+  [[nodiscard]] double iat_cdf(double t) const;
+
+  // Return a copy with all rates multiplied by `factor` (rescales lambda
+  // while preserving the correlation structure — used to hit target loads).
+  [[nodiscard]] map_process scaled(double factor) const;
+
+  // Class-k thinning with probability p (Appendix B.1.1):
+  // D0' = D0 + (1-p) D1, D1' = p D1.
+  [[nodiscard]] map_process thinned(double p) const;
+
+  // Exact simulation: draw the next inter-arrival time, advancing `state`.
+  [[nodiscard]] double sample_iat(std::size_t& state, util::rng& rng) const;
+
+  // Draw the initial state from the embedded stationary distribution.
+  [[nodiscard]] std::size_t sample_initial_state(util::rng& rng) const;
+
+  // --- Canned constructors -------------------------------------------------
+
+  // Poisson process as a 1-state MAP.
+  [[nodiscard]] static map_process poisson(double lambda);
+
+  // 2-state MMPP: state i emits at rate r_i, switches away at rate sigma_i.
+  // Covers bursty traffic (IAT SCV >= 1, positive correlation).
+  [[nodiscard]] static map_process mmpp2(double sigma1, double sigma2, double r1,
+                                         double r2);
+
+  // 2-phase Markov-switched chain:
+  //   D0 = [[-(a+b), b], [0, -c]],  D1 = [[a, 0], [q*c, (1-q)*c]]
+  // With a = 0, q = 1 this is the hypoexponential renewal process
+  // (SCV in [1/2, 1)); intermediate parameters interpolate towards Poisson.
+  // Complements mmpp2 for smooth / quasi-periodic traffic with sub-Poisson
+  // variability (e.g. gaming uplinks).
+  [[nodiscard]] static map_process chain2(double a, double b, double c, double q);
+
+  // The MAP(2) of the paper's Appendix B.3 numerical example
+  // (mean rate 4800 packets/s).
+  [[nodiscard]] static map_process paper_example();
+
+  // Superposition of two independent MAPs via Kronecker sums:
+  //   D0 = D0a (+) D0b,  D1 = D1a (+) D1b  (state space = product space).
+  // The aggregate of two MAP flows is again a MAP; superposing two MAP(2)s
+  // yields the MAP(4) family the higher-order fits use (Appendix A.1).
+  [[nodiscard]] static map_process superpose(const map_process& a,
+                                             const map_process& b);
+
+ private:
+  matrix d0_;
+  matrix d1_;
+};
+
+}  // namespace dqn::queueing

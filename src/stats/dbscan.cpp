@@ -1,0 +1,100 @@
+#include "stats/dbscan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <numeric>
+#include <stdexcept>
+
+namespace dqn::stats {
+
+namespace {
+
+constexpr int kUnvisited = -2;
+
+// Generic DBSCAN over an abstract neighbour oracle.
+template <typename NeighbourFn>
+std::vector<int> run_dbscan(std::size_t n, std::size_t min_points,
+                            NeighbourFn&& neighbours_of) {
+  std::vector<int> labels(n, kUnvisited);
+  int next_cluster = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (labels[i] != kUnvisited) continue;
+    auto seeds = neighbours_of(i);
+    if (seeds.size() < min_points) {
+      labels[i] = dbscan_noise;
+      continue;
+    }
+    const int cluster = next_cluster++;
+    labels[i] = cluster;
+    std::deque<std::size_t> frontier(seeds.begin(), seeds.end());
+    while (!frontier.empty()) {
+      const std::size_t j = frontier.front();
+      frontier.pop_front();
+      if (labels[j] == dbscan_noise) labels[j] = cluster;  // border point
+      if (labels[j] != kUnvisited) continue;
+      labels[j] = cluster;
+      auto j_neighbours = neighbours_of(j);
+      if (j_neighbours.size() >= min_points)
+        frontier.insert(frontier.end(), j_neighbours.begin(), j_neighbours.end());
+    }
+  }
+  return labels;
+}
+
+}  // namespace
+
+std::vector<int> dbscan_1d(std::span<const double> points, const dbscan_params& params) {
+  if (params.eps <= 0) throw std::invalid_argument{"dbscan: eps must be > 0"};
+  if (params.min_points == 0)
+    throw std::invalid_argument{"dbscan: min_points must be > 0"};
+  const std::size_t n = points.size();
+
+  // Sort-order index so neighbourhood queries are O(log n + k).
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return points[a] < points[b]; });
+  std::vector<double> sorted(n);
+  for (std::size_t r = 0; r < n; ++r) sorted[r] = points[order[r]];
+
+  auto neighbours_of = [&](std::size_t i) {
+    const double x = points[i];
+    const auto lo = std::lower_bound(sorted.begin(), sorted.end(), x - params.eps);
+    const auto hi = std::upper_bound(sorted.begin(), sorted.end(), x + params.eps);
+    std::vector<std::size_t> out;
+    out.reserve(static_cast<std::size_t>(hi - lo));
+    for (auto it = lo; it != hi; ++it)
+      out.push_back(order[static_cast<std::size_t>(it - sorted.begin())]);
+    return out;
+  };
+  return run_dbscan(n, params.min_points, neighbours_of);
+}
+
+std::vector<int> dbscan(std::span<const double> points, std::size_t dim,
+                        const dbscan_params& params) {
+  if (dim == 0) throw std::invalid_argument{"dbscan: dim must be > 0"};
+  if (points.size() % dim != 0)
+    throw std::invalid_argument{"dbscan: points.size() must be a multiple of dim"};
+  if (params.eps <= 0) throw std::invalid_argument{"dbscan: eps must be > 0"};
+  if (params.min_points == 0)
+    throw std::invalid_argument{"dbscan: min_points must be > 0"};
+  const std::size_t n = points.size() / dim;
+  const double eps2 = params.eps * params.eps;
+
+  auto neighbours_of = [&](std::size_t i) {
+    std::vector<std::size_t> out;
+    for (std::size_t j = 0; j < n; ++j) {
+      double d2 = 0;
+      for (std::size_t k = 0; k < dim; ++k) {
+        const double diff = points[i * dim + k] - points[j * dim + k];
+        d2 += diff * diff;
+      }
+      if (d2 <= eps2) out.push_back(j);
+    }
+    return out;
+  };
+  return run_dbscan(n, params.min_points, neighbours_of);
+}
+
+}  // namespace dqn::stats

@@ -1,0 +1,32 @@
+// DBSCAN density clustering (Schubert et al., TODS 2017), used by the
+// statistical error correction (SEC) stage: residuals of nearby sojourn-time
+// predictions are clustered into bins, and the per-bin mean error is
+// subtracted at inference (§4.3).
+//
+// The implementation is exact (no spatial index) over 1-D points, which is
+// the shape SEC needs (clustering along the predicted-sojourn axis); an
+// overload accepts n-D points for generality and is used by the tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dqn::stats {
+
+inline constexpr int dbscan_noise = -1;
+
+struct dbscan_params {
+  double eps = 0.1;           // neighbourhood radius
+  std::size_t min_points = 4; // core-point density threshold (incl. self)
+};
+
+// Returns one label per point: cluster ids 0..k-1, or dbscan_noise.
+[[nodiscard]] std::vector<int> dbscan_1d(std::span<const double> points,
+                                         const dbscan_params& params);
+
+// General n-D version (Euclidean metric); `dim` must divide points.size().
+[[nodiscard]] std::vector<int> dbscan(std::span<const double> points, std::size_t dim,
+                                      const dbscan_params& params);
+
+}  // namespace dqn::stats

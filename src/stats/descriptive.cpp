@@ -1,0 +1,52 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dqn::stats {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument{"mean: empty input"};
+  double acc = 0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  const double m = mean(xs);
+  double acc = 0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double percentile(std::span<const double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument{"percentile: empty input"};
+  if (q < 0 || q > 1) throw std::invalid_argument{"percentile: q must be in [0,1]"};
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+}
+
+std::vector<double> jitter_series(std::span<const double> latencies) {
+  std::vector<double> jitter;
+  if (latencies.size() < 2) return jitter;
+  jitter.reserve(latencies.size() - 1);
+  for (std::size_t i = 1; i < latencies.size(); ++i)
+    jitter.push_back(std::abs(latencies[i] - latencies[i - 1]));
+  return jitter;
+}
+
+min_max bounds(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument{"bounds: empty input"};
+  const auto [lo, hi] = std::minmax_element(xs.begin(), xs.end());
+  return {*lo, *hi};
+}
+
+}  // namespace dqn::stats

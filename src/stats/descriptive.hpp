@@ -1,0 +1,29 @@
+// Descriptive statistics used across the evaluation harnesses: means,
+// variances, percentiles, and jitter extraction from latency series.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace dqn::stats {
+
+[[nodiscard]] double mean(std::span<const double> xs);
+[[nodiscard]] double variance(std::span<const double> xs);  // population variance
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+// Linear-interpolation percentile, q in [0, 1] (matches numpy's default).
+[[nodiscard]] double percentile(std::span<const double> xs, double q);
+
+// Jitter series per the paper's usage: absolute successive differences of a
+// per-path latency series (RFC 3393 style instantaneous delay variation).
+[[nodiscard]] std::vector<double> jitter_series(std::span<const double> latencies);
+
+// Min-max bounds (throws on empty input).
+struct min_max {
+  double lo = 0;
+  double hi = 0;
+};
+[[nodiscard]] min_max bounds(std::span<const double> xs);
+
+}  // namespace dqn::stats

@@ -1,0 +1,31 @@
+#include "stats/ecdf.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dqn::stats {
+
+ecdf::ecdf(std::span<const double> samples) : sorted_(samples.begin(), samples.end()) {
+  if (sorted_.empty()) throw std::invalid_argument{"ecdf: empty sample"};
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double ecdf::operator()(double x) const noexcept {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+std::vector<std::pair<double, double>> ecdf::curve(std::size_t points) const {
+  if (points < 2) throw std::invalid_argument{"ecdf::curve: need at least 2 points"};
+  std::vector<std::pair<double, double>> out;
+  out.reserve(points);
+  const double lo = sorted_.front();
+  const double hi = sorted_.back();
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(x, (*this)(x));
+  }
+  return out;
+}
+
+}  // namespace dqn::stats

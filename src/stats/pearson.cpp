@@ -1,0 +1,52 @@
+#include "stats/pearson.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dqn::stats {
+
+correlation_result pearson(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size())
+    throw std::invalid_argument{"pearson: size mismatch"};
+  if (x.size() < 4)
+    throw std::invalid_argument{"pearson: need at least 4 samples for a CI"};
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0 || syy == 0)
+    throw std::invalid_argument{"pearson: zero variance input"};
+  double rho = sxy / std::sqrt(sxx * syy);
+  rho = std::clamp(rho, -1.0, 1.0);
+
+  // Fisher z-transform CI. Degenerate |rho| == 1 collapses to a point.
+  correlation_result result;
+  result.rho = rho;
+  if (std::abs(rho) >= 1.0 - 1e-15) {
+    result.ci_low = result.ci_high = rho;
+    return result;
+  }
+  const double z = 0.5 * std::log((1 + rho) / (1 - rho));
+  const double se = 1.0 / std::sqrt(n - 3.0);
+  constexpr double z975 = 1.959963984540054;
+  const double lo = z - z975 * se;
+  const double hi = z + z975 * se;
+  result.ci_low = std::tanh(lo);
+  result.ci_high = std::tanh(hi);
+  return result;
+}
+
+}  // namespace dqn::stats

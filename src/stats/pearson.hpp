@@ -1,0 +1,18 @@
+// Pearson correlation with the Fisher-z 95% confidence interval, as reported
+// in the paper's Appendix C (Tables 8-10).
+#pragma once
+
+#include <span>
+
+namespace dqn::stats {
+
+struct correlation_result {
+  double rho = 0;      // Pearson correlation coefficient
+  double ci_low = 0;   // lower bound of the 95% CI (Fisher z-transform)
+  double ci_high = 0;  // upper bound of the 95% CI
+};
+
+[[nodiscard]] correlation_result pearson(std::span<const double> x,
+                                         std::span<const double> y);
+
+}  // namespace dqn::stats

@@ -1,0 +1,58 @@
+#include "stats/wasserstein.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace dqn::stats {
+
+namespace {
+
+// W1 between empirical CDFs = integral |F_a(x) - F_b(x)| dx, computed by a
+// merge sweep over the pooled sample points. Handles different sample sizes.
+double w1_sorted(const std::vector<double>& a, const std::vector<double>& b) {
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  double distance = 0;
+  double prev = std::min(a.front(), b.front());
+  while (ia < a.size() || ib < b.size()) {
+    const double xa = ia < a.size() ? a[ia] : std::numeric_limits<double>::infinity();
+    const double xb = ib < b.size() ? b[ib] : std::numeric_limits<double>::infinity();
+    const double x = std::min(xa, xb);
+    const double fa = static_cast<double>(ia) / na;
+    const double fb = static_cast<double>(ib) / nb;
+    distance += std::abs(fa - fb) * (x - prev);
+    prev = x;
+    while (ia < a.size() && a[ia] == x) ++ia;
+    while (ib < b.size() && b[ib] == x) ++ib;
+  }
+  return distance;
+}
+
+}  // namespace
+
+double wasserstein1(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || b.empty())
+    throw std::invalid_argument{"wasserstein1: empty sample"};
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  return w1_sorted(sa, sb);
+}
+
+double normalized_w1(std::span<const double> prediction, std::span<const double> label) {
+  const double numerator = wasserstein1(prediction, label);
+  // W1(0-vector, label) = mean |label| for an empirical label sample.
+  double denom = 0;
+  for (double x : label) denom += std::abs(x);
+  denom /= static_cast<double>(label.size());
+  if (denom == 0)
+    throw std::invalid_argument{"normalized_w1: label distribution is identically zero"};
+  return numerator / denom;
+}
+
+}  // namespace dqn::stats

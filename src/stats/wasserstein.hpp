@@ -1,0 +1,23 @@
+// Wasserstein-1 distance between empirical distributions, and the paper's
+// normalized variant:
+//
+//   w1 = W1(prediction, label) / W1(0-vector, label)
+//
+// which is 0 for a perfect predictor and ~1 for a predictor that outputs all
+// zeros (§5.2). The denominator equals the mean absolute value of the label
+// distribution's quantile function, i.e. E|X| for the label sample.
+#pragma once
+
+#include <span>
+
+namespace dqn::stats {
+
+// Exact W1 between two empirical distributions (possibly different sizes),
+// computed as the L1 distance between quantile functions.
+[[nodiscard]] double wasserstein1(std::span<const double> a, std::span<const double> b);
+
+// The paper's normalized w1 (lower is better; 0 = exact distribution match).
+[[nodiscard]] double normalized_w1(std::span<const double> prediction,
+                                   std::span<const double> label);
+
+}  // namespace dqn::stats

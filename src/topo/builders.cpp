@@ -1,0 +1,175 @@
+#include "topo/builders.hpp"
+
+#include <array>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dqn::topo {
+
+namespace {
+
+// Attach a host named "h<index>" to each given switch.
+void attach_host(topology& topo, node_id sw, std::size_t index, link_params lp) {
+  const node_id host = topo.add_host("h" + std::to_string(index));
+  topo.connect(host, sw, lp.bandwidth_bps, lp.propagation_delay);
+}
+
+}  // namespace
+
+topology make_line(std::size_t switches, link_params lp) {
+  if (switches < 2) throw std::invalid_argument{"make_line: need >= 2 switches"};
+  topology topo;
+  std::vector<node_id> sw;
+  sw.reserve(switches);
+  for (std::size_t i = 0; i < switches; ++i)
+    sw.push_back(topo.add_device("s" + std::to_string(i)));
+  for (std::size_t i = 0; i + 1 < switches; ++i)
+    topo.connect(sw[i], sw[i + 1], lp.bandwidth_bps, lp.propagation_delay);
+  for (std::size_t i = 0; i < switches; ++i) attach_host(topo, sw[i], i, lp);
+  return topo;
+}
+
+topology make_torus2d(std::size_t rows, std::size_t cols, link_params lp) {
+  if (rows < 2 || cols < 2)
+    throw std::invalid_argument{"make_torus2d: need >= 2x2"};
+  topology topo;
+  std::vector<node_id> sw(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      sw[r * cols + c] =
+          topo.add_device("s" + std::to_string(r) + "_" + std::to_string(c));
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const node_id here = sw[r * cols + c];
+      const node_id right = sw[r * cols + (c + 1) % cols];
+      const node_id down = sw[((r + 1) % rows) * cols + c];
+      // Wrap links are skipped for 2-wide dimensions (they would duplicate).
+      if (cols > 2 || c + 1 < cols)
+        topo.connect(here, right, lp.bandwidth_bps, lp.propagation_delay);
+      if (rows > 2 || r + 1 < rows)
+        topo.connect(here, down, lp.bandwidth_bps, lp.propagation_delay);
+    }
+  }
+  for (std::size_t i = 0; i < sw.size(); ++i) attach_host(topo, sw[i], i, lp);
+  return topo;
+}
+
+topology make_fattree(std::size_t tors_per_cluster, std::size_t servers_per_tor,
+                      std::size_t clusters, link_params lp) {
+  if (tors_per_cluster == 0 || servers_per_tor == 0 || clusters == 0)
+    throw std::invalid_argument{"make_fattree: all parameters must be >= 1"};
+  topology topo;
+  const std::size_t t = tors_per_cluster;
+  // Core layer: t^2 switches; aggregation switch j of every cluster uplinks
+  // to cores [j*t, (j+1)*t).
+  std::vector<node_id> cores;
+  for (std::size_t i = 0; i < t * t; ++i)
+    cores.push_back(topo.add_device("core" + std::to_string(i)));
+  std::size_t host_index = 0;
+  for (std::size_t c = 0; c < clusters; ++c) {
+    std::vector<node_id> aggs, tors;
+    for (std::size_t j = 0; j < t; ++j)
+      aggs.push_back(
+          topo.add_device("agg" + std::to_string(c) + "_" + std::to_string(j)));
+    for (std::size_t j = 0; j < t; ++j)
+      tors.push_back(
+          topo.add_device("tor" + std::to_string(c) + "_" + std::to_string(j)));
+    // Full bipartite ToR <-> Agg within the cluster.
+    for (node_id tor : tors)
+      for (node_id agg : aggs)
+        topo.connect(tor, agg, lp.bandwidth_bps, lp.propagation_delay);
+    // Agg j <-> its core group.
+    for (std::size_t j = 0; j < t; ++j)
+      for (std::size_t k = 0; k < t; ++k)
+        topo.connect(aggs[j], cores[j * t + k], lp.bandwidth_bps,
+                     lp.propagation_delay);
+    // Servers.
+    for (node_id tor : tors)
+      for (std::size_t s = 0; s < servers_per_tor; ++s)
+        attach_host(topo, tor, host_index++, lp);
+  }
+  return topo;
+}
+
+topology make_fattree16(link_params lp) { return make_fattree(2, 4, 2, lp); }
+topology make_fattree64(link_params lp) { return make_fattree(4, 4, 4, lp); }
+topology make_fattree128(link_params lp) { return make_fattree(4, 4, 8, lp); }
+
+namespace {
+
+// Propagation delay of a fibre span: ~2/3 c.
+constexpr double fibre_delay_per_km = 1.0 / 200'000.0;  // seconds
+
+}  // namespace
+
+topology make_abilene(link_params lp) {
+  topology topo;
+  const std::array<const char*, 11> pops = {
+      "Seattle",  "Sunnyvale", "LosAngeles", "Denver",  "KansasCity", "Houston",
+      "Chicago",  "Indianapolis", "Atlanta", "WashingtonDC", "NewYork"};
+  std::vector<node_id> sw;
+  for (const char* name : pops) sw.push_back(topo.add_device(name));
+  // The 14 Abilene backbone links with approximate fibre-route lengths (km):
+  // WAN latency is dominated by geography, which the link model carries
+  // exactly (Eq. 5) and learned estimators must extrapolate to.
+  struct edge {
+    int a, b;
+    double km;
+  };
+  const std::array<edge, 14> edges = {{
+      {0, 1, 1100},   // Seattle - Sunnyvale
+      {0, 3, 1650},   // Seattle - Denver
+      {1, 2, 550},    // Sunnyvale - LosAngeles
+      {1, 3, 1530},   // Sunnyvale - Denver
+      {2, 5, 2200},   // LosAngeles - Houston
+      {3, 4, 970},    // Denver - KansasCity
+      {4, 5, 1180},   // KansasCity - Houston
+      {4, 7, 720},    // KansasCity - Indianapolis
+      {5, 8, 1130},   // Houston - Atlanta
+      {6, 7, 290},    // Chicago - Indianapolis
+      {6, 10, 1150},  // Chicago - NewYork
+      {7, 8, 690},    // Indianapolis - Atlanta
+      {8, 9, 870},    // Atlanta - WashingtonDC
+      {9, 10, 330},   // WashingtonDC - NewYork
+  }};
+  for (const auto& [a, b, km] : edges)
+    topo.connect(sw[static_cast<std::size_t>(a)], sw[static_cast<std::size_t>(b)],
+                 lp.bandwidth_bps, km * fibre_delay_per_km);
+  for (std::size_t i = 0; i < sw.size(); ++i) attach_host(topo, sw[i], i, lp);
+  return topo;
+}
+
+topology make_geant(link_params lp) {
+  // GÉANT (2004 reference topology, 22 PoPs / 36 links) as distributed with
+  // the Internet Topology Zoo and used by the RouteNet line of work.
+  topology topo;
+  const std::array<const char*, 22> pops = {
+      "AT", "BE", "CH", "CZ", "DE", "ES", "FR", "GR", "HR", "HU", "IE",
+      "IL", "IT", "LU", "NL", "NY", "PL", "PT", "SE", "SI", "SK", "UK"};
+  std::vector<node_id> sw;
+  for (const char* name : pops) sw.push_back(topo.add_device(name));
+  struct edge {
+    int a, b;
+    double km;  // approximate inter-PoP fibre length
+  };
+  const std::array<edge, 36> edges = {{
+      {0, 2, 700},    {0, 3, 300},    {0, 4, 600},    {0, 9, 250},
+      {0, 12, 800},   {0, 19, 300},   {1, 4, 200},    {1, 6, 300},
+      {1, 13, 200},   {1, 14, 200},   {2, 4, 400},    {2, 6, 450},
+      {2, 12, 350},   {3, 4, 300},    {3, 16, 550},   {3, 20, 300},
+      {4, 6, 500},    {4, 12, 850},   {4, 14, 400},   {4, 15, 6200},
+      {4, 18, 900},   {5, 6, 1100},   {5, 12, 1400},  {5, 17, 500},
+      {6, 13, 300},   {6, 21, 400},   {7, 12, 1100},  {7, 21, 2400},
+      {8, 9, 300},    {8, 19, 150},   {9, 20, 200},   {10, 21, 500},
+      {11, 14, 3400}, {14, 21, 400},  {15, 21, 5600}, {16, 18, 800},
+  }};
+  for (const auto& [a, b, km] : edges)
+    topo.connect(sw[static_cast<std::size_t>(a)], sw[static_cast<std::size_t>(b)],
+                 lp.bandwidth_bps, km * fibre_delay_per_km);
+  for (std::size_t i = 0; i < sw.size(); ++i) attach_host(topo, sw[i], i, lp);
+  return topo;
+}
+
+}  // namespace dqn::topo

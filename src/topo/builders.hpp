@@ -1,0 +1,42 @@
+// Topology builders for every network the evaluation uses (§6.1): Line,
+// 2dTorus, FatTree (MimicNet's parameterisation, Table 3), and the Abilene
+// and GÉANT wide-area networks from the Internet Topology Zoo.
+#pragma once
+
+#include <cstddef>
+
+#include "topo/graph.hpp"
+
+namespace dqn::topo {
+
+struct link_params {
+  double bandwidth_bps = 10e9;     // §6: "links in the topology is 10Gbps"
+  double propagation_delay = 1e-6;
+};
+
+// Line-N: N switches in a row, one host per switch (Line4, Line6).
+[[nodiscard]] topology make_line(std::size_t switches, link_params lp = {});
+
+// rows x cols 2-D torus of switches, one host per switch (2dTorus 4x4, 6x6).
+[[nodiscard]] topology make_torus2d(std::size_t rows, std::size_t cols,
+                                    link_params lp = {});
+
+// MimicNet-style fat-tree (Table 3): `clusters` pods, each with
+// `tors_per_cluster` ToR and aggregation switches, `servers_per_tor` hosts
+// per ToR, and tors_per_cluster^2 core switches.
+[[nodiscard]] topology make_fattree(std::size_t tors_per_cluster,
+                                    std::size_t servers_per_tor,
+                                    std::size_t clusters, link_params lp = {});
+
+// FatTree16 / FatTree64 / FatTree128 exactly as Table 3 parameterises them.
+[[nodiscard]] topology make_fattree16(link_params lp = {});
+[[nodiscard]] topology make_fattree64(link_params lp = {});
+[[nodiscard]] topology make_fattree128(link_params lp = {});
+
+// Abilene (Internet2 backbone, 11 PoPs / 14 links), one host per PoP.
+[[nodiscard]] topology make_abilene(link_params lp = {});
+
+// GÉANT (pan-European research backbone, 22 PoPs), one host per PoP.
+[[nodiscard]] topology make_geant(link_params lp = {});
+
+}  // namespace dqn::topo

@@ -1,0 +1,112 @@
+#include "topo/graph.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+namespace dqn::topo {
+
+node_id topology::add_host(std::string name) {
+  nodes_.push_back({node_kind::host, std::move(name), {}});
+  return static_cast<node_id>(nodes_.size() - 1);
+}
+
+node_id topology::add_device(std::string name) {
+  nodes_.push_back({node_kind::device, std::move(name), {}});
+  return static_cast<node_id>(nodes_.size() - 1);
+}
+
+std::size_t topology::connect(node_id a, node_id b, double bandwidth_bps,
+                              double propagation_delay) {
+  if (a < 0 || b < 0 || static_cast<std::size_t>(a) >= nodes_.size() ||
+      static_cast<std::size_t>(b) >= nodes_.size())
+    throw std::out_of_range{"topology::connect: unknown node"};
+  if (a == b) throw std::invalid_argument{"topology::connect: self-loop"};
+  if (bandwidth_bps <= 0 || propagation_delay < 0)
+    throw std::invalid_argument{"topology::connect: bad link parameters"};
+  link l;
+  l.node_a = a;
+  l.port_a = nodes_[static_cast<std::size_t>(a)].links.size();
+  l.node_b = b;
+  l.port_b = nodes_[static_cast<std::size_t>(b)].links.size();
+  l.bandwidth_bps = bandwidth_bps;
+  l.propagation_delay = propagation_delay;
+  links_.push_back(l);
+  const std::size_t index = links_.size() - 1;
+  nodes_[static_cast<std::size_t>(a)].links.push_back(index);
+  nodes_[static_cast<std::size_t>(b)].links.push_back(index);
+  return index;
+}
+
+const node& topology::at(node_id id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= nodes_.size())
+    throw std::out_of_range{"topology::at: unknown node"};
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+const link& topology::link_at(std::size_t index) const {
+  if (index >= links_.size()) throw std::out_of_range{"topology::link_at"};
+  return links_[index];
+}
+
+topology::peer topology::peer_of(node_id id, std::size_t port) const {
+  const node& n = at(id);
+  if (port >= n.links.size()) throw std::out_of_range{"topology::peer_of: port"};
+  const link& l = links_[n.links[port]];
+  peer p;
+  p.link_index = n.links[port];
+  if (l.node_a == id) {
+    p.node = l.node_b;
+    p.port = l.port_b;
+  } else {
+    p.node = l.node_a;
+    p.port = l.port_a;
+  }
+  return p;
+}
+
+std::vector<node_id> topology::hosts() const {
+  std::vector<node_id> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (nodes_[i].kind == node_kind::host) out.push_back(static_cast<node_id>(i));
+  return out;
+}
+
+std::vector<node_id> topology::devices() const {
+  std::vector<node_id> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (nodes_[i].kind == node_kind::device) out.push_back(static_cast<node_id>(i));
+  return out;
+}
+
+std::vector<int> topology::hop_distances(node_id from) const {
+  (void)at(from);  // bounds check
+  std::vector<int> dist(nodes_.size(), -1);
+  std::deque<node_id> frontier{from};
+  dist[static_cast<std::size_t>(from)] = 0;
+  while (!frontier.empty()) {
+    const node_id current = frontier.front();
+    frontier.pop_front();
+    const node& n = nodes_[static_cast<std::size_t>(current)];
+    for (std::size_t port = 0; port < n.links.size(); ++port) {
+      const peer p = peer_of(current, port);
+      if (dist[static_cast<std::size_t>(p.node)] == -1) {
+        dist[static_cast<std::size_t>(p.node)] =
+            dist[static_cast<std::size_t>(current)] + 1;
+        frontier.push_back(p.node);
+      }
+    }
+  }
+  return dist;
+}
+
+std::size_t topology::diameter() const {
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const auto dist = hop_distances(static_cast<node_id>(i));
+    for (int d : dist)
+      if (d > 0) best = std::max(best, static_cast<std::size_t>(d));
+  }
+  return best;
+}
+
+}  // namespace dqn::topo

@@ -1,0 +1,76 @@
+#include "traffic/arrivals.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace dqn::traffic {
+
+poisson_arrivals::poisson_arrivals(double lambda) : lambda_{lambda} {
+  if (lambda <= 0) throw std::invalid_argument{"poisson_arrivals: lambda must be > 0"};
+}
+
+double poisson_arrivals::next_interarrival(util::rng& rng) {
+  return rng.exponential(lambda_);
+}
+
+onoff_arrivals::onoff_arrivals(double slot_seconds, double p_on_to_off,
+                               double p_off_to_on)
+    : slot_{slot_seconds}, p_on_off_{p_on_to_off}, p_off_on_{p_off_to_on} {
+  if (slot_seconds <= 0)
+    throw std::invalid_argument{"onoff_arrivals: slot must be > 0"};
+  if (p_on_to_off <= 0 || p_on_to_off > 1 || p_off_to_on <= 0 || p_off_to_on > 1)
+    throw std::invalid_argument{"onoff_arrivals: transition probabilities in (0,1]"};
+}
+
+double onoff_arrivals::next_interarrival(util::rng& rng) {
+  // Walk slot-by-slot; emit on each On slot (including state re-entry).
+  double gap = 0;
+  for (;;) {
+    // Transition at the slot boundary.
+    if (on_) {
+      if (rng.bernoulli(p_on_off_)) on_ = false;
+    } else {
+      if (rng.bernoulli(p_off_on_)) on_ = true;
+    }
+    gap += slot_;
+    if (on_) return gap;
+  }
+}
+
+double onoff_arrivals::mean_rate() const {
+  // Stationary P(on) of the two-state slot chain.
+  const double p_on = p_off_on_ / (p_on_off_ + p_off_on_);
+  return p_on / slot_;
+}
+
+void onoff_arrivals::reset(util::rng& rng) { on_ = rng.bernoulli(0.5); }
+
+map_arrivals::map_arrivals(queueing::map_process process, util::rng& rng)
+    : process_{std::move(process)},
+      rate_{process_.mean_rate()},
+      state_{process_.sample_initial_state(rng)} {}
+
+double map_arrivals::next_interarrival(util::rng& rng) {
+  return process_.sample_iat(state_, rng);
+}
+
+void map_arrivals::reset(util::rng& rng) {
+  state_ = process_.sample_initial_state(rng);
+}
+
+trace_arrivals::trace_arrivals(std::vector<double> iats) : iats_{std::move(iats)} {
+  if (iats_.empty()) throw std::invalid_argument{"trace_arrivals: empty trace"};
+  for (double iat : iats_)
+    if (iat < 0) throw std::invalid_argument{"trace_arrivals: negative IAT"};
+  const double total = std::accumulate(iats_.begin(), iats_.end(), 0.0);
+  if (total <= 0) throw std::invalid_argument{"trace_arrivals: zero-length trace"};
+  rate_ = static_cast<double>(iats_.size()) / total;
+}
+
+double trace_arrivals::next_interarrival(util::rng&) {
+  const double iat = iats_[position_];
+  position_ = (position_ + 1) % iats_.size();
+  return iat;
+}
+
+}  // namespace dqn::traffic

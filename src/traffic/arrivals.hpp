@@ -1,0 +1,91 @@
+// Arrival processes (§6.1): Poisson, slotted On-Off, MAP-driven, and trace
+// replay. Each process yields successive inter-arrival times; mean_rate() is
+// used by TGUtil to calibrate link load factors.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "queueing/markovian_arrival.hpp"
+#include "util/rng.hpp"
+
+namespace dqn::traffic {
+
+class arrival_process {
+ public:
+  virtual ~arrival_process() = default;
+
+  // Time until the next arrival, in seconds.
+  [[nodiscard]] virtual double next_interarrival(util::rng& rng) = 0;
+
+  // Long-run mean arrival rate in packets per second.
+  [[nodiscard]] virtual double mean_rate() const = 0;
+
+  // Restart internal state (trace position, modulating chain, ...).
+  virtual void reset(util::rng& rng) = 0;
+};
+
+// Poisson arrivals at rate lambda.
+class poisson_arrivals final : public arrival_process {
+ public:
+  explicit poisson_arrivals(double lambda);
+  [[nodiscard]] double next_interarrival(util::rng& rng) override;
+  [[nodiscard]] double mean_rate() const override { return lambda_; }
+  void reset(util::rng&) override {}
+
+ private:
+  double lambda_;
+};
+
+// Slotted On-Off source (§6.1: transition probability 0.2 for the On state
+// and 0.5 for the Off state). One packet is emitted per On slot.
+class onoff_arrivals final : public arrival_process {
+ public:
+  onoff_arrivals(double slot_seconds, double p_on_to_off = 0.2,
+                 double p_off_to_on = 0.5);
+  [[nodiscard]] double next_interarrival(util::rng& rng) override;
+  [[nodiscard]] double mean_rate() const override;
+  void reset(util::rng& rng) override;
+
+ private:
+  double slot_;
+  double p_on_off_;
+  double p_off_on_;
+  bool on_ = true;
+};
+
+// MAP-driven arrivals (Appendix A).
+class map_arrivals final : public arrival_process {
+ public:
+  map_arrivals(queueing::map_process process, util::rng& rng);
+  [[nodiscard]] double next_interarrival(util::rng& rng) override;
+  [[nodiscard]] double mean_rate() const override { return rate_; }
+  void reset(util::rng& rng) override;
+
+  [[nodiscard]] const queueing::map_process& process() const noexcept {
+    return process_;
+  }
+
+ private:
+  queueing::map_process process_;
+  double rate_;
+  std::size_t state_;
+};
+
+// Replays a recorded IAT sequence, looping when exhausted. This is the same
+// code path a parsed PCAP file would feed (§3.1.1: TGUtil accepts traces).
+class trace_arrivals final : public arrival_process {
+ public:
+  explicit trace_arrivals(std::vector<double> iats);
+  [[nodiscard]] double next_interarrival(util::rng& rng) override;
+  [[nodiscard]] double mean_rate() const override { return rate_; }
+  void reset(util::rng&) override { position_ = 0; }
+
+ private:
+  std::vector<double> iats_;
+  double rate_;
+  std::size_t position_ = 0;
+};
+
+}  // namespace dqn::traffic

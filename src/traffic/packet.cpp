@@ -1,0 +1,41 @@
+#include "traffic/packet.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace dqn::traffic {
+
+packet_stream merge_streams(std::vector<packet_stream> streams) {
+  // K-way merge via a heap of (stream, cursor) pairs.
+  struct cursor {
+    const packet_stream* stream;
+    std::size_t index;
+  };
+  auto later = [](const cursor& a, const cursor& b) {
+    return (*b.stream)[b.index] < (*a.stream)[a.index];
+  };
+  std::priority_queue<cursor, std::vector<cursor>, decltype(later)> heap{later};
+  std::size_t total = 0;
+  for (const auto& s : streams) {
+    total += s.size();
+    if (!s.empty()) heap.push({&s, 0});
+  }
+  packet_stream merged;
+  merged.reserve(total);
+  while (!heap.empty()) {
+    cursor c = heap.top();
+    heap.pop();
+    merged.push_back((*c.stream)[c.index]);
+    if (++c.index < c.stream->size()) heap.push(c);
+  }
+  return merged;
+}
+
+bool is_time_ordered(const packet_stream& stream) noexcept {
+  return std::is_sorted(stream.begin(), stream.end(),
+                        [](const packet_event& a, const packet_event& b) {
+                          return a.time < b.time;
+                        });
+}
+
+}  // namespace dqn::traffic

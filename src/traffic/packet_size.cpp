@@ -1,0 +1,38 @@
+#include "traffic/packet_size.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace dqn::traffic {
+
+constant_size::constant_size(std::uint32_t bytes) : bytes_{bytes} {
+  if (bytes == 0) throw std::invalid_argument{"constant_size: bytes must be > 0"};
+}
+
+namespace {
+constexpr std::array<std::uint32_t, 3> trimodal_sizes = {64, 576, 1500};
+constexpr std::array<double, 3> trimodal_probs = {0.4, 0.2, 0.4};
+}  // namespace
+
+std::uint32_t trimodal_size::next_size(util::rng& rng) {
+  return trimodal_sizes[rng.discrete(trimodal_probs)];
+}
+
+double trimodal_size::mean_size() const {
+  double mean = 0;
+  for (std::size_t i = 0; i < trimodal_sizes.size(); ++i)
+    mean += trimodal_probs[i] * trimodal_sizes[i];
+  return mean;
+}
+
+uniform_size::uniform_size(std::uint32_t lo, std::uint32_t hi) : lo_{lo}, hi_{hi} {
+  if (lo == 0 || hi < lo) throw std::invalid_argument{"uniform_size: bad range"};
+}
+
+std::uint32_t uniform_size::next_size(util::rng& rng) {
+  return static_cast<std::uint32_t>(rng.uniform_int(lo_, hi_));
+}
+
+double uniform_size::mean_size() const { return (lo_ + hi_) / 2.0; }
+
+}  // namespace dqn::traffic

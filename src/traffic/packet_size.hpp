@@ -1,0 +1,50 @@
+// Packet-size models. The queueing appendix uses constant 1426-byte packets;
+// the network experiments use the classic trimodal Internet mix.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dqn::traffic {
+
+class packet_size_model {
+ public:
+  virtual ~packet_size_model() = default;
+  [[nodiscard]] virtual std::uint32_t next_size(util::rng& rng) = 0;
+  [[nodiscard]] virtual double mean_size() const = 0;  // bytes
+};
+
+class constant_size final : public packet_size_model {
+ public:
+  explicit constant_size(std::uint32_t bytes);
+  [[nodiscard]] std::uint32_t next_size(util::rng&) override { return bytes_; }
+  [[nodiscard]] double mean_size() const override { return bytes_; }
+
+ private:
+  std::uint32_t bytes_;
+};
+
+// Trimodal Internet mix: 64 B (40%), 576 B (20%), 1500 B (40%).
+class trimodal_size final : public packet_size_model {
+ public:
+  trimodal_size() = default;
+  [[nodiscard]] std::uint32_t next_size(util::rng& rng) override;
+  [[nodiscard]] double mean_size() const override;
+};
+
+// Uniform in [lo, hi] bytes.
+class uniform_size final : public packet_size_model {
+ public:
+  uniform_size(std::uint32_t lo, std::uint32_t hi);
+  [[nodiscard]] std::uint32_t next_size(util::rng& rng) override;
+  [[nodiscard]] double mean_size() const override;
+
+ private:
+  std::uint32_t lo_;
+  std::uint32_t hi_;
+};
+
+}  // namespace dqn::traffic

@@ -1,0 +1,111 @@
+#include "traffic/synthetic_traces.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace dqn::traffic {
+
+namespace {
+
+// Rescale IATs so the empirical mean rate matches `mean_rate`.
+void calibrate_rate(std::vector<double>& iats, double mean_rate) {
+  const double total = std::accumulate(iats.begin(), iats.end(), 0.0);
+  const double current = static_cast<double>(iats.size()) / total;
+  const double scale = current / mean_rate;
+  for (auto& iat : iats) iat *= scale;
+}
+
+}  // namespace
+
+synthetic_trace make_bc_paug89_like(std::size_t n, double mean_rate, util::rng& rng) {
+  if (n < 2) throw std::invalid_argument{"make_bc_paug89_like: n too small"};
+  if (mean_rate <= 0)
+    throw std::invalid_argument{"make_bc_paug89_like: rate must be > 0"};
+
+  // Superpose On-Off sources with Pareto On/Off durations (alpha in (1,2)
+  // gives infinite variance => long-range-dependent aggregate).
+  constexpr std::size_t sources = 8;
+  constexpr double alpha_on = 1.4;
+  constexpr double alpha_off = 1.15;
+  const double base_emit = 6.0;  // packets per time unit while On (rescaled later)
+
+  std::vector<double> arrivals;
+  arrivals.reserve(n + n / 4);
+  const double horizon = static_cast<double>(n) / (sources * 0.4 * base_emit);
+  for (std::size_t s = 0; s < sources; ++s) {
+    double t = rng.uniform(0.0, 1.0);  // desynchronize the sources
+    bool on = rng.bernoulli(0.5);
+    while (t < horizon) {
+      const double duration =
+          on ? rng.pareto(alpha_on, 1.0) : rng.pareto(alpha_off, 1.5);
+      if (on) {
+        double u = t;
+        const double end = std::min(t + duration, horizon);
+        while (u < end) {
+          u += rng.exponential(base_emit);
+          if (u < end) arrivals.push_back(u);
+        }
+      }
+      t += duration;
+      on = !on;
+    }
+  }
+  std::sort(arrivals.begin(), arrivals.end());
+  if (arrivals.size() < 2)
+    throw std::runtime_error{"make_bc_paug89_like: degenerate trace"};
+  if (arrivals.size() > n) arrivals.resize(n);
+
+  synthetic_trace trace;
+  trace.iats.reserve(arrivals.size());
+  for (std::size_t i = 1; i < arrivals.size(); ++i)
+    trace.iats.push_back(std::max(1e-9, arrivals[i] - arrivals[i - 1]));
+  calibrate_rate(trace.iats, mean_rate);
+
+  // Bellcore's packet sizes were LAN-dominated: small control segments plus
+  // full MTU frames.
+  trace.sizes.reserve(trace.iats.size());
+  const std::array<double, 3> probs = {0.55, 0.20, 0.25};
+  const std::array<std::uint32_t, 3> sizes = {64, 552, 1500};
+  for (std::size_t i = 0; i < trace.iats.size(); ++i)
+    trace.sizes.push_back(sizes[rng.discrete(probs)]);
+  return trace;
+}
+
+synthetic_trace make_anarchy_like(std::size_t n, double mean_rate, util::rng& rng) {
+  if (n < 2) throw std::invalid_argument{"make_anarchy_like: n too small"};
+  if (mean_rate <= 0)
+    throw std::invalid_argument{"make_anarchy_like: rate must be > 0"};
+
+  // Quasi-periodic client updates (game tick with jitter) with occasional
+  // heavy-tailed bursts (combat/zone events emit clustered packets).
+  synthetic_trace trace;
+  trace.iats.reserve(n);
+  trace.sizes.reserve(n);
+  const double tick = 1.0;  // rescaled later
+  std::size_t produced = 0;
+  while (produced < n) {
+    if (rng.bernoulli(0.12)) {
+      // Burst: a cluster of back-to-back packets.
+      const auto burst_len =
+          static_cast<std::size_t>(std::min(20.0, rng.pareto(1.5, 2.0)));
+      for (std::size_t b = 0; b < burst_len && produced < n; ++b) {
+        trace.iats.push_back(tick * rng.uniform(0.01, 0.06));
+        trace.sizes.push_back(
+            static_cast<std::uint32_t>(rng.uniform_int(200, 700)));
+        ++produced;
+      }
+    } else {
+      trace.iats.push_back(tick * std::max(0.05, rng.normal(1.0, 0.35)));
+      // Steady game updates are small.
+      trace.sizes.push_back(static_cast<std::uint32_t>(rng.uniform_int(60, 180)));
+      ++produced;
+    }
+  }
+  calibrate_rate(trace.iats, mean_rate);
+  return trace;
+}
+
+}  // namespace dqn::traffic

@@ -1,0 +1,34 @@
+// Synthetic stand-ins for the two public traces the paper replays
+// (BC-pAug89 from Bellcore and the Anarchy Online gaming trace). We do not
+// ship the original datasets; instead we generate traces with the same
+// statistical character, exposed through the identical trace-replay
+// interface (DESIGN.md §2 records this substitution):
+//
+//  * BC-pAug89: Ethernet LAN traffic famous for self-similarity. We
+//    superpose many On-Off sources with Pareto-distributed On/Off periods
+//    (the classical construction that yields long-range dependence).
+//  * Anarchy: game-server uplink — quasi-periodic state updates with jitter,
+//    punctuated by heavy-tailed activity bursts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dqn::traffic {
+
+struct synthetic_trace {
+  std::vector<double> iats;        // seconds
+  std::vector<std::uint32_t> sizes;  // bytes
+};
+
+// n packets of LAN-like self-similar traffic with the given mean rate.
+[[nodiscard]] synthetic_trace make_bc_paug89_like(std::size_t n, double mean_rate,
+                                                  util::rng& rng);
+
+// n packets of game-uplink-like traffic with the given mean rate.
+[[nodiscard]] synthetic_trace make_anarchy_like(std::size_t n, double mean_rate,
+                                                util::rng& rng);
+
+}  // namespace dqn::traffic

@@ -1,0 +1,126 @@
+#include "traffic/trace_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace dqn::traffic {
+
+namespace {
+
+constexpr const char* header =
+    "time,pid,flow_id,size_bytes,protocol,priority,weight,src_host,dst_host";
+
+std::vector<std::string_view> split_fields(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t begin = 0;
+  for (;;) {
+    const std::size_t comma = line.find(',', begin);
+    if (comma == std::string_view::npos) {
+      fields.push_back(line.substr(begin));
+      return fields;
+    }
+    fields.push_back(line.substr(begin, comma - begin));
+    begin = comma + 1;
+  }
+}
+
+template <typename T>
+T parse_number(std::string_view field, std::size_t line_number, const char* what) {
+  T value{};
+  const auto* begin = field.data();
+  const auto* end = begin + field.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end)
+    throw std::runtime_error{"trace csv line " + std::to_string(line_number) +
+                             ": bad " + what + " '" + std::string{field} + "'"};
+  return value;
+}
+
+double parse_double(std::string_view field, std::size_t line_number,
+                    const char* what) {
+  // std::from_chars<double> is available in libstdc++ 11+, but go through
+  // strtod for wide portability of this I/O path.
+  const std::string buffer{field};
+  char* end = nullptr;
+  const double value = std::strtod(buffer.c_str(), &end);
+  if (end != buffer.c_str() + buffer.size())
+    throw std::runtime_error{"trace csv line " + std::to_string(line_number) +
+                             ": bad " + what + " '" + buffer + "'"};
+  return value;
+}
+
+}  // namespace
+
+void write_trace_csv(std::ostream& out, const packet_stream& stream) {
+  // Full round-trip precision for the timestamps.
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << header << '\n';
+  for (const auto& ev : stream) {
+    out << ev.time << ',' << ev.pkt.pid << ',' << ev.pkt.flow_id << ','
+        << ev.pkt.size_bytes << ',' << static_cast<int>(ev.pkt.protocol) << ','
+        << static_cast<int>(ev.pkt.priority) << ',' << ev.pkt.weight << ','
+        << ev.pkt.src_host << ',' << ev.pkt.dst_host << '\n';
+  }
+}
+
+void write_trace_csv_file(const std::string& path, const packet_stream& stream) {
+  std::ofstream out{path};
+  if (!out) throw std::runtime_error{"write_trace_csv_file: cannot open " + path};
+  write_trace_csv(out, stream);
+  if (!out) throw std::runtime_error{"write_trace_csv_file: write failed: " + path};
+}
+
+packet_stream read_trace_csv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != header)
+    throw std::runtime_error{"trace csv: missing or wrong header"};
+  packet_stream stream;
+  std::size_t line_number = 1;
+  double previous_time = -1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const auto fields = split_fields(line);
+    if (fields.size() != 9)
+      throw std::runtime_error{"trace csv line " + std::to_string(line_number) +
+                               ": expected 9 fields, got " +
+                               std::to_string(fields.size())};
+    packet_event ev;
+    ev.time = parse_double(fields[0], line_number, "time");
+    if (ev.time < previous_time)
+      throw std::runtime_error{"trace csv line " + std::to_string(line_number) +
+                               ": times must be non-decreasing"};
+    previous_time = ev.time;
+    ev.pkt.pid = parse_number<std::uint64_t>(fields[1], line_number, "pid");
+    ev.pkt.flow_id = parse_number<std::uint32_t>(fields[2], line_number, "flow_id");
+    ev.pkt.size_bytes =
+        parse_number<std::uint32_t>(fields[3], line_number, "size_bytes");
+    if (ev.pkt.size_bytes == 0)
+      throw std::runtime_error{"trace csv line " + std::to_string(line_number) +
+                               ": size_bytes must be > 0"};
+    ev.pkt.protocol =
+        static_cast<std::uint8_t>(parse_number<int>(fields[4], line_number, "protocol"));
+    ev.pkt.priority =
+        static_cast<std::uint8_t>(parse_number<int>(fields[5], line_number, "priority"));
+    ev.pkt.weight =
+        static_cast<std::uint16_t>(parse_number<int>(fields[6], line_number, "weight"));
+    ev.pkt.src_host =
+        parse_number<std::int32_t>(fields[7], line_number, "src_host");
+    ev.pkt.dst_host =
+        parse_number<std::int32_t>(fields[8], line_number, "dst_host");
+    stream.push_back(ev);
+  }
+  return stream;
+}
+
+packet_stream read_trace_csv_file(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error{"read_trace_csv_file: cannot open " + path};
+  return read_trace_csv(in);
+}
+
+}  // namespace dqn::traffic

@@ -1,0 +1,28 @@
+// Trace import/export: the file-based half of TGUtil (§3.1.1 — "users can
+// use an existing set of PCAP files") and of packet-level visibility (§1 —
+// output traces should feed any external analysis).
+//
+// Format: CSV with a header, one packet event per line:
+//   time,pid,flow_id,size_bytes,protocol,priority,weight,src_host,dst_host
+// This is the information content the prototype uses from a capture (§1:
+// path, size, inter-arrival, arrival/departure times); a PCAP parser would
+// populate the same records.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "traffic/packet.hpp"
+
+namespace dqn::traffic {
+
+// Write a stream; the inverse of read_trace_csv.
+void write_trace_csv(std::ostream& out, const packet_stream& stream);
+void write_trace_csv_file(const std::string& path, const packet_stream& stream);
+
+// Parse a trace. Validates the header, field count, numeric ranges, and
+// time ordering; throws std::runtime_error with a line number on errors.
+[[nodiscard]] packet_stream read_trace_csv(std::istream& in);
+[[nodiscard]] packet_stream read_trace_csv_file(const std::string& path);
+
+}  // namespace dqn::traffic

@@ -1,0 +1,83 @@
+// TGUtil (§3.1.1): the traffic-generator factory. Users specify flows and a
+// traffic model; TGUtil instantiates per-flow generators (TGens) that
+// produce ingress packet streams for the simulators. Trace-based models
+// (BC-pAug89 / Anarchy stand-ins, or any recorded IAT list) go through the
+// same interface a parsed PCAP would.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "traffic/arrivals.hpp"
+#include "traffic/packet.hpp"
+#include "traffic/packet_size.hpp"
+#include "util/rng.hpp"
+
+namespace dqn::traffic {
+
+enum class traffic_model : std::uint8_t {
+  poisson,
+  onoff,
+  map,
+  bc_paug89,  // synthetic stand-in, replayed through trace_arrivals
+  anarchy,    // synthetic stand-in, replayed through trace_arrivals
+};
+
+[[nodiscard]] const char* to_string(traffic_model model) noexcept;
+
+struct flow_spec {
+  std::uint32_t flow_id = 0;
+  std::int32_t src_host = -1;
+  std::int32_t dst_host = -1;
+  std::uint8_t priority = 0;  // SP class, 0 = highest
+  std::uint16_t weight = 1;   // WFQ/WRR/DRR weight
+  std::uint8_t protocol = 17;
+};
+
+// One TGen: produces the packet stream of a single flow.
+class traffic_generator {
+ public:
+  traffic_generator(flow_spec flow, std::unique_ptr<arrival_process> arrivals,
+                    std::unique_ptr<packet_size_model> sizes);
+
+  // Generate arrivals in [0, horizon). pid numbering continues from
+  // *next_pid, which is advanced.
+  [[nodiscard]] packet_stream generate(double horizon, util::rng& rng,
+                                       std::uint64_t& next_pid);
+
+  [[nodiscard]] const flow_spec& flow() const noexcept { return flow_; }
+  [[nodiscard]] double mean_rate() const { return arrivals_->mean_rate(); }
+
+ private:
+  flow_spec flow_;
+  std::unique_ptr<arrival_process> arrivals_;
+  std::unique_ptr<packet_size_model> sizes_;
+};
+
+struct tg_util_config {
+  traffic_model model = traffic_model::poisson;
+  double per_flow_rate = 1000;  // packets per second
+  // For onoff: slot time is derived from per_flow_rate and P(on).
+  // For map: a randomly perturbed MMPP2 per flow with the requested rate.
+  std::uint64_t seed = 42;
+};
+
+// TGUtil factory: builds one TGen per flow.
+[[nodiscard]] std::vector<traffic_generator> make_generators(
+    const std::vector<flow_spec>& flows, const tg_util_config& config);
+
+// Uniform-random flow set: one flow per (ordered) host picked uniformly at
+// random among the others (§6.1: "sources and destinations ... selected
+// uniformly at random"). Weights in 1..9 and priorities in 0..classes-1 are
+// assigned uniformly (§5.2).
+[[nodiscard]] std::vector<flow_spec> make_uniform_flows(std::size_t hosts,
+                                                        std::size_t classes,
+                                                        util::rng& rng);
+
+// Generate and merge the streams of all flows sharing a source host.
+[[nodiscard]] std::vector<packet_stream> per_host_streams(
+    std::vector<traffic_generator>& generators, std::size_t hosts, double horizon,
+    util::rng& rng);
+
+}  // namespace dqn::traffic

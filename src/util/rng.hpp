@@ -1,0 +1,161 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// All stochastic components of the library draw from dqn::util::rng so that
+// every experiment is reproducible from a single 64-bit seed. The engine is
+// xoshiro256** (public domain, Blackman & Vigna), which is fast, has a 256-bit
+// state, and passes BigCrush. Distribution helpers are implemented directly
+// (not via <random> distributions) so that sequences are stable across
+// standard-library implementations.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numbers>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace dqn::util {
+
+// splitmix64: used to expand a single seed into the xoshiro state, and as a
+// cheap stateless hash for deriving per-stream seeds.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Derive a decorrelated child seed from (seed, stream_id). Used to give every
+// flow/port/device its own independent stream.
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t seed,
+                                                  std::uint64_t stream_id) noexcept {
+  std::uint64_t s = seed ^ (0x9e3779b97f4a7c15ULL * (stream_id + 1));
+  (void)splitmix64(s);
+  return splitmix64(s);
+}
+
+class rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1): 53 random mantissa bits.
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  // Uniform integer in [0, n). Unbiased via rejection.
+  [[nodiscard]] std::uint64_t uniform_int(std::uint64_t n) {
+    if (n == 0) throw std::invalid_argument{"rng::uniform_int: n must be positive"};
+    const std::uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) throw std::invalid_argument{"rng::uniform_int: empty range"};
+    return lo + static_cast<std::int64_t>(
+                    uniform_int(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  [[nodiscard]] bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  // Exponential with rate lambda (mean 1/lambda).
+  [[nodiscard]] double exponential(double lambda) {
+    if (lambda <= 0) throw std::invalid_argument{"rng::exponential: lambda must be > 0"};
+    double u = uniform();
+    if (u <= 0) u = std::numeric_limits<double>::min();
+    return -std::log(u) / lambda;
+  }
+
+  // Standard normal via Box-Muller (no cached spare: keeps the stream simple
+  // and branch-free to reason about).
+  [[nodiscard]] double normal() noexcept {
+    double u1 = uniform();
+    if (u1 <= 0) u1 = std::numeric_limits<double>::min();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  [[nodiscard]] double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  // Pareto with shape alpha and minimum xm (heavy tail; alpha in (1,2) gives
+  // long-range-dependent aggregates, used by the trace stand-ins).
+  [[nodiscard]] double pareto(double alpha, double xm) {
+    if (alpha <= 0 || xm <= 0)
+      throw std::invalid_argument{"rng::pareto: alpha and xm must be > 0"};
+    double u = uniform();
+    if (u <= 0) u = std::numeric_limits<double>::min();
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  // Sample an index according to the (unnormalised) weights.
+  [[nodiscard]] std::size_t discrete(std::span<const double> weights) {
+    double total = 0;
+    for (double w : weights) {
+      if (w < 0) throw std::invalid_argument{"rng::discrete: negative weight"};
+      total += w;
+    }
+    if (total <= 0) throw std::invalid_argument{"rng::discrete: all-zero weights"};
+    double x = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      x -= weights[i];
+      if (x < 0) return i;
+    }
+    return weights.size() - 1;  // guard against rounding
+  }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[uniform_int(static_cast<std::uint64_t>(i))]);
+    }
+  }
+
+ private:
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace dqn::util

@@ -1,0 +1,32 @@
+#include "util/stopwatch.hpp"
+
+#include <cmath>
+#include <ctime>
+
+namespace dqn::util {
+
+std::string format_duration(double seconds) {
+  if (seconds < 0) seconds = 0;
+  const auto total = static_cast<std::int64_t>(std::llround(seconds * 1000.0));
+  const std::int64_t ms = total % 1000;
+  const std::int64_t s = (total / 1000) % 60;
+  const std::int64_t m = (total / 60'000) % 60;
+  const std::int64_t h = total / 3'600'000;
+  std::string out;
+  if (h > 0) out += std::to_string(h) + "h";
+  if (h > 0 || m > 0) out += std::to_string(m) + "m";
+  if (total >= 1000) {
+    out += std::to_string(s) + "s";
+  } else {
+    out += std::to_string(ms) + "ms";
+  }
+  return out;
+}
+
+double thread_cpu_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+}  // namespace dqn::util

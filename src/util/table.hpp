@@ -1,0 +1,31 @@
+// Plain-text table rendering for the benchmark harnesses. Each bench binary
+// prints the same rows the paper's table reports; this helper keeps the
+// formatting consistent and readable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dqn::util {
+
+class text_table {
+ public:
+  explicit text_table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Render with column alignment and a separator under the header.
+  [[nodiscard]] std::string to_string() const;
+
+  // Render as CSV (for post-processing / plotting).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Format a double with the given number of decimal places.
+[[nodiscard]] std::string fmt(double value, int decimals = 4);
+
+}  // namespace dqn::util

@@ -1,0 +1,103 @@
+// A small fixed-size thread pool used by the parallel DeepQueueNet engine.
+//
+// The paper runs model-parallel inference across 1/2/4 GPUs (Figure 11); we
+// substitute worker threads for GPUs (see DESIGN.md §2). The pool supports
+// submitting individual tasks and a blocking parallel_for over an index
+// range, which is what the partitioned inference loop needs.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace dqn::util {
+
+class thread_pool {
+ public:
+  explicit thread_pool(std::size_t num_threads) {
+    if (num_threads == 0)
+      throw std::invalid_argument{"thread_pool: need at least one thread"};
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  ~thread_pool() {
+    {
+      const std::lock_guard lock{mutex_};
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& worker : workers_) worker.join();
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  // Submit a task; the returned future propagates exceptions.
+  template <typename F>
+  [[nodiscard]] std::future<void> submit(F&& f) {
+    auto task = std::make_shared<std::packaged_task<void()>>(std::forward<F>(f));
+    auto future = task->get_future();
+    {
+      const std::lock_guard lock{mutex_};
+      if (stopping_) throw std::runtime_error{"thread_pool: submit after shutdown"};
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  // Run f(i) for i in [0, count), blocking until every call returns. Work is
+  // split into contiguous chunks, one per worker, to keep per-partition data
+  // hot in a single thread (mirrors one-GPU-per-partition execution).
+  template <typename F>
+  void parallel_for(std::size_t count, F&& f) {
+    if (count == 0) return;
+    const std::size_t chunks = std::min(count, size());
+    const std::size_t per_chunk = (count + chunks - 1) / chunks;
+    std::vector<std::future<void>> futures;
+    futures.reserve(chunks);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t begin = c * per_chunk;
+      const std::size_t end = std::min(count, begin + per_chunk);
+      if (begin >= end) break;
+      futures.push_back(submit([begin, end, &f] {
+        for (std::size_t i = begin; i < end; ++i) f(i);
+      }));
+    }
+    for (auto& future : futures) future.get();
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock lock{mutex_};
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (stopping_ && queue_.empty()) return;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace dqn::util

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "baselines/mimicnet.hpp"
+#include "baselines/routenet.hpp"
+#include "des/network.hpp"
+#include "topo/builders.hpp"
+#include "topo/routing.hpp"
+#include "traffic/traffic_gen.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dqn;
+
+struct scenario {
+  std::vector<traffic::flow_spec> flows;
+  std::vector<traffic::packet_stream> streams;
+  std::vector<double> rates;
+};
+
+scenario make_scenario(std::size_t hosts, traffic::traffic_model model, double rate,
+                       double horizon, std::uint64_t seed) {
+  scenario s;
+  util::rng rng{seed};
+  s.flows = traffic::make_uniform_flows(hosts, 1, rng);
+  traffic::tg_util_config tg;
+  tg.model = model;
+  tg.per_flow_rate = rate;
+  tg.seed = seed;
+  auto generators = traffic::make_generators(s.flows, tg);
+  s.streams = traffic::per_host_streams(generators, hosts, horizon, rng);
+  for (const auto& gen : generators) s.rates.push_back(gen.mean_rate());
+  return s;
+}
+
+TEST(routenet, fits_training_distribution) {
+  const auto topo = topo::make_fattree16();
+  const topo::routing routes{topo};
+  const auto s = make_scenario(16, traffic::traffic_model::map, 40'000.0, 0.2, 31);
+  des::network oracle{topo, routes, {}};
+  const auto truth = oracle.run(s.streams, 0.2);
+
+  baselines::routenet_estimator rn;
+  const auto examples = baselines::routenet_estimator::make_examples(
+      topo, routes, s.flows, s.rates, 712.0, truth);
+  ASSERT_GE(examples.size(), 8u);
+  rn.train(examples, 400);
+
+  // In-distribution predictions should land in the right order of magnitude.
+  const auto predictions = rn.predict_flows(topo, routes, s.flows, s.rates, 712.0);
+  const auto per_flow = des::per_flow_latencies(truth);
+  for (const auto& [flow, kpis] : predictions) {
+    const auto it = per_flow.find(flow);
+    if (it == per_flow.end() || it->second.size() < 4) continue;
+    const double truth_avg =
+        std::accumulate(it->second.begin(), it->second.end(), 0.0) /
+        static_cast<double>(it->second.size());
+    EXPECT_GT(kpis.avg_rtt, 0.0);
+    EXPECT_LT(std::abs(kpis.avg_rtt - truth_avg) / truth_avg, 1.5)
+        << "flow " << flow;
+  }
+}
+
+TEST(routenet, is_blind_to_traffic_model_changes) {
+  // The defining failure mode (§6.1): identical traffic matrix, different
+  // arrival process => identical RouteNet inputs => identical predictions.
+  const auto topo = topo::make_fattree16();
+  const topo::routing routes{topo};
+  const auto map_scenario =
+      make_scenario(16, traffic::traffic_model::map, 40'000.0, 0.1, 32);
+  des::network oracle{topo, routes, {}};
+  const auto truth = oracle.run(map_scenario.streams, 0.1);
+  baselines::routenet_estimator rn;
+  rn.train(baselines::routenet_estimator::make_examples(topo, routes,
+                                                        map_scenario.flows,
+                                                        map_scenario.rates, 712.0,
+                                                        truth),
+           200);
+  // Same flows, same rates: the features cannot distinguish Poisson/On-Off.
+  const auto pred_a =
+      rn.predict_flows(topo, routes, map_scenario.flows, map_scenario.rates, 712.0);
+  const auto pred_b =
+      rn.predict_flows(topo, routes, map_scenario.flows, map_scenario.rates, 712.0);
+  for (const auto& [flow, kpis] : pred_a) {
+    EXPECT_DOUBLE_EQ(kpis.avg_rtt, pred_b.at(flow).avg_rtt);
+    EXPECT_DOUBLE_EQ(kpis.p99_rtt, pred_b.at(flow).p99_rtt);
+  }
+}
+
+TEST(routenet, compare_routenet_produces_metrics) {
+  const auto topo = topo::make_fattree16();
+  const topo::routing routes{topo};
+  const auto s = make_scenario(16, traffic::traffic_model::map, 40'000.0, 0.2, 33);
+  des::network oracle{topo, routes, {}};
+  const auto truth = oracle.run(s.streams, 0.2);
+  baselines::routenet_estimator rn;
+  rn.train(baselines::routenet_estimator::make_examples(topo, routes, s.flows,
+                                                        s.rates, 712.0, truth),
+           300);
+  const auto predictions = rn.predict_flows(topo, routes, s.flows, s.rates, 712.0);
+  const auto cmp = baselines::compare_routenet(truth, predictions, 0.02, 4);
+  EXPECT_GT(cmp.samples, 8u);
+  EXPECT_GE(cmp.w1_avg_rtt, 0.0);
+}
+
+TEST(routenet, untrained_predict_throws) {
+  baselines::routenet_estimator rn;
+  EXPECT_THROW((void)rn.predict(std::vector<double>(8, 0.0)), std::logic_error);
+}
+
+TEST(mimicnet, trains_from_reference_and_predicts_fattree) {
+  const auto topo = topo::make_fattree16();
+  const topo::routing routes{topo};
+  const auto s = make_scenario(16, traffic::traffic_model::map, 40'000.0, 0.1, 34);
+  des::network oracle{topo, routes, {.tm = {}, .record_hops = true}};
+  const auto truth = oracle.run(s.streams, 0.1);
+
+  baselines::mimicnet_estimator mn;
+  mn.train(topo, truth, 40);
+  ASSERT_TRUE(mn.trained());
+
+  const auto pred = mn.predict(topo, routes, s.streams, 0.1);
+  ASSERT_EQ(pred.deliveries.size(), truth.deliveries.size());
+  // Mean latency in the right ballpark (mimics are accurate on fat-trees).
+  double mt = 0, mp = 0;
+  for (const auto& d : truth.deliveries) mt += d.latency();
+  for (const auto& d : pred.deliveries) mp += d.latency();
+  mt /= static_cast<double>(truth.deliveries.size());
+  mp /= static_cast<double>(pred.deliveries.size());
+  EXPECT_LT(std::abs(mp - mt) / mt, 0.5);
+}
+
+TEST(mimicnet, scale_generalizes_to_larger_fattree) {
+  // Train on FatTree16, predict on FatTree64 — MimicNet's core claim.
+  const auto small = topo::make_fattree16();
+  const topo::routing small_routes{small};
+  const auto s16 = make_scenario(16, traffic::traffic_model::map, 40'000.0, 0.1, 35);
+  des::network oracle{small, small_routes, {.tm = {}, .record_hops = true}};
+  const auto truth16 = oracle.run(s16.streams, 0.1);
+  baselines::mimicnet_estimator mn;
+  mn.train(small, truth16, 40);
+
+  const auto large = topo::make_fattree64();
+  const topo::routing large_routes{large};
+  const auto s64 = make_scenario(64, traffic::traffic_model::map, 20'000.0, 0.02, 36);
+  const auto pred = mn.predict(large, large_routes, s64.streams, 0.02);
+  std::size_t injected = 0;
+  for (const auto& stream : s64.streams) injected += stream.size();
+  EXPECT_EQ(pred.deliveries.size(), injected);
+  for (const auto& d : pred.deliveries) EXPECT_GT(d.latency(), 0.0);
+}
+
+TEST(mimicnet, untrained_predict_throws) {
+  const auto topo = topo::make_fattree16();
+  const topo::routing routes{topo};
+  baselines::mimicnet_estimator mn;
+  EXPECT_THROW((void)mn.predict(topo, routes, {}, 1.0), std::logic_error);
+}
+
+TEST(mimicnet, train_requires_hop_records) {
+  const auto topo = topo::make_fattree16();
+  baselines::mimicnet_estimator mn;
+  des::run_result no_hops;
+  EXPECT_THROW(mn.train(topo, no_hops), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,430 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "des/network.hpp"
+#include "des/simulator.hpp"
+#include "des/single_device.hpp"
+#include "des/traffic_manager.hpp"
+#include "topo/builders.hpp"
+#include "topo/routing.hpp"
+#include "traffic/traffic_gen.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dqn::des;
+using dqn::traffic::packet;
+using dqn::traffic::packet_event;
+using dqn::traffic::packet_stream;
+
+packet make_packet(std::uint64_t pid, std::uint32_t bytes, std::uint8_t priority = 0) {
+  packet p;
+  p.pid = pid;
+  p.flow_id = static_cast<std::uint32_t>(pid % 4);
+  p.size_bytes = bytes;
+  p.priority = priority;
+  return p;
+}
+
+// --- Simulator kernel ------------------------------------------------------
+
+TEST(simulator, executes_in_time_order) {
+  simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.run(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(simulator, fifo_among_equal_times) {
+  simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(1.0, [&] { order.push_back(2); });
+  sim.run(5.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(simulator, stops_at_horizon) {
+  simulator sim;
+  bool ran = false;
+  sim.schedule_at(5.0, [&] { ran = true; });
+  sim.run(2.0);
+  EXPECT_FALSE(ran);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+TEST(simulator, events_can_schedule_events) {
+  simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_in(0.1, recurse);
+  };
+  sim.schedule_at(0.0, recurse);
+  sim.run(10.0);
+  EXPECT_EQ(depth, 5);
+}
+
+TEST(simulator, rejects_past_events) {
+  simulator sim;
+  sim.schedule_at(1.0, [] {});
+  sim.run(2.0);
+  EXPECT_THROW(sim.schedule_at(1.5, [] {}), std::invalid_argument);
+}
+
+// --- Traffic managers -------------------------------------------------------
+
+TEST(traffic_manager, fifo_preserves_order) {
+  traffic_manager tm{{.kind = scheduler_kind::fifo}};
+  for (std::uint64_t i = 0; i < 5; ++i) EXPECT_TRUE(tm.enqueue(make_packet(i, 100)));
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const auto p = tm.dequeue();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->pid, i);
+  }
+  EXPECT_FALSE(tm.dequeue().has_value());
+}
+
+TEST(traffic_manager, drop_tail_when_full) {
+  traffic_manager tm{{.kind = scheduler_kind::fifo, .buffer_packets = 2}};
+  EXPECT_TRUE(tm.enqueue(make_packet(0, 100)));
+  EXPECT_TRUE(tm.enqueue(make_packet(1, 100)));
+  EXPECT_FALSE(tm.enqueue(make_packet(2, 100)));
+  EXPECT_EQ(tm.drops(), 1u);
+  EXPECT_EQ(tm.backlog_packets(), 2u);
+}
+
+TEST(traffic_manager, sp_serves_high_priority_first) {
+  tm_config cfg;
+  cfg.kind = scheduler_kind::sp;
+  cfg.classes = 3;
+  traffic_manager tm{cfg};
+  EXPECT_TRUE(tm.enqueue(make_packet(0, 100, 2)));
+  EXPECT_TRUE(tm.enqueue(make_packet(1, 100, 0)));
+  EXPECT_TRUE(tm.enqueue(make_packet(2, 100, 1)));
+  EXPECT_EQ(tm.dequeue()->pid, 1u);  // priority 0 first
+  EXPECT_EQ(tm.dequeue()->pid, 2u);
+  EXPECT_EQ(tm.dequeue()->pid, 0u);
+}
+
+TEST(traffic_manager, sp_fifo_within_class) {
+  tm_config cfg;
+  cfg.kind = scheduler_kind::sp;
+  cfg.classes = 2;
+  traffic_manager tm{cfg};
+  EXPECT_TRUE(tm.enqueue(make_packet(10, 100, 1)));
+  EXPECT_TRUE(tm.enqueue(make_packet(11, 100, 1)));
+  EXPECT_EQ(tm.dequeue()->pid, 10u);
+  EXPECT_EQ(tm.dequeue()->pid, 11u);
+}
+
+TEST(traffic_manager, wrr_respects_weights_over_a_round) {
+  tm_config cfg;
+  cfg.kind = scheduler_kind::wrr;
+  cfg.classes = 2;
+  cfg.class_weights = {3.0, 1.0};
+  traffic_manager tm{cfg};
+  for (std::uint64_t i = 0; i < 12; ++i)
+    EXPECT_TRUE(tm.enqueue(make_packet(i, 100, i % 2 == 0 ? 0 : 1)));
+  std::map<int, int> served_in_first_round;
+  for (int i = 0; i < 4; ++i) {
+    const auto p = tm.dequeue();
+    ASSERT_TRUE(p.has_value());
+    ++served_in_first_round[p->priority];
+  }
+  EXPECT_EQ(served_in_first_round[0], 3);
+  EXPECT_EQ(served_in_first_round[1], 1);
+}
+
+TEST(traffic_manager, wrr_skips_empty_queues) {
+  tm_config cfg;
+  cfg.kind = scheduler_kind::wrr;
+  cfg.classes = 2;
+  cfg.class_weights = {1.0, 5.0};
+  traffic_manager tm{cfg};
+  EXPECT_TRUE(tm.enqueue(make_packet(0, 100, 0)));  // only class 0 backlogged
+  EXPECT_EQ(tm.dequeue()->pid, 0u);
+  EXPECT_FALSE(tm.dequeue().has_value());
+}
+
+TEST(traffic_manager, drr_shares_bytes_by_weight) {
+  // Equal packet sizes, weights 2:1 -> byte share 2:1 over a long horizon.
+  tm_config cfg;
+  cfg.kind = scheduler_kind::drr;
+  cfg.classes = 2;
+  cfg.class_weights = {2.0, 1.0};
+  cfg.drr_quantum_bytes = 500;
+  traffic_manager tm{cfg};
+  for (std::uint64_t i = 0; i < 600; ++i)
+    EXPECT_TRUE(tm.enqueue(make_packet(i, 500, i % 2 == 0 ? 0 : 1)));
+  std::map<int, int> served;
+  for (int i = 0; i < 300; ++i) {
+    const auto p = tm.dequeue();
+    ASSERT_TRUE(p.has_value());
+    ++served[p->priority];
+  }
+  EXPECT_NEAR(served[0] / double(served[1]), 2.0, 0.15);
+}
+
+TEST(traffic_manager, drr_large_packets_wait_for_deficit) {
+  tm_config cfg;
+  cfg.kind = scheduler_kind::drr;
+  cfg.classes = 2;
+  cfg.class_weights = {1.0, 1.0};
+  cfg.drr_quantum_bytes = 100;
+  traffic_manager tm{cfg};
+  EXPECT_TRUE(tm.enqueue(make_packet(0, 250, 0)));  // needs 3 quanta
+  EXPECT_TRUE(tm.enqueue(make_packet(1, 100, 1)));
+  // Class 1's small packet is served while class 0 accumulates deficit.
+  EXPECT_EQ(tm.dequeue()->pid, 1u);
+  EXPECT_EQ(tm.dequeue()->pid, 0u);
+}
+
+TEST(traffic_manager, wfq_shares_service_by_weight) {
+  tm_config cfg;
+  cfg.kind = scheduler_kind::wfq;
+  cfg.classes = 2;
+  cfg.class_weights = {4.0, 1.0};
+  traffic_manager tm{cfg};
+  for (std::uint64_t i = 0; i < 500; ++i)
+    EXPECT_TRUE(tm.enqueue(make_packet(i, 1000, i % 2 == 0 ? 0 : 1)));
+  std::map<int, int> served;
+  for (int i = 0; i < 200; ++i) ++served[tm.dequeue()->priority];
+  EXPECT_NEAR(served[0] / double(served[1]), 4.0, 0.5);
+}
+
+TEST(traffic_manager, wfq_equal_weights_interleave) {
+  tm_config cfg;
+  cfg.kind = scheduler_kind::wfq;
+  cfg.classes = 2;
+  cfg.class_weights = {1.0, 1.0};
+  traffic_manager tm{cfg};
+  for (std::uint64_t i = 0; i < 100; ++i)
+    EXPECT_TRUE(tm.enqueue(make_packet(i, 1000, i % 2 == 0 ? 0 : 1)));
+  std::map<int, int> served;
+  for (int i = 0; i < 50; ++i) ++served[tm.dequeue()->priority];
+  EXPECT_NEAR(served[0], served[1], 2);
+}
+
+TEST(traffic_manager, work_conservation_across_disciplines) {
+  // Whatever the discipline, a non-empty TM always dequeues a packet, and
+  // total enqueued == total dequeued + backlog.
+  for (const auto kind : {scheduler_kind::fifo, scheduler_kind::sp,
+                          scheduler_kind::wrr, scheduler_kind::drr,
+                          scheduler_kind::wfq}) {
+    tm_config cfg;
+    cfg.kind = kind;
+    cfg.classes = kind == scheduler_kind::fifo ? 1 : 3;
+    if (kind == scheduler_kind::wrr || kind == scheduler_kind::drr ||
+        kind == scheduler_kind::wfq)
+      cfg.class_weights = {5.0, 3.0, 1.0};
+    traffic_manager tm{cfg};
+    dqn::util::rng rng{5};
+    std::size_t enqueued = 0;
+    for (std::uint64_t i = 0; i < 200; ++i) {
+      if (tm.enqueue(make_packet(
+              i, static_cast<std::uint32_t>(rng.uniform_int(64, 1500)),
+              static_cast<std::uint8_t>(rng.uniform_int(cfg.classes)))))
+        ++enqueued;
+    }
+    std::size_t dequeued = 0;
+    while (dequeued < 150) {
+      ASSERT_TRUE(tm.dequeue().has_value()) << to_string(kind);
+      ++dequeued;
+    }
+    EXPECT_EQ(tm.backlog_packets(), enqueued - dequeued) << to_string(kind);
+  }
+}
+
+TEST(traffic_manager, rejects_invalid_configs) {
+  tm_config no_weights;
+  no_weights.kind = scheduler_kind::wfq;
+  no_weights.classes = 2;
+  EXPECT_THROW(traffic_manager{no_weights}, std::invalid_argument);
+  tm_config multi_fifo;
+  multi_fifo.kind = scheduler_kind::fifo;
+  multi_fifo.classes = 2;
+  EXPECT_THROW(traffic_manager{multi_fifo}, std::invalid_argument);
+}
+
+// --- Single-switch harness ---------------------------------------------------
+
+TEST(single_switch, sojourn_at_idle_queue_is_zero) {
+  single_switch_config cfg;
+  cfg.ports = 2;
+  cfg.bandwidth_bps = 1e9;
+  packet_stream sparse;
+  for (int i = 0; i < 10; ++i)
+    sparse.push_back({make_packet(static_cast<std::uint64_t>(i), 1000), i * 1.0});
+  const auto result = run_single_switch(
+      cfg, {sparse, {}}, [](std::uint32_t, std::size_t) { return 1u; }, 20.0);
+  ASSERT_EQ(result.hops.size(), 10u);
+  for (const auto& hop : result.hops)
+    EXPECT_NEAR(hop.departure - hop.arrival, 0.0, 1e-12);
+}
+
+TEST(single_switch, back_to_back_packets_queue_behind_each_other) {
+  single_switch_config cfg;
+  cfg.ports = 1;
+  cfg.bandwidth_bps = 1e6;  // 1000-byte packet takes 8 ms
+  packet_stream burst;
+  for (int i = 0; i < 4; ++i)
+    burst.push_back({make_packet(static_cast<std::uint64_t>(i), 1000), 0.0});
+  const auto result = run_single_switch(
+      cfg, {burst}, [](std::uint32_t, std::size_t) { return 0u; }, 1.0);
+  ASSERT_EQ(result.hops.size(), 4u);
+  // Packet i waits i * 8ms (service of predecessors).
+  std::vector<double> sojourns;
+  for (const auto& hop : result.hops) sojourns.push_back(hop.departure - hop.arrival);
+  std::sort(sojourns.begin(), sojourns.end());
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(sojourns[i], i * 0.008, 1e-9);
+}
+
+TEST(single_switch, mm1_waiting_time_matches_theory) {
+  // Poisson arrivals + exponential sizes: E[W_queue] = rho/(mu-lambda).
+  dqn::util::rng rng{42};
+  const double lambda = 600.0, mu = 1000.0;
+  const double mean_bytes = 1250.0;
+  packet_stream stream;
+  double t = 0;
+  std::uint64_t pid = 0;
+  while (t < 200.0) {
+    t += rng.exponential(lambda);
+    auto p = make_packet(pid++,
+                         std::max<std::uint32_t>(
+                             1, static_cast<std::uint32_t>(std::lround(
+                                    rng.exponential(1.0 / mean_bytes)))));
+    stream.push_back({p, t});
+  }
+  single_switch_config cfg;
+  cfg.ports = 1;
+  cfg.bandwidth_bps = mean_bytes * 8.0 * mu;
+  const auto result = run_single_switch(
+      cfg, {stream}, [](std::uint32_t, std::size_t) { return 0u; }, 200.0);
+  double total_wait = 0;
+  for (const auto& hop : result.hops) total_wait += hop.departure - hop.arrival;
+  const double mean_wait = total_wait / static_cast<double>(result.hops.size());
+  const double rho = lambda / mu;
+  EXPECT_NEAR(mean_wait, rho / (mu - lambda), 0.15 * rho / (mu - lambda));
+}
+
+TEST(single_switch, drops_counted_when_buffer_overflows) {
+  single_switch_config cfg;
+  cfg.ports = 1;
+  cfg.bandwidth_bps = 1e6;
+  cfg.tm.buffer_packets = 4;
+  packet_stream flood;
+  for (int i = 0; i < 100; ++i)
+    flood.push_back({make_packet(static_cast<std::uint64_t>(i), 1500), 0.0});
+  const auto result = run_single_switch(
+      cfg, {flood}, [](std::uint32_t, std::size_t) { return 0u; }, 5.0);
+  EXPECT_GT(result.drops, 0u);
+  EXPECT_EQ(result.hops.size() + result.drops, 100u);
+}
+
+// --- Whole-network DES -------------------------------------------------------
+
+TEST(network, low_load_latency_equals_path_delay) {
+  // One widely-spaced flow over Line4: latency = per-hop serialization +
+  // propagation, with zero queueing.
+  const auto topo = dqn::topo::make_line(4);
+  const dqn::topo::routing routes{topo};
+  network_config cfg;
+  network net{topo, routes, cfg};
+
+  packet_stream stream;
+  for (int i = 0; i < 20; ++i) {
+    auto p = make_packet(static_cast<std::uint64_t>(i), 1000);
+    p.flow_id = 1;
+    p.src_host = 0;
+    p.dst_host = 3;  // host index
+    stream.push_back({p, 0.1 + i * 0.01});
+  }
+  std::vector<packet_stream> host_streams(4);
+  host_streams[0] = stream;
+  const auto result = net.run(host_streams, 1.0);
+  ASSERT_EQ(result.deliveries.size(), 20u);
+  // Path: host0 uplink + 3 switch hops + final downlink = 5 links of 10G,
+  // each 0.8us serialization + 1us propagation.
+  const double expected = 5 * (1000 * 8.0 / 10e9 + 1e-6);
+  for (const auto& d : result.deliveries) EXPECT_NEAR(d.latency(), expected, 1e-9);
+}
+
+TEST(network, conserves_packets_at_moderate_load) {
+  const auto topo = dqn::topo::make_fattree16();
+  const dqn::topo::routing routes{topo};
+  dqn::util::rng rng{7};
+  auto flows = dqn::traffic::make_uniform_flows(16, 1, rng);
+  dqn::traffic::tg_util_config tg;
+  tg.model = dqn::traffic::traffic_model::poisson;
+  tg.per_flow_rate = 20'000.0;
+  auto generators = dqn::traffic::make_generators(flows, tg);
+  const auto streams = dqn::traffic::per_host_streams(generators, 16, 0.2, rng);
+  std::size_t injected = 0;
+  for (const auto& s : streams) injected += s.size();
+
+  network net{topo, routes, {}};
+  const auto result = net.run(streams, 0.2);
+  EXPECT_EQ(result.deliveries.size() + result.drops, injected);
+  EXPECT_EQ(result.drops, 0u);  // moderate load, large buffers
+}
+
+TEST(network, hop_records_cover_every_switch_on_path) {
+  const auto topo = dqn::topo::make_line(3);
+  const dqn::topo::routing routes{topo};
+  network net{topo, routes, {.tm = {}, .record_hops = true}};
+  packet_stream stream;
+  auto p = make_packet(0, 500);
+  p.flow_id = 9;
+  p.dst_host = 2;
+  stream.push_back({p, 0.0});
+  std::vector<packet_stream> host_streams(3);
+  host_streams[0] = stream;
+  const auto result = net.run(host_streams, 1.0);
+  ASSERT_EQ(result.deliveries.size(), 1u);
+  EXPECT_EQ(result.hops.size(), 3u);  // s0, s1, s2
+}
+
+TEST(network, queueing_latency_grows_with_load) {
+  const auto topo = dqn::topo::make_line(2);
+  const dqn::topo::routing routes{topo};
+  auto run_at = [&](double rate) {
+    dqn::util::rng rng{11};
+    std::vector<dqn::traffic::flow_spec> flows;
+    for (std::uint32_t f = 0; f < 2; ++f) {
+      dqn::traffic::flow_spec flow;
+      flow.flow_id = f;
+      flow.src_host = static_cast<std::int32_t>(f);
+      flow.dst_host = static_cast<std::int32_t>(1 - f);
+      flows.push_back(flow);
+    }
+    dqn::traffic::tg_util_config tg;
+    tg.model = dqn::traffic::traffic_model::poisson;
+    tg.per_flow_rate = rate;
+    auto generators = dqn::traffic::make_generators(flows, tg);
+    const auto streams = dqn::traffic::per_host_streams(generators, 2, 0.5, rng);
+    network net{topo, routes, {}};
+    const auto result = net.run(streams, 0.5);
+    double total = 0;
+    for (const auto& d : result.deliveries) total += d.latency();
+    return total / static_cast<double>(result.deliveries.size());
+  };
+  // 10G links, ~712B mean packets -> ~1.75 Mpps capacity.
+  const double low = run_at(100'000.0);   // ~6% load
+  const double high = run_at(1'500'000.0);  // ~85% load
+  EXPECT_GT(high, low * 1.5);
+}
+
+TEST(network, rejects_wrong_stream_count) {
+  const auto topo = dqn::topo::make_line(2);
+  const dqn::topo::routing routes{topo};
+  network net{topo, routes, {}};
+  EXPECT_THROW((void)net.run({}, 1.0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,161 @@
+// Further engine coverage: host-NIC modeling, iteration controls, hop
+// recording, and SEC's effect at the network level. Shares one tiny trained
+// model across the binary.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <set>
+
+#include "core/dutil.hpp"
+#include "core/engine.hpp"
+#include "des/network.hpp"
+#include "topo/builders.hpp"
+#include "topo/routing.hpp"
+#include "traffic/traffic_gen.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dqn;
+
+std::shared_ptr<const core::ptm_model> shared_ptm() {
+  static const core::device_model_bundle bundle = [] {
+    core::dutil_config cfg;
+    cfg.ports = 4;
+    cfg.streams = 30;
+    cfg.packets_per_stream = 600;
+    cfg.ptm.time_steps = 8;
+    cfg.ptm.mlp_hidden = {48, 24};
+    cfg.ptm.epochs = 10;
+    cfg.seed = 99;
+    return core::train_device_model(cfg);
+  }();
+  return std::shared_ptr<const core::ptm_model>{&bundle.model,
+                                                [](const core::ptm_model*) {}};
+}
+
+std::vector<traffic::packet_stream> make_streams(std::size_t hosts, double rate,
+                                                 double horizon,
+                                                 std::uint64_t seed) {
+  util::rng rng{seed};
+  auto flows = traffic::make_uniform_flows(hosts, 1, rng);
+  traffic::tg_util_config tg;
+  tg.per_flow_rate = rate;
+  tg.seed = seed;
+  auto generators = traffic::make_generators(flows, tg);
+  return traffic::per_host_streams(generators, hosts, horizon, rng);
+}
+
+TEST(engine_extra, host_nic_modeling_adds_nonnegative_delay) {
+  const auto topo = topo::make_line(3);
+  const topo::routing routes{topo};
+  const auto streams = make_streams(3, 50'000.0, 0.02, 1);
+  core::engine_config with_nic;
+  with_nic.model_host_nics = true;
+  core::engine_config without_nic;
+  without_nic.model_host_nics = false;
+  core::dqn_network net_with{topo, routes, shared_ptm(), {}, with_nic};
+  core::dqn_network net_without{topo, routes, shared_ptm(), {}, without_nic};
+  const auto r_with = net_with.run(streams, 0.02);
+  const auto r_without = net_without.run(streams, 0.02);
+  ASSERT_EQ(r_with.deliveries.size(), r_without.deliveries.size());
+  double sum_with = 0, sum_without = 0;
+  for (const auto& d : r_with.deliveries) sum_with += d.latency();
+  for (const auto& d : r_without.deliveries) sum_without += d.latency();
+  EXPECT_GE(sum_with, sum_without);
+}
+
+TEST(engine_extra, max_iterations_override_caps_irsa) {
+  const auto topo = topo::make_fattree16();
+  const topo::routing routes{topo};
+  core::engine_config cfg;
+  cfg.max_iterations = 2;
+  core::dqn_network net{topo, routes, shared_ptm(), {}, cfg};
+  const auto streams = make_streams(16, 20'000.0, 0.005, 2);
+  (void)net.run(streams, 0.005);
+  EXPECT_LE(net.stats().iterations, 2u);
+}
+
+TEST(engine_extra, hop_records_match_deliveries_paths) {
+  const auto topo = topo::make_line(4);
+  const topo::routing routes{topo};
+  core::engine_config cfg;
+  cfg.record_hops = true;
+  core::dqn_network net{topo, routes, shared_ptm(), {}, cfg};
+  const auto streams = make_streams(4, 20'000.0, 0.01, 3);
+  const auto result = net.run(streams, 0.01);
+  ASSERT_GT(result.deliveries.size(), 0u);
+  // Each delivered packet appears in exactly path_length-2 hop records
+  // (one per switch; hosts are not devices).
+  std::map<std::uint64_t, std::size_t> hop_counts;
+  for (const auto& h : result.hops) ++hop_counts[h.pid];
+  for (const auto& d : result.deliveries) {
+    const auto path = routes.flow_path(d.src, d.dst, d.flow_id);
+    EXPECT_EQ(hop_counts[d.pid], path.size() - 2) << "pid " << d.pid;
+  }
+}
+
+TEST(engine_extra, sec_toggle_preserves_conservation) {
+  // SEC corrections are significance-gated (sec.cpp): for a well-calibrated
+  // model they may legitimately be a no-op, but toggling SEC must never
+  // change which packets are delivered — only (possibly) their timing.
+  const auto topo = topo::make_line(3);
+  const topo::routing routes{topo};
+  const auto streams = make_streams(3, 80'000.0, 0.02, 4);
+  core::engine_config on;
+  core::engine_config off;
+  off.apply_sec = false;
+  core::dqn_network net_on{topo, routes, shared_ptm(), {}, on};
+  core::dqn_network net_off{topo, routes, shared_ptm(), {}, off};
+  const auto r_on = net_on.run(streams, 0.02);
+  const auto r_off = net_off.run(streams, 0.02);
+  ASSERT_EQ(r_on.deliveries.size(), r_off.deliveries.size());
+  std::set<std::uint64_t> pids_on, pids_off;
+  for (const auto& d : r_on.deliveries) pids_on.insert(d.pid);
+  for (const auto& d : r_off.deliveries) pids_off.insert(d.pid);
+  EXPECT_EQ(pids_on, pids_off);
+}
+
+TEST(engine_extra, deterministic_across_runs) {
+  const auto topo = topo::make_torus2d(2, 2);
+  const topo::routing routes{topo};
+  const auto streams = make_streams(4, 30'000.0, 0.01, 5);
+  core::dqn_network net1{topo, routes, shared_ptm(), {}, {}};
+  core::dqn_network net2{topo, routes, shared_ptm(), {}, {}};
+  const auto r1 = net1.run(streams, 0.01);
+  const auto r2 = net2.run(streams, 0.01);
+  ASSERT_EQ(r1.deliveries.size(), r2.deliveries.size());
+  for (std::size_t i = 0; i < r1.deliveries.size(); ++i) {
+    EXPECT_EQ(r1.deliveries[i].pid, r2.deliveries[i].pid);
+    EXPECT_DOUBLE_EQ(r1.deliveries[i].delivery_time, r2.deliveries[i].delivery_time);
+  }
+}
+
+TEST(engine_extra, works_on_every_evaluation_topology) {
+  for (auto build : {+[] { return topo::make_line(4); },
+                     +[] { return topo::make_torus2d(4, 4); },
+                     +[] { return topo::make_abilene(); },
+                     +[] { return topo::make_geant(); },
+                     +[] { return topo::make_fattree16(); }}) {
+    const auto topo = build();
+    const topo::routing routes{topo};
+    core::dqn_network net{topo, routes, shared_ptm(), {}, {}};
+    const auto streams = make_streams(topo.hosts().size(), 10'000.0, 0.004, 6);
+    std::size_t injected = 0;
+    for (const auto& s : streams) injected += s.size();
+    const auto result = net.run(streams, 0.004);
+    EXPECT_EQ(result.deliveries.size(), injected);
+    EXPECT_LE(net.stats().iterations, 1 + topo.diameter());
+  }
+}
+
+TEST(engine_extra, zero_traffic_is_handled) {
+  const auto topo = topo::make_line(2);
+  const topo::routing routes{topo};
+  core::dqn_network net{topo, routes, shared_ptm(), {}, {}};
+  const auto result = net.run(std::vector<traffic::packet_stream>(2), 1.0);
+  EXPECT_TRUE(result.deliveries.empty());
+}
+
+}  // namespace

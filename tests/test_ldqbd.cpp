@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "des/single_device.hpp"
+#include "queueing/ldqbd.hpp"
+#include "queueing/markovian_arrival.hpp"
+#include "traffic/packet.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dqn::queueing;
+
+TEST(ldqbd, mm1_special_case_matches_closed_form) {
+  // K = 1 class, Poisson arrivals: the LDQBD is a truncated M/M/1 whose
+  // stationary queue-length law is geometric: P(L = n) = (1-rho) rho^n.
+  const double lambda = 6.0, mu = 10.0, rho = lambda / mu;
+  scheduler_model_config cfg;
+  cfg.class_probs = {1.0};
+  cfg.service_rate = mu;
+  cfg.discipline = scheduler_discipline::wfq;
+  cfg.weights = {1.0};
+  cfg.truncation_level = 60;  // truncation error ~ rho^60, negligible
+  ldqbd_scheduler_model model{map_process::poisson(lambda), cfg};
+  model.solve();
+  const auto dist = model.level_distribution();
+  for (std::size_t n = 0; n < 10; ++n)
+    EXPECT_NEAR(dist[n], (1 - rho) * std::pow(rho, double(n)), 1e-6)
+        << "queue length " << n;
+  EXPECT_NEAR(model.mean_queue_length(0), rho / (1 - rho), 1e-3);
+}
+
+TEST(ldqbd, mean_sojourn_satisfies_littles_law_mm1) {
+  const double lambda = 4.0, mu = 10.0;
+  scheduler_model_config cfg;
+  cfg.class_probs = {1.0};
+  cfg.service_rate = mu;
+  cfg.discipline = scheduler_discipline::wfq;
+  cfg.weights = {1.0};
+  cfg.truncation_level = 60;
+  ldqbd_scheduler_model model{map_process::poisson(lambda), cfg};
+  model.solve();
+  // M/M/1 sojourn: 1/(mu - lambda).
+  EXPECT_NEAR(model.mean_sojourn(0), 1.0 / (mu - lambda), 1e-3);
+}
+
+TEST(ldqbd, distributions_sum_to_one) {
+  scheduler_model_config cfg;
+  cfg.class_probs = {0.3, 0.7};
+  cfg.service_rate = 12.0;
+  cfg.discipline = scheduler_discipline::sp;
+  cfg.truncation_level = 25;
+  ldqbd_scheduler_model model{map_process::mmpp2(0.5, 0.8, 9.0, 3.0), cfg};
+  model.solve();
+  double level_total = 0;
+  for (double p : model.level_distribution()) {
+    EXPECT_GE(p, -1e-12);
+    level_total += p;
+  }
+  EXPECT_NEAR(level_total, 1.0, 1e-9);
+  for (std::size_t k = 0; k < 2; ++k) {
+    double class_total = 0;
+    for (double p : model.class_queue_length_distribution(k)) class_total += p;
+    EXPECT_NEAR(class_total, 1.0, 1e-9);
+  }
+}
+
+TEST(ldqbd, sp_starves_low_priority) {
+  // Under SP the high-priority class sees an M/M/1-like queue while the low
+  // priority class queues behind it: E[n_low] > E[n_high].
+  scheduler_model_config cfg;
+  cfg.class_probs = {0.5, 0.5};
+  cfg.service_rate = 10.0;
+  cfg.discipline = scheduler_discipline::sp;
+  cfg.truncation_level = 30;
+  ldqbd_scheduler_model model{map_process::poisson(7.0), cfg};
+  model.solve();
+  EXPECT_GT(model.mean_queue_length(1), model.mean_queue_length(0));
+}
+
+TEST(ldqbd, wfq_weights_shift_queue_mass) {
+  scheduler_model_config cfg;
+  cfg.class_probs = {0.5, 0.5};
+  cfg.service_rate = 10.0;
+  cfg.discipline = scheduler_discipline::wfq;
+  cfg.weights = {9.0, 1.0};
+  cfg.truncation_level = 30;
+  ldqbd_scheduler_model model{map_process::poisson(7.0), cfg};
+  model.solve();
+  // The heavily-weighted class is served faster when both are backlogged.
+  EXPECT_LT(model.mean_queue_length(0), model.mean_queue_length(1));
+}
+
+TEST(ldqbd, equal_weights_equal_classes_are_symmetric) {
+  scheduler_model_config cfg;
+  cfg.class_probs = {0.5, 0.5};
+  cfg.service_rate = 10.0;
+  cfg.discipline = scheduler_discipline::wfq;
+  cfg.weights = {1.0, 1.0};
+  cfg.truncation_level = 25;
+  ldqbd_scheduler_model model{map_process::poisson(6.0), cfg};
+  model.solve();
+  EXPECT_NEAR(model.mean_queue_length(0), model.mean_queue_length(1), 1e-6);
+}
+
+TEST(ldqbd, state_count_grows_binomially) {
+  auto count_for = [](std::size_t classes) {
+    scheduler_model_config cfg;
+    cfg.class_probs.assign(classes, 1.0 / double(classes));
+    cfg.service_rate = 10.0;
+    cfg.discipline = scheduler_discipline::sp;
+    cfg.truncation_level = 10;
+    ldqbd_scheduler_model model{map_process::poisson(5.0), cfg};
+    return model.state_count();
+  };
+  // d_l = M * C(l + K - 1, K - 1): total for L=10, M=1-state Poisson.
+  EXPECT_EQ(count_for(1), 11u);
+  EXPECT_EQ(count_for(2), 66u);   // sum_{l=0..10} (l+1)
+  EXPECT_EQ(count_for(3), 286u);  // sum C(l+2,2)
+}
+
+TEST(ldqbd, service_share_definitions) {
+  scheduler_model_config cfg;
+  cfg.class_probs = {0.5, 0.5};
+  cfg.service_rate = 10.0;
+  cfg.discipline = scheduler_discipline::wfq;
+  cfg.weights = {3.0, 1.0};
+  cfg.truncation_level = 5;
+  ldqbd_scheduler_model model{map_process::poisson(1.0), cfg};
+  const std::vector<std::size_t> both{2, 3};
+  EXPECT_NEAR(model.service_share(both, 0), 7.5, 1e-12);
+  EXPECT_NEAR(model.service_share(both, 1), 2.5, 1e-12);
+  const std::vector<std::size_t> only_second{0, 3};
+  EXPECT_NEAR(model.service_share(only_second, 0), 0.0, 1e-12);
+  EXPECT_NEAR(model.service_share(only_second, 1), 10.0, 1e-12);  // work conserving
+}
+
+TEST(ldqbd, sp_service_share) {
+  scheduler_model_config cfg;
+  cfg.class_probs = {0.5, 0.5};
+  cfg.service_rate = 8.0;
+  cfg.discipline = scheduler_discipline::sp;
+  cfg.truncation_level = 5;
+  ldqbd_scheduler_model model{map_process::poisson(1.0), cfg};
+  const std::vector<std::size_t> both{1, 1};
+  EXPECT_NEAR(model.service_share(both, 0), 8.0, 1e-12);
+  EXPECT_NEAR(model.service_share(both, 1), 0.0, 1e-12);
+}
+
+TEST(ldqbd, rejects_invalid_configs) {
+  scheduler_model_config cfg;
+  cfg.class_probs = {0.6, 0.6};  // sums to 1.2
+  cfg.service_rate = 10.0;
+  cfg.discipline = scheduler_discipline::sp;
+  EXPECT_THROW(
+      (ldqbd_scheduler_model{map_process::poisson(1.0), cfg}),
+      std::invalid_argument);
+  cfg.class_probs = {1.0};
+  cfg.service_rate = 0.0;
+  EXPECT_THROW(
+      (ldqbd_scheduler_model{map_process::poisson(1.0), cfg}),
+      std::invalid_argument);
+}
+
+TEST(ldqbd, query_before_solve_throws) {
+  scheduler_model_config cfg;
+  cfg.class_probs = {1.0};
+  cfg.service_rate = 10.0;
+  cfg.discipline = scheduler_discipline::sp;
+  ldqbd_scheduler_model model{map_process::poisson(1.0), cfg};
+  EXPECT_THROW((void)model.level_distribution(), std::logic_error);
+}
+
+// Cross-validation against the DES (a compact version of Figure 14).
+TEST(ldqbd, matches_des_queue_length_distribution_under_sp) {
+  // 2-class SP, Poisson aggregate. The model assumes exponential service, so
+  // the DES draws exponentially-sized packets (mean 125 B) over a link whose
+  // rate serves mu packets/s at the mean size.
+  const double mu = 10'000.0;  // packets/s service rate
+  const double lambda = 5'000.0;
+  const double mean_packet_bytes = 125.0;
+  scheduler_model_config cfg;
+  cfg.class_probs = {0.5, 0.5};
+  cfg.service_rate = mu;
+  cfg.discipline = scheduler_discipline::sp;
+  cfg.truncation_level = 40;
+  ldqbd_scheduler_model model{map_process::poisson(lambda), cfg};
+  model.solve();
+
+  // DES: one egress queue, SP with 2 classes.
+  dqn::util::rng rng{99};
+  dqn::traffic::packet_stream stream;
+  double t = 0;
+  std::uint64_t pid = 0;
+  while (t < 40.0) {
+    t += rng.exponential(lambda);
+    dqn::traffic::packet p;
+    p.pid = pid++;
+    p.flow_id = static_cast<std::uint32_t>(pid % 7);
+    p.size_bytes = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(
+               std::lround(rng.exponential(1.0 / mean_packet_bytes))));
+    p.priority = rng.bernoulli(0.5) ? 0 : 1;
+    stream.push_back({p, t});
+  }
+  dqn::des::single_switch_config sw;
+  sw.ports = 1;
+  sw.tm.kind = dqn::des::scheduler_kind::sp;
+  sw.tm.classes = 2;
+  sw.bandwidth_bps = mean_packet_bytes * 8.0 * mu;
+  auto result = dqn::des::run_single_switch(
+      sw, {stream}, [](std::uint32_t, std::size_t) { return 0u; }, 40.0,
+      /*sample_queues=*/true);
+
+  // Empirical P(total queue <= n) at arrival epochs (PASTA) vs the model.
+  std::vector<double> empirical(cfg.truncation_level + 1, 0.0);
+  for (const auto& sample : result.queue_samples) {
+    // Waiting counts per class plus the in-service packet (encoded as
+    // class+1 in the final entry).
+    std::size_t total = sample.back() > 0 ? 1 : 0;
+    for (std::size_t k = 0; k + 1 < sample.size(); ++k) total += sample[k];
+    if (total <= cfg.truncation_level) empirical[total] += 1.0;
+  }
+  const double n_samples = static_cast<double>(result.queue_samples.size());
+  for (auto& p : empirical) p /= n_samples;
+  const auto theoretical = model.level_distribution();
+  double cum_emp = 0, cum_theory = 0;
+  for (std::size_t n = 0; n <= 10; ++n) {
+    cum_emp += empirical[n];
+    cum_theory += theoretical[n];
+    EXPECT_NEAR(cum_emp, cum_theory, 0.06) << "CDF at queue length " << n;
+  }
+}
+
+}  // namespace

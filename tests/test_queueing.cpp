@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "queueing/linalg.hpp"
+#include "queueing/map_fit.hpp"
+#include "queueing/markovian_arrival.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dqn::queueing;
+using dqn::nn::matrix;
+
+TEST(linalg, solve_known_system) {
+  matrix a{2, 2, {2, 1, 1, 3}};
+  matrix b{2, 1, {5, 10}};
+  const matrix x = solve(a, b);
+  EXPECT_NEAR(x(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(x(1, 0), 3.0, 1e-12);
+}
+
+TEST(linalg, inverse_times_original_is_identity) {
+  dqn::util::rng r{1};
+  matrix a{4, 4};
+  for (auto& v : a.data()) v = r.normal(0, 1);
+  for (std::size_t i = 0; i < 4; ++i) a(i, i) += 4;  // diagonally dominant
+  const matrix inv = inverse(a);
+  const matrix product = dqn::nn::matmul(a, inv);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j)
+      EXPECT_NEAR(product(i, j), i == j ? 1.0 : 0.0, 1e-10);
+}
+
+TEST(linalg, singular_matrix_throws) {
+  matrix a{2, 2, {1, 2, 2, 4}};
+  matrix b{2, 1, {1, 1}};
+  EXPECT_THROW((void)solve(a, b), std::runtime_error);
+}
+
+TEST(linalg, expm_of_zero_is_identity) {
+  const matrix e = expm(matrix{3, 3});
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_NEAR(e(i, j), i == j ? 1.0 : 0.0, 1e-12);
+}
+
+TEST(linalg, expm_diagonal_matches_scalar_exp) {
+  matrix a{2, 2};
+  a(0, 0) = -1.0;
+  a(1, 1) = 2.5;
+  const matrix e = expm(a);
+  EXPECT_NEAR(e(0, 0), std::exp(-1.0), 1e-10);
+  EXPECT_NEAR(e(1, 1), std::exp(2.5), 1e-10);
+  EXPECT_NEAR(e(0, 1), 0.0, 1e-12);
+}
+
+TEST(linalg, expm_rotation_block) {
+  // exp([[0,-t],[t,0]]) = [[cos t, -sin t], [sin t, cos t]].
+  const double t = 0.7;
+  matrix a{2, 2, {0, -t, t, 0}};
+  const matrix e = expm(a);
+  EXPECT_NEAR(e(0, 0), std::cos(t), 1e-10);
+  EXPECT_NEAR(e(0, 1), -std::sin(t), 1e-10);
+  EXPECT_NEAR(e(1, 0), std::sin(t), 1e-10);
+}
+
+TEST(linalg, ctmc_stationary_two_state) {
+  // Rates 1->2 at 2, 2->1 at 3: pi = (0.6, 0.4).
+  matrix q{2, 2, {-2, 2, 3, -3}};
+  const auto pi = ctmc_stationary(q);
+  EXPECT_NEAR(pi[0], 0.6, 1e-12);
+  EXPECT_NEAR(pi[1], 0.4, 1e-12);
+}
+
+TEST(linalg, dtmc_stationary_two_state) {
+  matrix p{2, 2, {0.9, 0.1, 0.3, 0.7}};
+  const auto pi = dtmc_stationary(p);
+  EXPECT_NEAR(pi[0], 0.75, 1e-12);
+  EXPECT_NEAR(pi[1], 0.25, 1e-12);
+}
+
+// --- MAP ------------------------------------------------------------------
+
+TEST(map_process, poisson_special_case_analytics) {
+  const auto m = map_process::poisson(5.0);
+  EXPECT_NEAR(m.mean_rate(), 5.0, 1e-12);
+  EXPECT_NEAR(m.iat_mean(), 0.2, 1e-12);
+  EXPECT_NEAR(m.iat_scv(), 1.0, 1e-12);  // exponential: SCV = 1
+  EXPECT_NEAR(m.iat_lag1_correlation(), 0.0, 1e-12);
+  // CDF is 1 - e^{-5t}.
+  EXPECT_NEAR(m.iat_cdf(0.2), 1 - std::exp(-1.0), 1e-10);
+}
+
+TEST(map_process, validation_rejects_bad_matrices) {
+  matrix d0{2, 2, {-1, 0.5, 0, -1}};
+  matrix d1{2, 2, {0.5, 0, 0.5, 0.5}};
+  EXPECT_NO_THROW(map_process(d0, d1));
+  matrix bad_d1{2, 2, {0.4, 0, 0.5, 0.5}};  // row sums not zero
+  EXPECT_THROW(map_process(d0, bad_d1), std::invalid_argument);
+  matrix neg_d1{2, 2, {0.5, 0, 1.0, -0.5}};
+  EXPECT_THROW(map_process(d0, neg_d1), std::invalid_argument);
+}
+
+TEST(map_process, paper_example_rate_is_4800) {
+  // Appendix B.3: "the average arriving rate of the aggregate flow is 4800
+  // packets per sec according to the MAP(2) model."
+  const auto m = map_process::paper_example();
+  EXPECT_NEAR(m.mean_rate(), 4800.0, 1.0);
+}
+
+TEST(map_process, mmpp2_is_bursty) {
+  const auto m = map_process::mmpp2(1.0, 1.0, 20.0, 1.0);
+  EXPECT_GT(m.iat_scv(), 1.0);               // burstier than Poisson
+  EXPECT_GT(m.iat_lag1_correlation(), 0.0);  // positively correlated IATs
+}
+
+TEST(map_process, scaled_rescales_rate_but_keeps_shape) {
+  const auto m = map_process::mmpp2(0.7, 1.3, 9.0, 2.0);
+  const auto scaled = m.scaled(3.0);
+  EXPECT_NEAR(scaled.mean_rate(), 3.0 * m.mean_rate(), 1e-9);
+  EXPECT_NEAR(scaled.iat_scv(), m.iat_scv(), 1e-9);
+  EXPECT_NEAR(scaled.iat_lag1_correlation(), m.iat_lag1_correlation(), 1e-9);
+}
+
+TEST(map_process, thinning_reduces_rate_proportionally) {
+  const auto m = map_process::paper_example();
+  const auto thinned = m.thinned(0.3);
+  EXPECT_NEAR(thinned.mean_rate(), 0.3 * m.mean_rate(), 1e-6);
+}
+
+TEST(map_process, simulated_iats_match_analytic_moments) {
+  const auto m = map_process::mmpp2(2.0, 3.0, 40.0, 5.0);
+  dqn::util::rng rng{77};
+  std::size_t state = m.sample_initial_state(rng);
+  constexpr int n = 200'000;
+  double total = 0, total_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double iat = m.sample_iat(state, rng);
+    total += iat;
+    total_sq += iat * iat;
+  }
+  const double mean = total / n;
+  const double m2 = total_sq / n;
+  EXPECT_NEAR(mean, m.iat_mean(), 0.02 * m.iat_mean());
+  EXPECT_NEAR(m2, m.iat_moment(2), 0.05 * m.iat_moment(2));
+}
+
+TEST(map_process, simulated_cdf_matches_analytic_cdf) {
+  const auto m = map_process::mmpp2(1.5, 2.5, 30.0, 4.0);
+  dqn::util::rng rng{78};
+  std::size_t state = m.sample_initial_state(rng);
+  std::vector<double> iats(100'000);
+  for (auto& iat : iats) iat = m.sample_iat(state, rng);
+  std::sort(iats.begin(), iats.end());
+  for (const double q : {0.25, 0.5, 0.9}) {
+    const double x = iats[static_cast<std::size_t>(q * iats.size())];
+    EXPECT_NEAR(m.iat_cdf(x), q, 0.01);
+  }
+}
+
+TEST(map_process, embedded_stationary_sums_to_one) {
+  const auto m = map_process::paper_example();
+  const auto pia = m.embedded_stationary();
+  double total = 0;
+  for (double p : pia) {
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+// --- MAP fitting (Figure 12) -----------------------------------------------
+
+TEST(map_fit, statistics_of_known_sample) {
+  // Constant IATs: SCV 0, lag1 undefined -> 0.
+  const std::vector<double> iats(100, 0.5);
+  const auto stats = compute_iat_statistics(iats);
+  EXPECT_NEAR(stats.mean, 0.5, 1e-12);
+  EXPECT_NEAR(stats.scv, 0.0, 1e-12);
+}
+
+TEST(map_fit, recovers_poisson_like_traffic) {
+  dqn::util::rng rng{80};
+  std::vector<double> iats(50'000);
+  for (auto& iat : iats) iat = rng.exponential(10.0);
+  const auto fit = fit_mmpp2(iats);
+  EXPECT_NEAR(fit.achieved.mean, 0.1, 0.01);
+  EXPECT_NEAR(fit.achieved.scv, 1.0, 0.15);
+}
+
+TEST(map_fit, recovers_bursty_mmpp) {
+  const auto truth = map_process::mmpp2(1.0, 2.0, 50.0, 4.0);
+  dqn::util::rng rng{81};
+  std::size_t state = truth.sample_initial_state(rng);
+  std::vector<double> iats(80'000);
+  for (auto& iat : iats) iat = truth.sample_iat(state, rng);
+  const auto fit = fit_mmpp2(iats);
+  // Moment targets should be matched within a few percent.
+  EXPECT_NEAR(fit.achieved.mean, fit.target.mean, 0.05 * fit.target.mean);
+  EXPECT_NEAR(fit.achieved.scv, fit.target.scv, 0.15 * fit.target.scv);
+  EXPECT_NEAR(fit.achieved.lag1, fit.target.lag1, 0.1);
+  // And the fitted model's CDF should track the empirical one (Figure 12).
+  std::sort(iats.begin(), iats.end());
+  for (const double q : {0.25, 0.5, 0.75, 0.95}) {
+    const double x = iats[static_cast<std::size_t>(q * iats.size())];
+    EXPECT_NEAR(fit.fitted.iat_cdf(x), q, 0.12) << "quantile " << q;
+  }
+}
+
+TEST(map_process, chain2_covers_sub_poisson_variability) {
+  // Pure hypoexponential chain (a=0, q=1): SCV = (b^2+c^2)/(b+c)^2 < 1.
+  const auto m = map_process::chain2(0.0, 10.0, 10.0, 1.0);
+  EXPECT_NEAR(m.iat_scv(), 0.5, 1e-9);
+  EXPECT_NEAR(m.iat_mean(), 0.2, 1e-9);
+  EXPECT_NEAR(m.iat_lag1_correlation(), 0.0, 1e-9);
+}
+
+TEST(map_process, chain2_validates_parameters) {
+  EXPECT_THROW((void)map_process::chain2(-1, 1, 1, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)map_process::chain2(0, 0, 1, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)map_process::chain2(0, 1, 1, 1.5), std::invalid_argument);
+}
+
+TEST(map_process, chain2_simulation_matches_analytics) {
+  const auto m = map_process::chain2(2.0, 8.0, 12.0, 0.7);
+  dqn::util::rng rng{55};
+  std::size_t state = m.sample_initial_state(rng);
+  double total = 0;
+  constexpr int n = 100'000;
+  for (int i = 0; i < n; ++i) total += m.sample_iat(state, rng);
+  EXPECT_NEAR(total / n, m.iat_mean(), 0.02 * m.iat_mean());
+}
+
+TEST(map_fit, handles_sub_poisson_samples) {
+  // Erlang-2-like IATs: SCV 0.5, below MMPP(2)'s floor of 1 — the fitter
+  // must fall back to the chain/full families.
+  dqn::util::rng rng{83};
+  std::vector<double> iats(40'000);
+  for (auto& iat : iats) iat = rng.exponential(20.0) + rng.exponential(20.0);
+  const auto fit = fit_mmpp2(iats);
+  EXPECT_NEAR(fit.achieved.mean, 0.1, 0.01);
+  EXPECT_LT(fit.achieved.scv, 0.75);
+}
+
+TEST(map_fit, quantile_terms_pull_cdf_onto_sample) {
+  dqn::util::rng rng{84};
+  std::vector<double> iats(60'000);
+  for (auto& iat : iats) iat = rng.exponential(5.0);
+  const auto fit = fit_mmpp2(iats);
+  EXPECT_NEAR(fit.fitted.iat_cdf(fit.target.q50), 0.5, 0.05);
+  EXPECT_NEAR(fit.fitted.iat_cdf(fit.target.q90), 0.9, 0.05);
+}
+
+TEST(map_fit, rejects_tiny_samples) {
+  const std::vector<double> iats{0.1, 0.2};
+  EXPECT_THROW((void)fit_mmpp2(iats), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/dbscan.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/ecdf.hpp"
+#include "stats/pearson.hpp"
+#include "stats/wasserstein.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dqn::stats;
+
+TEST(descriptive, mean_and_variance) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(variance(xs), 1.25);
+  EXPECT_DOUBLE_EQ(stddev(xs), std::sqrt(1.25));
+}
+
+TEST(descriptive, empty_throws) {
+  const std::vector<double> empty;
+  EXPECT_THROW((void)mean(empty), std::invalid_argument);
+  EXPECT_THROW((void)percentile(empty, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)bounds(empty), std::invalid_argument);
+}
+
+TEST(descriptive, percentile_interpolates) {
+  const std::vector<double> xs{0, 10};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 10.0);
+}
+
+TEST(descriptive, percentile_unsorted_input) {
+  const std::vector<double> xs{9, 1, 5, 3, 7};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 5.0);
+}
+
+TEST(descriptive, percentile_rejects_bad_q) {
+  const std::vector<double> xs{1, 2};
+  EXPECT_THROW((void)percentile(xs, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)percentile(xs, 1.1), std::invalid_argument);
+}
+
+TEST(descriptive, jitter_series_absolute_differences) {
+  const std::vector<double> lat{1.0, 3.0, 2.0};
+  const auto jitter = jitter_series(lat);
+  ASSERT_EQ(jitter.size(), 2u);
+  EXPECT_DOUBLE_EQ(jitter[0], 2.0);
+  EXPECT_DOUBLE_EQ(jitter[1], 1.0);
+}
+
+TEST(descriptive, jitter_of_short_series_is_empty) {
+  const std::vector<double> one{1.0};
+  EXPECT_TRUE(jitter_series(one).empty());
+}
+
+// --- Wasserstein --------------------------------------------------------
+
+TEST(wasserstein, identical_distributions_have_zero_distance) {
+  const std::vector<double> a{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(wasserstein1(a, a), 0.0);
+}
+
+TEST(wasserstein, point_masses) {
+  // W1 between delta(0) and delta(3) is 3.
+  const std::vector<double> a{0, 0, 0};
+  const std::vector<double> b{3, 3, 3};
+  EXPECT_DOUBLE_EQ(wasserstein1(a, b), 3.0);
+}
+
+TEST(wasserstein, known_shift) {
+  // Shifting a distribution by c moves it exactly c in W1.
+  const std::vector<double> a{1, 2, 3, 4};
+  std::vector<double> b;
+  for (double x : a) b.push_back(x + 2.5);
+  EXPECT_NEAR(wasserstein1(a, b), 2.5, 1e-12);
+}
+
+TEST(wasserstein, symmetry) {
+  const std::vector<double> a{0.3, 1.7, 2.2};
+  const std::vector<double> b{0.1, 5.0};
+  EXPECT_DOUBLE_EQ(wasserstein1(a, b), wasserstein1(b, a));
+}
+
+TEST(wasserstein, triangle_inequality_on_random_samples) {
+  dqn::util::rng rng{3};
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> a, b, c;
+    for (int i = 0; i < 30; ++i) {
+      a.push_back(rng.normal(0, 1));
+      b.push_back(rng.normal(1, 2));
+      c.push_back(rng.exponential(0.5));
+    }
+    EXPECT_LE(wasserstein1(a, c),
+              wasserstein1(a, b) + wasserstein1(b, c) + 1e-9);
+  }
+}
+
+TEST(wasserstein, different_sample_sizes) {
+  const std::vector<double> a{0, 1};
+  const std::vector<double> b{0, 0.5, 1};
+  // Quantile functions: a jumps at 1/2; b at 1/3 and 2/3. Distance = 1/6.
+  EXPECT_NEAR(wasserstein1(a, b), 1.0 / 6.0, 1e-12);
+}
+
+TEST(wasserstein, normalized_zero_predictor_scores_one) {
+  const std::vector<double> label{2, 4, 6};
+  const std::vector<double> zeros{0, 0, 0};
+  EXPECT_NEAR(normalized_w1(zeros, label), 1.0, 1e-12);
+}
+
+TEST(wasserstein, normalized_perfect_predictor_scores_zero) {
+  const std::vector<double> label{2, 4, 6};
+  EXPECT_DOUBLE_EQ(normalized_w1(label, label), 0.0);
+}
+
+TEST(wasserstein, normalized_rejects_zero_label) {
+  const std::vector<double> zeros{0, 0};
+  EXPECT_THROW((void)normalized_w1(zeros, zeros), std::invalid_argument);
+}
+
+TEST(wasserstein, empty_throws) {
+  const std::vector<double> a{1};
+  const std::vector<double> empty;
+  EXPECT_THROW((void)wasserstein1(a, empty), std::invalid_argument);
+}
+
+// --- Pearson ------------------------------------------------------------
+
+TEST(pearson, perfect_positive_correlation) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y;
+  for (double v : x) y.push_back(3 * v + 1);
+  const auto r = pearson(x, y);
+  EXPECT_NEAR(r.rho, 1.0, 1e-12);
+}
+
+TEST(pearson, perfect_negative_correlation) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y;
+  for (double v : x) y.push_back(-2 * v);
+  EXPECT_NEAR(pearson(x, y).rho, -1.0, 1e-12);
+}
+
+TEST(pearson, independent_samples_near_zero) {
+  dqn::util::rng rng{4};
+  std::vector<double> x, y;
+  for (int i = 0; i < 5000; ++i) {
+    x.push_back(rng.normal());
+    y.push_back(rng.normal());
+  }
+  const auto r = pearson(x, y);
+  EXPECT_NEAR(r.rho, 0.0, 0.05);
+  EXPECT_LT(r.ci_low, 0.0);
+  EXPECT_GT(r.ci_high, 0.0);
+}
+
+TEST(pearson, ci_contains_rho_and_narrows_with_n) {
+  dqn::util::rng rng{5};
+  auto make = [&](int n) {
+    std::vector<double> x, y;
+    for (int i = 0; i < n; ++i) {
+      const double v = rng.normal();
+      x.push_back(v);
+      y.push_back(v + 0.5 * rng.normal());
+    }
+    return pearson(x, y);
+  };
+  const auto small = make(50);
+  const auto large = make(5000);
+  EXPECT_LE(small.ci_low, small.rho);
+  EXPECT_GE(small.ci_high, small.rho);
+  EXPECT_LT(large.ci_high - large.ci_low, small.ci_high - small.ci_low);
+}
+
+TEST(pearson, rejects_degenerate_inputs) {
+  const std::vector<double> constant{1, 1, 1, 1};
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> shorter{1, 2, 3};
+  EXPECT_THROW((void)pearson(x, constant), std::invalid_argument);
+  EXPECT_THROW((void)pearson(x, shorter), std::invalid_argument);
+}
+
+// --- ECDF ---------------------------------------------------------------
+
+TEST(ecdf, step_function_values) {
+  const std::vector<double> xs{1, 2, 3};
+  const ecdf f{xs};
+  EXPECT_DOUBLE_EQ(f(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(f(1.0), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(f(2.5), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(f(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(f(99), 1.0);
+}
+
+TEST(ecdf, curve_is_monotone) {
+  dqn::util::rng rng{6};
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.exponential(1.0));
+  const ecdf f{xs};
+  const auto curve = f.curve(50);
+  ASSERT_EQ(curve.size(), 50u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i - 1].first, curve[i].first);
+    EXPECT_LE(curve[i - 1].second, curve[i].second);
+  }
+}
+
+// --- DBSCAN -------------------------------------------------------------
+
+TEST(dbscan, separates_two_1d_clusters) {
+  std::vector<double> points;
+  for (int i = 0; i < 20; ++i) points.push_back(0.0 + i * 0.01);
+  for (int i = 0; i < 20; ++i) points.push_back(10.0 + i * 0.01);
+  const auto labels = dbscan_1d(points, {.eps = 0.05, .min_points = 3});
+  ASSERT_EQ(labels.size(), 40u);
+  EXPECT_EQ(labels[0], labels[19]);
+  EXPECT_EQ(labels[20], labels[39]);
+  EXPECT_NE(labels[0], labels[20]);
+  EXPECT_NE(labels[0], dbscan_noise);
+}
+
+TEST(dbscan, labels_isolated_points_as_noise) {
+  std::vector<double> points;
+  for (int i = 0; i < 10; ++i) points.push_back(i * 0.01);
+  points.push_back(50.0);
+  const auto labels = dbscan_1d(points, {.eps = 0.05, .min_points = 3});
+  EXPECT_EQ(labels.back(), dbscan_noise);
+}
+
+TEST(dbscan, every_point_in_a_dense_blob_gets_the_same_cluster) {
+  dqn::util::rng rng{8};
+  std::vector<double> points;
+  for (int i = 0; i < 100; ++i) points.push_back(rng.uniform(0.0, 1.0));
+  const auto labels = dbscan_1d(points, {.eps = 0.2, .min_points = 3});
+  for (int label : labels) EXPECT_EQ(label, labels[0]);
+}
+
+TEST(dbscan, nd_version_matches_1d_on_line_data) {
+  std::vector<double> points;
+  for (int i = 0; i < 15; ++i) points.push_back(i < 8 ? i * 0.01 : 5.0 + i * 0.01);
+  const auto l1 = dbscan_1d(points, {.eps = 0.1, .min_points = 3});
+  const auto l2 = dbscan(points, 1, {.eps = 0.1, .min_points = 3});
+  EXPECT_EQ(l1, l2);
+}
+
+TEST(dbscan, nd_two_gaussian_blobs) {
+  dqn::util::rng rng{9};
+  std::vector<double> points;
+  for (int i = 0; i < 50; ++i) {
+    points.push_back(rng.normal(0, 0.1));
+    points.push_back(rng.normal(0, 0.1));
+  }
+  for (int i = 0; i < 50; ++i) {
+    points.push_back(rng.normal(5, 0.1));
+    points.push_back(rng.normal(5, 0.1));
+  }
+  const auto labels = dbscan(points, 2, {.eps = 0.5, .min_points = 4});
+  EXPECT_NE(labels[0], dbscan_noise);
+  EXPECT_NE(labels[50], dbscan_noise);
+  EXPECT_NE(labels[0], labels[50]);
+}
+
+TEST(dbscan, rejects_bad_parameters) {
+  const std::vector<double> points{1, 2, 3};
+  EXPECT_THROW((void)dbscan_1d(points, {.eps = 0.0, .min_points = 2}),
+               std::invalid_argument);
+  EXPECT_THROW((void)dbscan_1d(points, {.eps = 1.0, .min_points = 0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)dbscan(points, 2, {.eps = 1.0, .min_points = 2}),
+               std::invalid_argument);
+}
+
+// Property sweep: W1 metric axioms over randomly generated sample pairs.
+class wasserstein_axioms : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(wasserstein_axioms, nonnegativity_symmetry_identity) {
+  dqn::util::rng rng{GetParam()};
+  std::vector<double> a, b;
+  const int n = 10 + static_cast<int>(rng.uniform_int(100));
+  for (int i = 0; i < n; ++i) {
+    a.push_back(rng.normal(rng.uniform(-3, 3), rng.uniform(0.1, 2.0)));
+    b.push_back(rng.exponential(rng.uniform(0.2, 3.0)));
+  }
+  const double d_ab = wasserstein1(a, b);
+  EXPECT_GE(d_ab, 0.0);
+  EXPECT_DOUBLE_EQ(d_ab, wasserstein1(b, a));
+  EXPECT_NEAR(wasserstein1(a, a), 0.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(random_seeds, wasserstein_axioms,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace

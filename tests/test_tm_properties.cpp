@@ -1,0 +1,207 @@
+// Property-based scheduler tests: weight-share and work-conservation
+// invariants swept across disciplines, weight vectors, and packet-size
+// mixes (TEST_P). These are the invariants the queueing model of Appendix B
+// assumes and the PTM must learn.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "des/single_device.hpp"
+#include "des/traffic_manager.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dqn::des;
+using dqn::traffic::packet;
+
+struct share_case {
+  const char* name;
+  scheduler_kind kind;
+  std::vector<double> weights;
+  bool byte_fair;  // DRR/WFQ are byte-fair; WRR is packet-fair
+};
+
+class weight_share : public ::testing::TestWithParam<share_case> {};
+
+TEST_P(weight_share, long_run_share_tracks_weights) {
+  const auto& param = GetParam();
+  tm_config cfg;
+  cfg.kind = param.kind;
+  cfg.classes = param.weights.size();
+  cfg.class_weights = param.weights;
+  cfg.buffer_packets = 100'000;
+  traffic_manager tm{cfg};
+
+  // Saturate every class with equal-size packets.
+  dqn::util::rng rng{17};
+  const std::uint32_t size = 1000;
+  std::uint64_t pid = 0;
+  for (int i = 0; i < 30'000; ++i) {
+    packet p;
+    p.pid = pid++;
+    p.size_bytes = size;
+    p.priority = static_cast<std::uint8_t>(i % cfg.classes);
+    ASSERT_TRUE(tm.enqueue(p));
+  }
+  std::map<int, double> served_bytes;
+  for (int i = 0; i < 12'000; ++i) {
+    const auto p = tm.dequeue();
+    ASSERT_TRUE(p.has_value());
+    served_bytes[p->priority] += p->size_bytes;
+  }
+  const double weight_total =
+      std::accumulate(param.weights.begin(), param.weights.end(), 0.0);
+  double bytes_total = 0;
+  for (const auto& [klass, bytes] : served_bytes) bytes_total += bytes;
+  for (std::size_t k = 0; k < param.weights.size(); ++k) {
+    const double expected = param.weights[k] / weight_total;
+    const double actual = served_bytes[static_cast<int>(k)] / bytes_total;
+    EXPECT_NEAR(actual, expected, 0.08)
+        << param.name << " class " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    disciplines_and_weights, weight_share,
+    ::testing::Values(
+        share_case{"wrr_2to1", scheduler_kind::wrr, {2, 1}, false},
+        share_case{"wrr_5to4", scheduler_kind::wrr, {5, 4}, false},
+        share_case{"wrr_331", scheduler_kind::wrr, {3, 3, 1}, false},
+        share_case{"drr_2to1", scheduler_kind::drr, {2, 1}, true},
+        share_case{"drr_9to1", scheduler_kind::drr, {9, 1}, true},
+        share_case{"drr_124", scheduler_kind::drr, {1, 2, 4}, true},
+        share_case{"wfq_2to1", scheduler_kind::wfq, {2, 1}, true},
+        share_case{"wfq_5to4", scheduler_kind::wfq, {5, 4}, true},
+        share_case{"wfq_9to1", scheduler_kind::wfq, {9, 1}, true},
+        share_case{"wfq_111", scheduler_kind::wfq, {1, 1, 1}, true}),
+    [](const auto& info) { return info.param.name; });
+
+class byte_fairness : public ::testing::TestWithParam<scheduler_kind> {};
+
+TEST_P(byte_fairness, equal_weights_split_bytes_evenly_with_mixed_sizes) {
+  // Class 0 sends small packets, class 1 large ones. Byte-fair schedulers
+  // must still split service bytes ~50/50 under saturation.
+  tm_config cfg;
+  cfg.kind = GetParam();
+  cfg.classes = 2;
+  cfg.class_weights = {1, 1};
+  cfg.buffer_packets = 100'000;
+  traffic_manager tm{cfg};
+  std::uint64_t pid = 0;
+  for (int i = 0; i < 40'000; ++i) {
+    packet p;
+    p.pid = pid++;
+    p.priority = static_cast<std::uint8_t>(i % 2);
+    p.size_bytes = p.priority == 0 ? 200 : 1400;
+    ASSERT_TRUE(tm.enqueue(p));
+  }
+  std::map<int, double> served_bytes;
+  for (int i = 0; i < 15'000; ++i) {
+    const auto p = tm.dequeue();
+    ASSERT_TRUE(p.has_value());
+    served_bytes[p->priority] += p->size_bytes;
+  }
+  const double total = served_bytes[0] + served_bytes[1];
+  EXPECT_NEAR(served_bytes[0] / total, 0.5, 0.08) << to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(byte_fair_schedulers, byte_fairness,
+                         ::testing::Values(scheduler_kind::drr,
+                                           scheduler_kind::wfq),
+                         [](const auto& info) { return to_string(info.param); });
+
+class work_conservation : public ::testing::TestWithParam<scheduler_kind> {};
+
+TEST_P(work_conservation, single_switch_is_work_conserving) {
+  // Under sustained backlog the output line never idles: total departures
+  // over a busy interval equal capacity * time (within one service).
+  const auto kind = GetParam();
+  dqn::util::rng rng{29};
+  single_switch_config cfg;
+  cfg.ports = 1;
+  cfg.tm.kind = kind;
+  cfg.tm.classes = kind == scheduler_kind::fifo ? 1 : 2;
+  if (kind == scheduler_kind::wrr || kind == scheduler_kind::drr ||
+      kind == scheduler_kind::wfq)
+    cfg.tm.class_weights = {3, 1};
+  cfg.tm.buffer_packets = 1'000'000;
+  cfg.bandwidth_bps = 1e8;
+  // Offered load 2x capacity for the first half of the horizon.
+  dqn::traffic::packet_stream stream;
+  double t = 0;
+  std::uint64_t pid = 0;
+  const double capacity_pps = cfg.bandwidth_bps / (1000.0 * 8.0);
+  while (t < 0.5) {
+    t += rng.exponential(2 * capacity_pps);
+    packet p;
+    p.pid = pid++;
+    p.size_bytes = 1000;
+    p.priority = static_cast<std::uint8_t>(pid % cfg.tm.classes);
+    stream.push_back({p, t});
+  }
+  const auto result = run_single_switch(
+      cfg, {stream}, [](std::uint32_t, std::size_t) { return 0u; }, 0.5);
+  // Departures within [0.1, 0.4] (steady backlog): rate == capacity.
+  std::size_t departures = 0;
+  for (const auto& hop : result.hops)
+    if (hop.departure >= 0.1 && hop.departure < 0.4) ++departures;
+  const double measured_rate = departures / 0.3;
+  EXPECT_NEAR(measured_rate, capacity_pps, 0.02 * capacity_pps)
+      << to_string(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(all_disciplines, work_conservation,
+                         ::testing::Values(scheduler_kind::fifo,
+                                           scheduler_kind::sp,
+                                           scheduler_kind::wrr,
+                                           scheduler_kind::drr,
+                                           scheduler_kind::wfq),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(sp_property, high_priority_latency_insensitive_to_low_priority_load) {
+  // Adding low-priority traffic must not increase high-priority waiting
+  // (up to one non-preempted service time).
+  auto mean_high_wait = [](double low_rate) {
+    dqn::util::rng rng{31};
+    single_switch_config cfg;
+    cfg.ports = 1;
+    cfg.tm.kind = scheduler_kind::sp;
+    cfg.tm.classes = 2;
+    cfg.bandwidth_bps = 1e8;
+    dqn::traffic::packet_stream stream;
+    std::uint64_t pid = 0;
+    for (const auto [rate, priority] :
+         {std::pair{3000.0, std::uint8_t{0}}, std::pair{low_rate, std::uint8_t{1}}}) {
+      if (rate <= 0) continue;
+      double t = 0;
+      while (t < 5.0) {
+        t += rng.exponential(rate);
+        packet p;
+        p.pid = pid++;
+        p.size_bytes = 1000;
+        p.priority = priority;
+        stream.push_back({p, t});
+      }
+    }
+    std::sort(stream.begin(), stream.end());
+    const auto result = run_single_switch(
+        cfg, {stream}, [](std::uint32_t, std::size_t) { return 0u; }, 5.0);
+    double total = 0;
+    std::size_t count = 0;
+    for (const auto& hop : result.hops) {
+      if (hop.priority != 0) continue;
+      total += hop.departure - hop.arrival;
+      ++count;
+    }
+    return total / static_cast<double>(count);
+  };
+  const double alone = mean_high_wait(0.0);
+  const double contended = mean_high_wait(8000.0);  // ~64% extra load
+  // Non-preemptive SP: at most one residual low-priority service (80 us) of
+  // extra wait on average.
+  EXPECT_LT(contended, alone + 80e-6);
+}
+
+}  // namespace

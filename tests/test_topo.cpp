@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/builders.hpp"
+#include "topo/graph.hpp"
+#include "topo/routing.hpp"
+
+namespace {
+
+using namespace dqn::topo;
+
+TEST(graph, connect_assigns_sequential_ports) {
+  topology t;
+  const auto a = t.add_device("a");
+  const auto b = t.add_device("b");
+  const auto c = t.add_device("c");
+  t.connect(a, b);
+  t.connect(a, c);
+  EXPECT_EQ(t.port_count(a), 2u);
+  EXPECT_EQ(t.port_count(b), 1u);
+  EXPECT_EQ(t.peer_of(a, 0).node, b);
+  EXPECT_EQ(t.peer_of(a, 1).node, c);
+  EXPECT_EQ(t.peer_of(b, 0).node, a);
+  EXPECT_EQ(t.peer_of(b, 0).port, 0u);
+}
+
+TEST(graph, rejects_bad_connections) {
+  topology t;
+  const auto a = t.add_device("a");
+  EXPECT_THROW(t.connect(a, a), std::invalid_argument);
+  EXPECT_THROW(t.connect(a, 99), std::out_of_range);
+  const auto b = t.add_device("b");
+  EXPECT_THROW(t.connect(a, b, 0.0), std::invalid_argument);
+}
+
+TEST(graph, hop_distances_bfs) {
+  // a - b - c, a - c (triangle plus tail d).
+  topology t;
+  const auto a = t.add_device("a");
+  const auto b = t.add_device("b");
+  const auto c = t.add_device("c");
+  const auto d = t.add_device("d");
+  t.connect(a, b);
+  t.connect(b, c);
+  t.connect(a, c);
+  t.connect(c, d);
+  const auto dist = t.hop_distances(a);
+  EXPECT_EQ(dist[static_cast<std::size_t>(a)], 0);
+  EXPECT_EQ(dist[static_cast<std::size_t>(b)], 1);
+  EXPECT_EQ(dist[static_cast<std::size_t>(c)], 1);
+  EXPECT_EQ(dist[static_cast<std::size_t>(d)], 2);
+}
+
+TEST(graph, diameter_of_line) {
+  const auto t = make_line(4);
+  // Host - s0 - s1 - s2 - s3 - host: diameter 5.
+  EXPECT_EQ(t.diameter(), 5u);
+}
+
+TEST(builders, line_shape) {
+  const auto t = make_line(6);
+  EXPECT_EQ(t.hosts().size(), 6u);
+  EXPECT_EQ(t.devices().size(), 6u);
+  EXPECT_EQ(t.link_count(), 5u + 6u);  // chain + host links
+}
+
+TEST(builders, torus_shape_and_degree) {
+  const auto t = make_torus2d(4, 4);
+  EXPECT_EQ(t.hosts().size(), 16u);
+  EXPECT_EQ(t.devices().size(), 16u);
+  // Each switch: 4 torus neighbours + 1 host.
+  for (const auto sw : t.devices()) EXPECT_EQ(t.port_count(sw), 5u);
+  EXPECT_EQ(t.link_count(), 32u + 16u);
+}
+
+TEST(builders, torus_2x2_has_no_duplicate_links) {
+  const auto t = make_torus2d(2, 2);
+  // 2x2 torus without wrap duplicates: 4 links + 4 host links.
+  EXPECT_EQ(t.link_count(), 8u);
+}
+
+TEST(builders, fattree16_matches_table3) {
+  const auto t = make_fattree16();
+  EXPECT_EQ(t.hosts().size(), 16u);  // 2 clusters x 2 ToR x 4 servers
+  // Devices: 4 cores + 2 clusters x (2 agg + 2 tor) = 12.
+  EXPECT_EQ(t.devices().size(), 12u);
+}
+
+TEST(builders, fattree64_and_128_host_counts) {
+  EXPECT_EQ(make_fattree64().hosts().size(), 64u);
+  EXPECT_EQ(make_fattree128().hosts().size(), 128u);
+}
+
+TEST(builders, abilene_shape) {
+  const auto t = make_abilene();
+  EXPECT_EQ(t.devices().size(), 11u);
+  EXPECT_EQ(t.hosts().size(), 11u);
+  EXPECT_EQ(t.link_count(), 14u + 11u);
+}
+
+TEST(builders, geant_shape) {
+  const auto t = make_geant();
+  EXPECT_EQ(t.devices().size(), 22u);
+  EXPECT_EQ(t.hosts().size(), 22u);
+  EXPECT_EQ(t.link_count(), 36u + 22u);
+}
+
+TEST(builders, all_topologies_are_connected) {
+  for (const auto& t :
+       {make_line(4), make_torus2d(4, 4), make_fattree16(), make_fattree64(),
+        make_abilene(), make_geant()}) {
+    const auto dist = t.hop_distances(0);
+    for (int d : dist) EXPECT_GE(d, 0);
+  }
+}
+
+TEST(routing, line_path_is_the_only_path) {
+  const auto t = make_line(4);
+  const routing routes{t};
+  const auto hosts = t.hosts();
+  const auto path = routes.flow_path(hosts[0], hosts[3], 7);
+  // host0 -> s0 -> s1 -> s2 -> s3 -> host3.
+  ASSERT_EQ(path.size(), 6u);
+  EXPECT_EQ(path.front(), hosts[0]);
+  EXPECT_EQ(path.back(), hosts[3]);
+}
+
+TEST(routing, paths_are_shortest) {
+  const auto t = make_fattree16();
+  const routing routes{t};
+  const auto hosts = t.hosts();
+  for (std::size_t i = 0; i < hosts.size(); i += 3) {
+    for (std::size_t j = 0; j < hosts.size(); j += 5) {
+      if (i == j) continue;
+      const auto dist = t.hop_distances(hosts[j]);
+      const auto path = routes.flow_path(hosts[i], hosts[j], 42);
+      EXPECT_EQ(static_cast<int>(path.size() - 1),
+                dist[static_cast<std::size_t>(hosts[i])]);
+    }
+  }
+}
+
+TEST(routing, ecmp_is_per_flow_stable) {
+  const auto t = make_fattree16();
+  const routing routes{t};
+  const auto hosts = t.hosts();
+  const auto p1 = routes.flow_path(hosts[0], hosts[12], 5);
+  const auto p2 = routes.flow_path(hosts[0], hosts[12], 5);
+  EXPECT_EQ(p1, p2);
+}
+
+TEST(routing, ecmp_spreads_flows_across_equal_cost_paths) {
+  const auto t = make_fattree16();
+  const routing routes{t};
+  const auto hosts = t.hosts();
+  std::set<std::vector<node_id>> distinct;
+  for (std::uint32_t flow = 0; flow < 64; ++flow)
+    distinct.insert(routes.flow_path(hosts[0], hosts[12], flow));
+  // Inter-cluster traffic in this fat-tree has several equal-cost paths.
+  EXPECT_GT(distinct.size(), 1u);
+}
+
+TEST(routing, equal_cost_ports_decrease_distance) {
+  const auto t = make_torus2d(4, 4);
+  const routing routes{t};
+  const auto hosts = t.hosts();
+  const auto dist = t.hop_distances(hosts[10]);
+  for (const auto dev : t.devices()) {
+    for (const std::size_t port : routes.equal_cost_ports(dev, hosts[10])) {
+      const auto peer = t.peer_of(dev, port);
+      EXPECT_EQ(dist[static_cast<std::size_t>(peer.node)],
+                dist[static_cast<std::size_t>(dev)] - 1);
+    }
+  }
+}
+
+TEST(routing, unreachable_destination_throws) {
+  topology t;
+  const auto h1 = t.add_host("h1");
+  const auto h2 = t.add_host("h2");
+  const auto s = t.add_device("s");
+  t.connect(h1, s);
+  (void)h2;  // never connected
+  const routing routes{t};
+  EXPECT_THROW((void)routes.egress_port(s, h2, 0), std::runtime_error);
+}
+
+TEST(routing, rejects_non_host_destination) {
+  const auto t = make_line(3);
+  const routing routes{t};
+  const auto sw = t.devices()[0];
+  EXPECT_THROW((void)routes.equal_cost_ports(sw, sw), std::out_of_range);
+}
+
+// Parameterized sweep: every evaluation topology yields a working routing.
+struct topo_case {
+  const char* name;
+  topology (*build)();
+};
+
+topology build_line4() { return make_line(4); }
+topology build_line6() { return make_line(6); }
+topology build_torus44() { return make_torus2d(4, 4); }
+topology build_torus66() { return make_torus2d(6, 6); }
+topology build_ft16() { return make_fattree16(); }
+topology build_abilene() { return make_abilene(); }
+topology build_geant() { return make_geant(); }
+
+class all_topologies : public ::testing::TestWithParam<topo_case> {};
+
+TEST_P(all_topologies, every_host_pair_is_routable) {
+  const auto t = GetParam().build();
+  const routing routes{t};
+  const auto hosts = t.hosts();
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    const auto j = (i + hosts.size() / 2 + 1) % hosts.size();
+    if (i == j) continue;
+    const auto path = routes.flow_path(hosts[i], hosts[j], 3);
+    EXPECT_GE(path.size(), 2u);
+    EXPECT_EQ(path.front(), hosts[i]);
+    EXPECT_EQ(path.back(), hosts[j]);
+  }
+}
+
+TEST_P(all_topologies, diameter_is_positive_and_bounded) {
+  const auto t = GetParam().build();
+  const auto d = t.diameter();
+  EXPECT_GT(d, 0u);
+  EXPECT_LT(d, t.node_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    evaluation_topologies, all_topologies,
+    ::testing::Values(topo_case{"Line4", build_line4},
+                      topo_case{"Line6", build_line6},
+                      topo_case{"Torus4x4", build_torus44},
+                      topo_case{"Torus6x6", build_torus66},
+                      topo_case{"FatTree16", build_ft16},
+                      topo_case{"Abilene", build_abilene},
+                      topo_case{"GEANT", build_geant}),
+    [](const auto& info) { return info.param.name; });
+
+}  // namespace

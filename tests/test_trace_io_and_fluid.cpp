@@ -1,0 +1,188 @@
+// Tests for the trace CSV I/O (TGUtil's file interface), the fluid
+// baseline, and the MAP superposition / MAP(4) fitting extensions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "baselines/fluid.hpp"
+#include "queueing/map_fit.hpp"
+#include "queueing/markovian_arrival.hpp"
+#include "topo/builders.hpp"
+#include "topo/routing.hpp"
+#include "traffic/trace_io.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dqn;
+
+traffic::packet_stream sample_stream() {
+  traffic::packet_stream stream;
+  dqn::util::rng rng{1};
+  double t = 0;
+  for (int i = 0; i < 200; ++i) {
+    t += rng.exponential(1000.0);
+    traffic::packet p;
+    p.pid = static_cast<std::uint64_t>(i);
+    p.flow_id = static_cast<std::uint32_t>(i % 5);
+    p.size_bytes = static_cast<std::uint32_t>(rng.uniform_int(64, 1500));
+    p.protocol = i % 2 == 0 ? 6 : 17;
+    p.priority = static_cast<std::uint8_t>(i % 3);
+    p.weight = static_cast<std::uint16_t>(1 + i % 9);
+    p.src_host = 0;
+    p.dst_host = 1;
+    stream.push_back({p, t});
+  }
+  return stream;
+}
+
+TEST(trace_io, roundtrip_preserves_everything) {
+  const auto original = sample_stream();
+  std::stringstream buffer;
+  traffic::write_trace_csv(buffer, original);
+  const auto loaded = traffic::read_trace_csv(buffer);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR(loaded[i].time, original[i].time, 1e-9 * original[i].time);
+    EXPECT_EQ(loaded[i].pkt.pid, original[i].pkt.pid);
+    EXPECT_EQ(loaded[i].pkt.flow_id, original[i].pkt.flow_id);
+    EXPECT_EQ(loaded[i].pkt.size_bytes, original[i].pkt.size_bytes);
+    EXPECT_EQ(loaded[i].pkt.protocol, original[i].pkt.protocol);
+    EXPECT_EQ(loaded[i].pkt.priority, original[i].pkt.priority);
+    EXPECT_EQ(loaded[i].pkt.weight, original[i].pkt.weight);
+    EXPECT_EQ(loaded[i].pkt.src_host, original[i].pkt.src_host);
+    EXPECT_EQ(loaded[i].pkt.dst_host, original[i].pkt.dst_host);
+  }
+}
+
+TEST(trace_io, rejects_malformed_input) {
+  {
+    std::stringstream bad{"not,a,header\n"};
+    EXPECT_THROW((void)traffic::read_trace_csv(bad), std::runtime_error);
+  }
+  {
+    std::stringstream missing_fields;
+    missing_fields << "time,pid,flow_id,size_bytes,protocol,priority,weight,"
+                      "src_host,dst_host\n1.0,1,2\n";
+    EXPECT_THROW((void)traffic::read_trace_csv(missing_fields), std::runtime_error);
+  }
+  {
+    std::stringstream bad_number;
+    bad_number << "time,pid,flow_id,size_bytes,protocol,priority,weight,"
+                  "src_host,dst_host\n1.0,x,0,100,17,0,1,0,1\n";
+    EXPECT_THROW((void)traffic::read_trace_csv(bad_number), std::runtime_error);
+  }
+  {
+    std::stringstream out_of_order;
+    out_of_order << "time,pid,flow_id,size_bytes,protocol,priority,weight,"
+                    "src_host,dst_host\n"
+                 << "2.0,0,0,100,17,0,1,0,1\n"
+                 << "1.0,1,0,100,17,0,1,0,1\n";
+    EXPECT_THROW((void)traffic::read_trace_csv(out_of_order), std::runtime_error);
+  }
+  {
+    std::stringstream zero_size;
+    zero_size << "time,pid,flow_id,size_bytes,protocol,priority,weight,"
+                 "src_host,dst_host\n1.0,0,0,0,17,0,1,0,1\n";
+    EXPECT_THROW((void)traffic::read_trace_csv(zero_size), std::runtime_error);
+  }
+}
+
+TEST(trace_io, file_roundtrip) {
+  const auto path = std::string{"/tmp/dqn_trace_test.csv"};
+  const auto original = sample_stream();
+  traffic::write_trace_csv_file(path, original);
+  const auto loaded = traffic::read_trace_csv_file(path);
+  EXPECT_EQ(loaded.size(), original.size());
+  std::remove(path.c_str());
+}
+
+TEST(trace_io, missing_file_throws) {
+  EXPECT_THROW((void)traffic::read_trace_csv_file("/nonexistent/trace.csv"),
+               std::runtime_error);
+}
+
+// --- Fluid baseline -------------------------------------------------------
+
+TEST(fluid, line_delay_matches_mm1_sum) {
+  const auto topo = topo::make_line(2, {.bandwidth_bps = 1e8});
+  const topo::routing routes{topo};
+  std::vector<traffic::flow_spec> flows(1);
+  flows[0].flow_id = 0;
+  flows[0].src_host = 0;
+  flows[0].dst_host = 1;
+  const double mean_size = 1000.0;
+  const double mu = 1e8 / (8 * mean_size);   // 12500 pps per link
+  const double lambda = 5000.0;
+  const auto delays = baselines::fluid_estimator::predict_mean_delays(
+      topo, routes, flows, {lambda}, mean_size);
+  ASSERT_EQ(delays.size(), 1u);
+  // Path: host uplink, s0-s1, downlink = 3 links, each 1/(mu-lambda)+prop.
+  const double expected = 3 * (1.0 / (mu - lambda) + 1e-6);
+  EXPECT_NEAR(delays.at(0), expected, 1e-9);
+}
+
+TEST(fluid, overloaded_link_gives_infinite_delay) {
+  const auto topo = topo::make_line(2, {.bandwidth_bps = 1e8});
+  const topo::routing routes{topo};
+  std::vector<traffic::flow_spec> flows(1);
+  flows[0].flow_id = 0;
+  flows[0].src_host = 0;
+  flows[0].dst_host = 1;
+  const auto delays = baselines::fluid_estimator::predict_mean_delays(
+      topo, routes, flows, {20'000.0}, 1000.0);  // > 12.5k pps capacity
+  EXPECT_TRUE(std::isinf(delays.at(0)));
+}
+
+TEST(fluid, link_loads_aggregate_over_flows) {
+  // Two flows sharing the middle link raise each other's delay.
+  const auto topo = topo::make_line(2, {.bandwidth_bps = 1e8});
+  const topo::routing routes{topo};
+  std::vector<traffic::flow_spec> one(1);
+  one[0] = {.flow_id = 0, .src_host = 0, .dst_host = 1};
+  std::vector<traffic::flow_spec> two(2);
+  two[0] = {.flow_id = 0, .src_host = 0, .dst_host = 1};
+  two[1] = {.flow_id = 1, .src_host = 0, .dst_host = 1};
+  const auto alone = baselines::fluid_estimator::predict_mean_delays(
+      topo, routes, one, {4000.0}, 1000.0);
+  const auto shared = baselines::fluid_estimator::predict_mean_delays(
+      topo, routes, two, {4000.0, 4000.0}, 1000.0);
+  EXPECT_GT(shared.at(0), alone.at(0));
+}
+
+// --- MAP superposition and MAP(4) fit --------------------------------------
+
+TEST(map_superpose, rate_adds_and_shape_is_valid) {
+  const auto a = queueing::map_process::poisson(100.0);
+  const auto b = queueing::map_process::mmpp2(1.0, 2.0, 40.0, 5.0);
+  const auto sum = queueing::map_process::superpose(a, b);
+  EXPECT_EQ(sum.states(), a.states() * b.states());
+  EXPECT_NEAR(sum.mean_rate(), a.mean_rate() + b.mean_rate(),
+              1e-6 * (a.mean_rate() + b.mean_rate()));
+}
+
+TEST(map_superpose, two_poissons_make_a_poisson) {
+  const auto sum = queueing::map_process::superpose(
+      queueing::map_process::poisson(10.0), queueing::map_process::poisson(30.0));
+  EXPECT_NEAR(sum.mean_rate(), 40.0, 1e-9);
+  EXPECT_NEAR(sum.iat_scv(), 1.0, 1e-9);
+  EXPECT_NEAR(sum.iat_lag1_correlation(), 0.0, 1e-9);
+}
+
+TEST(map_fit4, not_worse_than_map2_on_hard_sample) {
+  // Bimodal IATs with positive correlation: beyond MAP(2)'s reach.
+  dqn::util::rng rng{7};
+  std::vector<double> iats;
+  bool burst = false;
+  for (int i = 0; i < 30'000; ++i) {
+    if (rng.bernoulli(0.1)) burst = !burst;
+    iats.push_back(burst ? rng.exponential(2000.0) : 0.001 + rng.exponential(5000.0));
+  }
+  const auto fit2 = queueing::fit_mmpp2(iats);
+  const auto fit4 = queueing::fit_map4(iats);
+  EXPECT_LE(fit4.objective, fit2.objective * 1.15);
+  EXPECT_NEAR(fit4.achieved.mean, fit4.target.mean, 0.1 * fit4.target.mean);
+}
+
+}  // namespace

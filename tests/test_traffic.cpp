@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "queueing/map_fit.hpp"
+#include "traffic/arrivals.hpp"
+#include "traffic/packet.hpp"
+#include "traffic/packet_size.hpp"
+#include "traffic/synthetic_traces.hpp"
+#include "traffic/traffic_gen.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dqn::traffic;
+using dqn::util::rng;
+
+double empirical_rate(arrival_process& process, rng& r, int n) {
+  double total = 0;
+  for (int i = 0; i < n; ++i) total += process.next_interarrival(r);
+  return n / total;
+}
+
+TEST(arrivals, poisson_hits_target_rate) {
+  rng r{1};
+  poisson_arrivals p{250.0};
+  EXPECT_NEAR(empirical_rate(p, r, 100'000), 250.0, 5.0);
+  EXPECT_DOUBLE_EQ(p.mean_rate(), 250.0);
+}
+
+TEST(arrivals, poisson_rejects_bad_rate) {
+  EXPECT_THROW(poisson_arrivals{0.0}, std::invalid_argument);
+}
+
+TEST(arrivals, onoff_long_run_rate_matches_stationary_occupancy) {
+  // P(on) = 0.5 / 0.7; one packet per on-slot.
+  rng r{2};
+  onoff_arrivals a{0.001};
+  EXPECT_NEAR(a.mean_rate(), (0.5 / 0.7) / 0.001, 1e-9);
+  EXPECT_NEAR(empirical_rate(a, r, 100'000), a.mean_rate(),
+              0.02 * a.mean_rate());
+}
+
+TEST(arrivals, onoff_interarrivals_are_slot_multiples) {
+  rng r{3};
+  onoff_arrivals a{0.5};
+  for (int i = 0; i < 1000; ++i) {
+    const double iat = a.next_interarrival(r);
+    const double slots = iat / 0.5;
+    EXPECT_NEAR(slots, std::round(slots), 1e-9);
+    EXPECT_GE(slots, 1.0);
+  }
+}
+
+TEST(arrivals, map_rate_matches_process) {
+  rng r{4};
+  auto process = dqn::queueing::map_process::paper_example();
+  map_arrivals a{process, r};
+  EXPECT_NEAR(a.mean_rate(), 4800.0, 1.0);
+  EXPECT_NEAR(empirical_rate(a, r, 200'000), 4800.0, 100.0);
+}
+
+TEST(arrivals, trace_replay_loops_and_reports_rate) {
+  rng r{5};
+  trace_arrivals a{{0.1, 0.2, 0.3}};
+  EXPECT_NEAR(a.mean_rate(), 3.0 / 0.6, 1e-12);
+  EXPECT_DOUBLE_EQ(a.next_interarrival(r), 0.1);
+  EXPECT_DOUBLE_EQ(a.next_interarrival(r), 0.2);
+  EXPECT_DOUBLE_EQ(a.next_interarrival(r), 0.3);
+  EXPECT_DOUBLE_EQ(a.next_interarrival(r), 0.1);  // wrapped
+  a.reset(r);
+  EXPECT_DOUBLE_EQ(a.next_interarrival(r), 0.1);
+}
+
+TEST(arrivals, trace_rejects_empty_or_negative) {
+  EXPECT_THROW((trace_arrivals{std::vector<double>{}}), std::invalid_argument);
+  EXPECT_THROW((trace_arrivals{std::vector<double>{0.1, -0.1}}),
+               std::invalid_argument);
+}
+
+TEST(packet_size, trimodal_mean_and_support) {
+  rng r{6};
+  trimodal_size sizes;
+  EXPECT_NEAR(sizes.mean_size(), 0.4 * 64 + 0.2 * 576 + 0.4 * 1500, 1e-9);
+  double total = 0;
+  constexpr int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    const auto s = sizes.next_size(r);
+    EXPECT_TRUE(s == 64 || s == 576 || s == 1500);
+    total += s;
+  }
+  EXPECT_NEAR(total / n, sizes.mean_size(), 10.0);
+}
+
+TEST(packet_size, uniform_bounds) {
+  rng r{7};
+  uniform_size sizes{100, 200};
+  for (int i = 0; i < 10'000; ++i) {
+    const auto s = sizes.next_size(r);
+    EXPECT_GE(s, 100u);
+    EXPECT_LE(s, 200u);
+  }
+  EXPECT_DOUBLE_EQ(sizes.mean_size(), 150.0);
+}
+
+TEST(synthetic_traces, bc_paug89_like_is_bursty_and_calibrated) {
+  rng r{8};
+  const auto trace = make_bc_paug89_like(20'000, 1000.0, r);
+  ASSERT_GT(trace.iats.size(), 1000u);
+  EXPECT_EQ(trace.iats.size(), trace.sizes.size());
+  const double total = std::accumulate(trace.iats.begin(), trace.iats.end(), 0.0);
+  EXPECT_NEAR(trace.iats.size() / total, 1000.0, 1.0);
+  // Self-similar-style traffic has SCV well above Poisson's 1.
+  const auto stats = dqn::queueing::compute_iat_statistics(trace.iats);
+  EXPECT_GT(stats.scv, 1.5);
+}
+
+TEST(synthetic_traces, anarchy_like_is_quasi_periodic_with_bursts) {
+  rng r{9};
+  const auto trace = make_anarchy_like(20'000, 500.0, r);
+  ASSERT_EQ(trace.iats.size(), 20'000u);
+  const double total = std::accumulate(trace.iats.begin(), trace.iats.end(), 0.0);
+  EXPECT_NEAR(trace.iats.size() / total, 500.0, 1.0);
+  const auto stats = dqn::queueing::compute_iat_statistics(trace.iats);
+  // Bursts create positive lag-1 correlation.
+  EXPECT_GT(stats.lag1, 0.05);
+}
+
+TEST(packet_stream, merge_preserves_order_and_count) {
+  packet_stream a, b;
+  for (int i = 0; i < 10; ++i) {
+    a.push_back({{.pid = static_cast<std::uint64_t>(i)}, i * 0.3});
+    b.push_back({{.pid = static_cast<std::uint64_t>(100 + i)}, 0.1 + i * 0.25});
+  }
+  const auto merged = merge_streams({a, b});
+  EXPECT_EQ(merged.size(), 20u);
+  EXPECT_TRUE(is_time_ordered(merged));
+}
+
+TEST(packet_stream, merge_of_empty_is_empty) {
+  EXPECT_TRUE(merge_streams({}).empty());
+  EXPECT_TRUE(merge_streams({packet_stream{}, packet_stream{}}).empty());
+}
+
+TEST(traffic_gen, uniform_flows_are_valid) {
+  rng r{10};
+  const auto flows = make_uniform_flows(16, 3, r);
+  ASSERT_EQ(flows.size(), 16u);
+  for (const auto& flow : flows) {
+    EXPECT_NE(flow.src_host, flow.dst_host);
+    EXPECT_GE(flow.dst_host, 0);
+    EXPECT_LT(flow.dst_host, 16);
+    EXPECT_LT(flow.priority, 3);
+    EXPECT_GE(flow.weight, 1);
+    EXPECT_LE(flow.weight, 9);
+  }
+}
+
+TEST(traffic_gen, generators_produce_streams_at_requested_rate) {
+  rng r{11};
+  auto flows = make_uniform_flows(4, 1, r);
+  tg_util_config cfg;
+  cfg.model = traffic_model::poisson;
+  cfg.per_flow_rate = 2000.0;
+  auto generators = make_generators(flows, cfg);
+  ASSERT_EQ(generators.size(), 4u);
+  std::uint64_t pid = 0;
+  rng gen_rng{12};
+  const auto stream = generators[0].generate(5.0, gen_rng, pid);
+  EXPECT_NEAR(static_cast<double>(stream.size()) / 5.0, 2000.0, 150.0);
+  EXPECT_TRUE(is_time_ordered(stream));
+  // pids are unique and sequential.
+  EXPECT_EQ(pid, stream.size());
+}
+
+TEST(traffic_gen, per_host_streams_cover_all_hosts) {
+  rng r{13};
+  auto flows = make_uniform_flows(6, 2, r);
+  tg_util_config cfg;
+  cfg.model = traffic_model::onoff;
+  cfg.per_flow_rate = 500.0;
+  auto generators = make_generators(flows, cfg);
+  const auto streams = per_host_streams(generators, 6, 2.0, r);
+  ASSERT_EQ(streams.size(), 6u);
+  std::set<std::uint64_t> pids;
+  for (const auto& stream : streams) {
+    EXPECT_TRUE(is_time_ordered(stream));
+    for (const auto& ev : stream) EXPECT_TRUE(pids.insert(ev.pkt.pid).second);
+  }
+  EXPECT_GT(pids.size(), 100u);
+}
+
+// Every traffic model must flow through the same generator interface.
+class traffic_model_sweep : public ::testing::TestWithParam<traffic_model> {};
+
+TEST_P(traffic_model_sweep, generates_calibrated_streams) {
+  rng r{14};
+  auto flows = make_uniform_flows(2, 1, r);
+  tg_util_config cfg;
+  cfg.model = GetParam();
+  cfg.per_flow_rate = 1000.0;
+  auto generators = make_generators(flows, cfg);
+  std::uint64_t pid = 0;
+  rng gen_rng{15};
+  const auto stream = generators[0].generate(10.0, gen_rng, pid);
+  ASSERT_GT(stream.size(), 100u);
+  EXPECT_TRUE(is_time_ordered(stream));
+  // All models are calibrated to the requested mean rate (loosest for the
+  // bursty ones).
+  EXPECT_NEAR(static_cast<double>(stream.size()) / 10.0, 1000.0, 400.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(all_models, traffic_model_sweep,
+                         ::testing::Values(traffic_model::poisson,
+                                           traffic_model::onoff,
+                                           traffic_model::map,
+                                           traffic_model::bc_paug89,
+                                           traffic_model::anarchy),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case traffic_model::poisson: return "Poisson";
+                             case traffic_model::onoff: return "OnOff";
+                             case traffic_model::map: return "MAP";
+                             case traffic_model::bc_paug89: return "BCpAug89";
+                             case traffic_model::anarchy: return "Anarchy";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace
