@@ -1,12 +1,15 @@
 // Micro-benchmarks (google-benchmark) of the hot kernels every experiment
 // rides on: the matmul behind PTM inference, scheduler enqueue/dequeue, the
-// DES event loop, W1 metric computation, and PFM forwarding.
+// DES event loop, W1 metric computation, PFM forwarding, and the
+// observability scoped-timer in both its no-op and recording modes.
 #include <benchmark/benchmark.h>
 
 #include "core/pfm.hpp"
 #include "des/simulator.hpp"
 #include "des/traffic_manager.hpp"
 #include "nn/matrix.hpp"
+#include "obs/scoped_timer.hpp"
+#include "obs/sink.hpp"
 #include "stats/wasserstein.hpp"
 #include "util/rng.hpp"
 
@@ -106,6 +109,21 @@ void bm_pfm_forwarding(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * ports * 1000);
 }
 BENCHMARK(bm_pfm_forwarding);
+
+// Arg 0: null sink (the default in every config) — must be indistinguishable
+// from no instrumentation at all. Arg 1: recording sink — the per-span cost
+// paid only when the user opts into profiling.
+void bm_obs_scoped_timer(benchmark::State& state) {
+  obs::sink sink;
+  obs::sink* target = state.range(0) == 0 ? nullptr : &sink;
+  std::uint64_t index = 0;
+  for (auto _ : state) {
+    obs::scoped_timer timer{target, "bench", "span", index++};
+    benchmark::DoNotOptimize(index);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_obs_scoped_timer)->Arg(0)->Arg(1);
 
 }  // namespace
 

@@ -5,6 +5,10 @@
 //                      raise for tighter statistics, lower for quick runs)
 //   DQN_MODEL_DIR    — PTM cache directory (default ./dqn_models)
 //   DQN_PTM_ARCH     — "mlp" (default) or "attention"
+//   DQN_BENCH_JSON   — when set, every engine/DES/DUtil phase the bench runs
+//                      is profiled through one shared obs::sink and the
+//                      registry snapshot is dumped as JSON at exit
+//                      ("1" or "-" → stdout, anything else → that file path)
 //
 // Each bench binary prints the rows of its paper table/figure and exits;
 // PTMs are trained on first use and cached on disk, so re-runs are fast.
@@ -21,6 +25,7 @@
 #include "core/engine.hpp"
 #include "core/metrics.hpp"
 #include "des/network.hpp"
+#include "obs/sink.hpp"
 #include "topo/builders.hpp"
 #include "topo/routing.hpp"
 #include "traffic/traffic_gen.hpp"
@@ -35,6 +40,37 @@ inline double bench_scale() {
     if (scale > 0) return scale;
   }
   return 1.0;
+}
+
+// The process-wide bench sink, or nullptr when DQN_BENCH_JSON is unset.
+// Every helper below threads it through the engine/DES/DUtil configs, so a
+// bench binary needs no code of its own to become profilable. The snapshot
+// is dumped once, at exit, after all tables have printed.
+inline obs::sink* bench_sink() {
+  static obs::sink* instance = [] {
+    const char* env = std::getenv("DQN_BENCH_JSON");
+    if (env == nullptr || *env == '\0') return static_cast<obs::sink*>(nullptr);
+    static obs::sink sink;
+    static std::string destination{env};
+    std::atexit([] {
+      const std::string doc = sink.to_json();
+      if (destination == "1" || destination == "-") {
+        std::printf("%s\n", doc.c_str());
+        return;
+      }
+      if (std::FILE* f = std::fopen(destination.c_str(), "w"); f != nullptr) {
+        std::fprintf(f, "%s\n", doc.c_str());
+        std::fclose(f);
+        std::fprintf(stderr, "[obs] wrote profile snapshot to %s\n",
+                     destination.c_str());
+      } else {
+        std::fprintf(stderr, "[obs] cannot open %s for writing\n",
+                     destination.c_str());
+      }
+    });
+    return &sink;
+  }();
+  return instance;
 }
 
 inline core::ptm_arch bench_arch() {
@@ -61,6 +97,7 @@ inline core::dutil_config standard_dutil(std::size_t ports,
   cfg.ptm.lstm_hidden = {24, 12};
   cfg.ptm.epochs = static_cast<std::size_t>(22 * bench_scale()) + 2;
   cfg.seed = 20220822;  // SIGCOMM'22 conference date
+  cfg.sink = bench_sink();
   return cfg;
 }
 
@@ -199,7 +236,9 @@ inline scenario_result run_and_compare(
     const des::tm_config& tm, double bucket_seconds, bool apply_sec = true,
     std::size_t partitions = 4, bool record_truth_hops = false) {
   des::network oracle{s.topo(), *s.routes,
-                      {.tm = tm, .record_hops = record_truth_hops}};
+                      {.tm = tm,
+                       .record_hops = record_truth_hops,
+                       .sink = bench_sink()}};
   scenario_result result;
   result.truth = oracle.run(s.streams, s.horizon);
 
@@ -210,6 +249,7 @@ inline scenario_result run_and_compare(
   core::engine_config engine_cfg;
   engine_cfg.partitions = partitions;
   engine_cfg.apply_sec = apply_sec;
+  engine_cfg.sink = bench_sink();
   core::dqn_network net{s.topo(), *s.routes, std::move(ptm), ctx, engine_cfg};
   result.prediction = net.run(s.streams, s.horizon);
   result.engine_stats = net.stats();

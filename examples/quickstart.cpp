@@ -5,11 +5,81 @@
 //   3. compose the DeepQueueNet model and run it (SInit + SRun with IRSA),
 //   4. compare against the packet-level DES oracle,
 //   5. use packet-level visibility: inspect any device's egress trace.
+//
+// Run with `--json` for the profiled variant instead: a self-contained tiny
+// pipeline (DUtil training + engine run + DES oracle) instrumented through
+// one obs::sink, emitting the full registry snapshot as JSON on stdout —
+// per-epoch PTM training loss, per-IRSA-iteration timings, DES counters.
+#include <string_view>
+
+#include "des/run_api.hpp"
 #include "examples/example_util.hpp"
+#include "obs/json.hpp"
+#include "obs/sink.hpp"
 
 using namespace dqn;
 
-int main() {
+namespace {
+
+// The --json profile mode. Deliberately trains a fresh tiny device model
+// (no DLib cache) so the ptm.* per-epoch metrics are always present in the
+// snapshot, then profiles a DeepQueueNet run and the DES oracle on the same
+// scenario through the same sink. Only the JSON document goes to stdout.
+int run_profiled() {
+  obs::sink sink;
+
+  core::dutil_config dutil_cfg;
+  dutil_cfg.ports = 4;
+  dutil_cfg.bandwidth_bps = examples::link_bps;
+  dutil_cfg.streams = 30;
+  dutil_cfg.packets_per_stream = 200;
+  dutil_cfg.ptm.time_steps = 8;
+  dutil_cfg.ptm.mlp_hidden = {24, 12};
+  dutil_cfg.ptm.epochs = 8;
+  dutil_cfg.seed = 7;
+  dutil_cfg.sink = &sink;
+  std::fprintf(stderr, "[profile] training a tiny device model...\n");
+  auto bundle = core::train_device_model(dutil_cfg);
+  auto ptm = std::make_shared<const core::ptm_model>(std::move(bundle.model));
+
+  const auto topo = topo::make_line(3, examples::links());
+  const topo::routing routes{topo};
+  const double horizon = 0.02;
+  const auto traffic_setup = examples::make_traffic_load(
+      topo, routes, traffic::traffic_model::poisson, /*max link load=*/0.4,
+      horizon, 7);
+
+  des::run_request request;
+  request.host_streams = &traffic_setup.streams;
+  request.horizon = horizon;
+  request.sink = &sink;
+
+  std::fprintf(stderr, "[profile] running DeepQueueNet inference...\n");
+  core::engine_config engine_cfg;
+  engine_cfg.with_partitions(2).with_sink(&sink);
+  core::dqn_network net{topo, routes, ptm, core::scheduler_context{}, engine_cfg};
+  (void)net.run(request);
+
+  std::fprintf(stderr, "[profile] running the DES oracle...\n");
+  des::network oracle{topo, routes, {.sink = &sink}};
+  (void)oracle.run(request);
+
+  const std::string doc = sink.to_json();
+  std::printf("%s\n", doc.c_str());
+  if (!obs::json_is_valid(doc)) {
+    std::fprintf(stderr, "[profile] snapshot failed JSON validation\n");
+    return 1;
+  }
+  std::fprintf(stderr, "[profile] %zu trace events captured\n",
+               sink.trace().size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string_view{argv[1]} == "--json") return run_profiled();
+
   std::printf("=== DeepQueueNet quickstart ===\n\n");
 
   // 1. Device model (trained once, then loaded from ./dqn_models).
@@ -58,7 +128,8 @@ int main() {
     std::printf("  %-4s forwarded %zu packets\n", topo.at(node).name.c_str(),
                 packets);
   }
-  std::printf("\ndone. Try examples/capacity_planning, scheduler_tuning, "
-              "topology_design next.\n");
+  std::printf("\ndone. Try examples/quickstart --json for a profiled run, or "
+              "examples/capacity_planning, scheduler_tuning, topology_design "
+              "next.\n");
   return 0;
 }

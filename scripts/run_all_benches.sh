@@ -5,12 +5,28 @@
 #
 # Knobs: DQN_BENCH_SCALE (default 1.0), DQN_PTM_ARCH=mlp|attention,
 #        DQN_BENCH_FULL=1 (adds the 32/64-port Table 2 rows).
+#
+# --json [dir]: additionally profile every bench through the observability
+# sink (obs::sink) and write one registry snapshot per binary as
+# <dir>/<bench>.json (default dir: bench_json). Tables still print as usual.
 set -u
 cd "$(dirname "$0")/.."
+
+json_dir=""
+if [ "${1:-}" = "--json" ]; then
+  json_dir="${2:-bench_json}"
+  mkdir -p "$json_dir"
+  echo "profiling enabled: JSON snapshots under $json_dir/"
+fi
+
 echo "DQN_BENCH_SCALE=${DQN_BENCH_SCALE:-1.0} DQN_PTM_ARCH=${DQN_PTM_ARCH:-mlp}"
 for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
   echo
   echo "##### $b"
-  "$b"
+  if [ -n "$json_dir" ]; then
+    DQN_BENCH_JSON="$json_dir/$(basename "$b").json" "$b"
+  else
+    "$b"
+  fi
 done

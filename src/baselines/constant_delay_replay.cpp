@@ -1,0 +1,50 @@
+#include "baselines/constant_delay_replay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dqn::baselines {
+
+des::run_result replay_constant_delays(
+    const topo::topology& topo,
+    const std::vector<traffic::packet_stream>& host_streams, double horizon,
+    const std::map<std::uint32_t, double>& delay_by_flow) {
+  const auto hosts = topo.hosts();
+  if (host_streams.size() != hosts.size())
+    throw std::invalid_argument{
+        "replay_constant_delays: one stream per host required"};
+
+  des::run_result result;
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    for (const auto& ev : host_streams[i]) {
+      if (ev.time > horizon) break;
+      const auto it = delay_by_flow.find(ev.pkt.flow_id);
+      if (it == delay_by_flow.end() || !std::isfinite(it->second)) {
+        ++result.drops;
+        continue;
+      }
+      if (ev.pkt.dst_host < 0 ||
+          static_cast<std::size_t>(ev.pkt.dst_host) >= hosts.size())
+        throw std::invalid_argument{
+            "replay_constant_delays: dst_host index out of range"};
+      des::delivery_record d;
+      d.pid = ev.pkt.pid;
+      d.flow_id = ev.pkt.flow_id;
+      d.src = hosts[i];
+      d.dst = hosts[static_cast<std::size_t>(ev.pkt.dst_host)];
+      d.send_time = ev.time;
+      d.delivery_time = ev.time + it->second;
+      result.deliveries.push_back(d);
+    }
+  }
+  std::sort(result.deliveries.begin(), result.deliveries.end(),
+            [](const des::delivery_record& a, const des::delivery_record& b) {
+              if (a.delivery_time != b.delivery_time)
+                return a.delivery_time < b.delivery_time;
+              return a.pid < b.pid;
+            });
+  return result;
+}
+
+}  // namespace dqn::baselines

@@ -1,0 +1,30 @@
+// Shared replay helper for the flow-level baselines (fluid, RouteNet): both
+// predict one constant end-to-end delay per flow, so their unified-API run()
+// is "replay the injected host streams, stamping each packet's delivery at
+// send + delay(flow)". The resulting run_result is record-compatible with
+// the DES and the engine — which is exactly what makes the baselines'
+// limitation (no intra-flow delay variation) measurable with the same §6
+// metric pipeline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "des/records.hpp"
+#include "topo/graph.hpp"
+#include "traffic/packet.hpp"
+
+namespace dqn::baselines {
+
+// Build a run_result from per-flow constant delays. Packets whose flow maps
+// to a non-finite delay (e.g. a fluid link at capacity) are counted as
+// drops. Host src/dst indices are translated to topology node ids, mirroring
+// des::network::run.
+[[nodiscard]] des::run_result replay_constant_delays(
+    const topo::topology& topo,
+    const std::vector<traffic::packet_stream>& host_streams, double horizon,
+    const std::map<std::uint32_t, double>& delay_by_flow);
+
+}  // namespace dqn::baselines

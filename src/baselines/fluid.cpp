@@ -2,8 +2,47 @@
 
 #include <limits>
 #include <stdexcept>
+#include <utility>
+
+#include "baselines/constant_delay_replay.hpp"
+#include "obs/scoped_timer.hpp"
+#include "obs/sink.hpp"
+#include "util/stopwatch.hpp"
 
 namespace dqn::baselines {
+
+fluid_estimator::fluid_estimator(const topo::topology& topo,
+                                 const topo::routing& routes,
+                                 std::vector<traffic::flow_spec> flows,
+                                 std::vector<double> flow_rates_pps,
+                                 double mean_packet_size)
+    : topo_{&topo},
+      routes_{&routes},
+      flows_{std::move(flows)},
+      flow_rates_pps_{std::move(flow_rates_pps)},
+      mean_packet_size_{mean_packet_size} {}
+
+des::run_result fluid_estimator::run(const des::run_request& request) {
+  if (topo_ == nullptr)
+    throw std::logic_error{
+        "fluid_estimator::run: construct with a scenario (topology, routing, "
+        "flows, rates) before using the unified run API"};
+  if (request.host_streams == nullptr)
+    throw std::invalid_argument{"fluid_estimator::run: host_streams is null"};
+  obs::scoped_timer timer{request.sink, "fluid", "run"};
+  util::stopwatch watch;
+  const auto delays = predict_mean_delays(*topo_, *routes_, flows_,
+                                          flow_rates_pps_, mean_packet_size_);
+  auto result = replay_constant_delays(*topo_, *request.host_streams,
+                                       request.horizon, delays);
+  result.wall_seconds = watch.elapsed_seconds();
+  if (request.sink != nullptr) {
+    request.sink->count("fluid.deliveries",
+                        static_cast<double>(result.deliveries.size()));
+    request.sink->count("fluid.drops", static_cast<double>(result.drops));
+  }
+  return result;
+}
 
 std::map<std::uint32_t, double> fluid_estimator::predict_mean_delays(
     const topo::topology& topo, const topo::routing& routes,

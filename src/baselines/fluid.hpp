@@ -15,20 +15,46 @@
 #include <map>
 #include <vector>
 
+#include "des/run_api.hpp"
 #include "topo/graph.hpp"
 #include "topo/routing.hpp"
 #include "traffic/traffic_gen.hpp"
 
 namespace dqn::baselines {
 
-class fluid_estimator {
+class fluid_estimator : public des::estimator {
  public:
+  fluid_estimator() = default;
+
+  // Scenario-bound form for the unified run API: the traffic matrix
+  // (flows + rates) is the fluid model's input interface, so it is part of
+  // the estimator state, not of the per-run request. `topo`/`routes` must
+  // outlive the estimator.
+  fluid_estimator(const topo::topology& topo, const topo::routing& routes,
+                  std::vector<traffic::flow_spec> flows,
+                  std::vector<double> flow_rates_pps, double mean_packet_size);
+
   // Per-flow mean end-to-end delay estimates (seconds). Links at or above
   // capacity get +inf. `mean_packet_size` in bytes.
   [[nodiscard]] static std::map<std::uint32_t, double> predict_mean_delays(
       const topo::topology& topo, const topo::routing& routes,
       const std::vector<traffic::flow_spec>& flows,
       const std::vector<double>& flow_rates_pps, double mean_packet_size);
+
+  // Unified estimator contract: replay the request's streams with each
+  // packet delivered at send + the flow's steady-state mean delay. Requires
+  // the scenario-bound constructor; throws std::logic_error otherwise.
+  [[nodiscard]] des::run_result run(const des::run_request& request) override;
+  [[nodiscard]] const char* estimator_name() const noexcept override {
+    return "fluid";
+  }
+
+ private:
+  const topo::topology* topo_ = nullptr;
+  const topo::routing* routes_ = nullptr;
+  std::vector<traffic::flow_spec> flows_;
+  std::vector<double> flow_rates_pps_;
+  double mean_packet_size_ = 0;
 };
 
 }  // namespace dqn::baselines

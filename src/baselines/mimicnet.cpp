@@ -7,7 +7,10 @@
 #include <unordered_map>
 
 #include "nn/adam.hpp"
+#include "obs/scoped_timer.hpp"
+#include "obs/sink.hpp"
 #include "util/rng.hpp"
+#include "util/stopwatch.hpp"
 
 namespace dqn::baselines {
 
@@ -254,6 +257,30 @@ des::run_result mimicnet_estimator::predict(
             [](const des::delivery_record& a, const des::delivery_record& b) {
               return a.delivery_time < b.delivery_time;
             });
+  return result;
+}
+
+void mimicnet_estimator::set_target(const topo::topology& topo,
+                                    const topo::routing& routes) {
+  target_topo_ = &topo;
+  target_routes_ = &routes;
+}
+
+des::run_result mimicnet_estimator::run(const des::run_request& request) {
+  if (!trained_) throw std::logic_error{"mimicnet::run: not trained"};
+  if (target_topo_ == nullptr)
+    throw std::logic_error{
+        "mimicnet::run: no target network bound; call set_target first"};
+  if (request.host_streams == nullptr)
+    throw std::invalid_argument{"mimicnet::run: host_streams is null"};
+  obs::scoped_timer timer{request.sink, "mimicnet", "run"};
+  util::stopwatch watch;
+  auto result = predict(*target_topo_, *target_routes_, *request.host_streams,
+                        request.horizon);
+  result.wall_seconds = watch.elapsed_seconds();
+  if (request.sink != nullptr)
+    request.sink->count("mimicnet.deliveries",
+                        static_cast<double>(result.deliveries.size()));
   return result;
 }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "des/records.hpp"
+#include "des/run_api.hpp"
 #include "nn/mlp.hpp"
 #include "nn/scaler.hpp"
 #include "topo/graph.hpp"
@@ -26,7 +27,7 @@
 
 namespace dqn::baselines {
 
-class mimicnet_estimator {
+class mimicnet_estimator : public des::estimator {
  public:
   mimicnet_estimator() = default;
 
@@ -44,6 +45,16 @@ class mimicnet_estimator {
       const std::vector<traffic::packet_stream>& host_streams, double horizon) const;
 
   [[nodiscard]] bool trained() const noexcept { return trained_; }
+
+  // Unified run API: bind the (possibly larger) target fat-tree once, then
+  // run() forwards to predict(). `topo`/`routes` must outlive the estimator.
+  void set_target(const topo::topology& topo, const topo::routing& routes);
+
+  // Throws std::logic_error when untrained or no target is bound.
+  [[nodiscard]] des::run_result run(const des::run_request& request) override;
+  [[nodiscard]] const char* estimator_name() const noexcept override {
+    return "mimicnet";
+  }
 
  private:
   // Segment feature vector: [packet len, source-rate EMA, hops in segment].
@@ -66,6 +77,8 @@ class mimicnet_estimator {
   segment_model core_;  // core layer traversal
   segment_model down_;  // pod top -> destination host
   bool trained_ = false;
+  const topo::topology* target_topo_ = nullptr;
+  const topo::routing* target_routes_ = nullptr;
 };
 
 }  // namespace dqn::baselines

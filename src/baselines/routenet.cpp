@@ -4,10 +4,14 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "baselines/constant_delay_replay.hpp"
 #include "nn/adam.hpp"
+#include "obs/scoped_timer.hpp"
+#include "obs/sink.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/wasserstein.hpp"
 #include "util/rng.hpp"
+#include "util/stopwatch.hpp"
 
 namespace dqn::baselines {
 
@@ -160,6 +164,42 @@ path_kpis routenet_estimator::predict(const std::vector<double>& features) const
   kpis.avg_jitter = std::max(0.0, target_scalers_[2].inverse(y(0, 2)));
   kpis.p99_jitter = std::max(0.0, target_scalers_[3].inverse(y(0, 3)));
   return kpis;
+}
+
+void routenet_estimator::set_scenario(const topo::topology& topo,
+                                      const topo::routing& routes,
+                                      std::vector<traffic::flow_spec> flows,
+                                      std::vector<double> flow_rates_pps,
+                                      double mean_packet_size) {
+  if (flows.size() != flow_rates_pps.size())
+    throw std::invalid_argument{"routenet::set_scenario: one rate per flow"};
+  topo_ = &topo;
+  routes_ = &routes;
+  flows_ = std::move(flows);
+  flow_rates_pps_ = std::move(flow_rates_pps);
+  mean_packet_size_ = mean_packet_size;
+}
+
+des::run_result routenet_estimator::run(const des::run_request& request) {
+  if (!trained_) throw std::logic_error{"routenet::run: not trained"};
+  if (topo_ == nullptr)
+    throw std::logic_error{
+        "routenet::run: no scenario bound; call set_scenario first"};
+  if (request.host_streams == nullptr)
+    throw std::invalid_argument{"routenet::run: host_streams is null"};
+  obs::scoped_timer timer{request.sink, "routenet", "run"};
+  util::stopwatch watch;
+  const auto kpis =
+      predict_flows(*topo_, *routes_, flows_, flow_rates_pps_, mean_packet_size_);
+  std::map<std::uint32_t, double> delays;
+  for (const auto& [flow_id, kpi] : kpis) delays[flow_id] = kpi.avg_rtt;
+  auto result = replay_constant_delays(*topo_, *request.host_streams,
+                                       request.horizon, delays);
+  result.wall_seconds = watch.elapsed_seconds();
+  if (request.sink != nullptr)
+    request.sink->count("routenet.deliveries",
+                        static_cast<double>(result.deliveries.size()));
+  return result;
 }
 
 std::map<std::uint32_t, path_kpis> routenet_estimator::predict_flows(

@@ -22,6 +22,7 @@
 
 #include "core/metrics.hpp"
 #include "des/records.hpp"
+#include "des/run_api.hpp"
 #include "nn/mlp.hpp"
 #include "nn/scaler.hpp"
 #include "topo/graph.hpp"
@@ -37,7 +38,7 @@ struct path_kpis {
   double p99_jitter = 0;
 };
 
-class routenet_estimator {
+class routenet_estimator : public des::estimator {
  public:
   routenet_estimator();
 
@@ -68,6 +69,22 @@ class routenet_estimator {
 
   [[nodiscard]] static std::size_t feature_width() noexcept { return 8; }
 
+  // Unified run API. RouteNet's input interface is the traffic matrix, so
+  // the scenario (topology, routing, flows, per-flow rates) is bound once
+  // here; run() then replays a request's streams with each packet delivered
+  // at send + the flow's predicted avgRTT. The degenerate per-flow-constant
+  // latency distribution this produces is RouteNet's documented limitation,
+  // preserved on purpose. `topo`/`routes` must outlive the estimator.
+  void set_scenario(const topo::topology& topo, const topo::routing& routes,
+                    std::vector<traffic::flow_spec> flows,
+                    std::vector<double> flow_rates_pps, double mean_packet_size);
+
+  // Throws std::logic_error when untrained or no scenario is bound.
+  [[nodiscard]] des::run_result run(const des::run_request& request) override;
+  [[nodiscard]] const char* estimator_name() const noexcept override {
+    return "routenet";
+  }
+
  private:
   [[nodiscard]] static std::vector<double> path_features(
       const topo::topology& topo, const topo::routing& routes,
@@ -78,6 +95,13 @@ class routenet_estimator {
   nn::min_max_scaler feature_scaler_;
   std::array<nn::target_scaler, 4> target_scalers_;
   bool trained_ = false;
+
+  // Scenario binding for the unified run API (null until set_scenario).
+  const topo::topology* topo_ = nullptr;
+  const topo::routing* routes_ = nullptr;
+  std::vector<traffic::flow_spec> flows_;
+  std::vector<double> flow_rates_pps_;
+  double mean_packet_size_ = 0;
 };
 
 // Compare RouteNet's per-flow constant KPI predictions against DES truth

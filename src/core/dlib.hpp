@@ -3,6 +3,8 @@
 // retraining. Keys encode the architecture, port count, and training seed.
 #pragma once
 
+#include <cstdio>
+#include <exception>
 #include <filesystem>
 #include <optional>
 #include <string>
@@ -28,9 +30,20 @@ class device_model_library {
   [[nodiscard]] ptm_model fetch(const std::string& key) const;
 
   // Fetch if present, otherwise call `train`, store, and return the result.
+  // A cached file that fails to deserialize (truncated, or written by an
+  // older format revision) is treated as a miss and retrained over, not a
+  // fatal error — a stale cache must never brick the demo flow.
   template <typename TrainFn>
   [[nodiscard]] ptm_model fetch_or_train(const std::string& key, TrainFn&& train) const {
-    if (contains(key)) return fetch(key);
+    if (contains(key)) {
+      try {
+        return fetch(key);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr,
+                     "[dlib] cached model %s is unreadable (%s); retraining\n",
+                     key.c_str(), e.what());
+      }
+    }
     ptm_model model = train();
     store(key, model);
     return model;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/features.hpp"
+#include "obs/scoped_timer.hpp"
 #include "stats/wasserstein.hpp"
 #include "traffic/arrivals.hpp"
 #include "traffic/packet_size.hpp"
@@ -172,22 +173,40 @@ device_model_bundle train_device_model(
   validation.time_steps = config.ptm.time_steps;
   // §5.2: 80% of the stream samples train, 20% evaluate. Interleave the
   // split so both sets cover the full scheduler/load mix.
-  const std::size_t period = std::max<std::size_t>(
-      2, static_cast<std::size_t>(std::lround(1.0 / config.validation_fraction)));
-  for (std::size_t s = 0; s < config.streams; ++s) {
-    auto sample = generate_stream_sample(config, rng);
-    const bool is_validation = s % period == period - 1;
-    (is_validation ? validation : train).append(sample.data);
+  {
+    obs::scoped_timer corpus_timer{config.sink, "dutil", "corpus"};
+    const std::size_t period = std::max<std::size_t>(
+        2,
+        static_cast<std::size_t>(std::lround(1.0 / config.validation_fraction)));
+    for (std::size_t s = 0; s < config.streams; ++s) {
+      auto sample = generate_stream_sample(config, rng);
+      const bool is_validation = s % period == period - 1;
+      (is_validation ? validation : train).append(sample.data);
+    }
+    corpus_timer.set_value(static_cast<double>(config.streams));
   }
   if (train.count() == 0)
     throw std::runtime_error{"train_device_model: no training data produced"};
+  if (config.sink != nullptr) {
+    config.sink->count("dutil.streams", static_cast<double>(config.streams));
+    config.sink->count("dutil.train_windows", static_cast<double>(train.count()));
+    config.sink->count("dutil.validation_windows",
+                       static_cast<double>(validation.count()));
+  }
 
   device_model_bundle bundle;
   ptm_config ptm_cfg = config.ptm;
   ptm_cfg.seed = util::derive_seed(config.seed, 0x97);
+  if (ptm_cfg.sink == nullptr) ptm_cfg.sink = config.sink;
   bundle.model = ptm_model{ptm_cfg};
-  bundle.report = bundle.model.train(train, on_epoch);
-  if (validation.count() > 0) bundle.model.fit_sec(validation);
+  {
+    obs::scoped_timer train_timer{config.sink, "dutil", "train"};
+    bundle.report = bundle.model.train(train, on_epoch);
+  }
+  if (validation.count() > 0) {
+    obs::scoped_timer sec_timer{config.sink, "dutil", "sec_fit"};
+    bundle.model.fit_sec(validation);
+  }
   bundle.validation = std::move(validation);
   return bundle;
 }

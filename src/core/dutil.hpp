@@ -33,6 +33,11 @@ struct dutil_config {
   double validation_fraction = 0.2;  // §5.2: train on 80%, evaluate on 20%
   ptm_config ptm;
   std::uint64_t seed = 42;
+  // Optional observability: train_device_model times its corpus-generation,
+  // training, and SEC-fit phases and counts streams/windows produced; the
+  // sink is also forwarded to ptm_config.sink (unless one is already set)
+  // so per-epoch training metrics land in the same place. Null = no-op.
+  obs::sink* sink = nullptr;
 };
 
 // One randomly-configured single-switch stream sample: its windows/targets

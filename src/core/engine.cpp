@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
+#include "obs/scoped_timer.hpp"
+#include "obs/sink.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
@@ -23,6 +26,29 @@ bool streams_equal(const traffic::packet_stream& a, const traffic::packet_stream
 
 }  // namespace
 
+void engine_stats::publish(obs::sink& sink) const {
+  sink.count("engine.iterations", static_cast<double>(iterations));
+  sink.count("engine.device_inferences", static_cast<double>(device_inferences));
+  sink.count("engine.devices_skipped", static_cast<double>(devices_skipped));
+  sink.gauge("engine.wall_seconds", wall_seconds);
+  sink.gauge("engine.busy_seconds", busy_seconds);
+  sink.gauge("engine.critical_path_seconds", critical_path_seconds);
+  sink.gauge("engine.projected_wall_seconds", projected_wall_seconds());
+}
+
+engine_stats engine_stats::from_registry(const obs::metric_registry& registry) {
+  engine_stats stats;
+  stats.iterations = static_cast<std::size_t>(registry.counter("engine.iterations"));
+  stats.device_inferences =
+      static_cast<std::size_t>(registry.counter("engine.device_inferences"));
+  stats.devices_skipped =
+      static_cast<std::size_t>(registry.counter("engine.devices_skipped"));
+  stats.wall_seconds = registry.gauge("engine.wall_seconds");
+  stats.busy_seconds = registry.gauge("engine.busy_seconds");
+  stats.critical_path_seconds = registry.gauge("engine.critical_path_seconds");
+  return stats;
+}
+
 dqn_network::dqn_network(const topo::topology& topo, const topo::routing& routes,
                          std::shared_ptr<const ptm_model> ptm, scheduler_context ctx,
                          engine_config config)
@@ -39,6 +65,11 @@ dqn_network::dqn_network(const topo::topology& topo, const topo::routing& routes
 }
 
 void dqn_network::set_device_context(topo::node_id node, scheduler_context ctx) {
+  if (ran_)
+    throw std::logic_error{
+        "dqn_network::set_device_context: called after run(); device overrides "
+        "must be installed before the first run (they do not apply "
+        "retroactively)"};
   (void)topo_->at(node);  // bounds check
   device_overrides_.insert_or_assign(node, device_model{ptm_, std::move(ctx)});
 }
@@ -63,9 +94,13 @@ des::run_result dqn_network::run(
 
   util::stopwatch watch;
   stats_ = {};
+  ran_ = true;
+  obs::sink* const sink = config_.sink;
+  obs::scoped_timer run_timer{sink, "engine", "run"};
 
   // SInit: place the injected streams as the hosts' (fixed) egress streams,
   // translating host indices to node ids.
+  obs::scoped_timer sinit_timer{sink, "engine", "sinit"};
   std::vector<std::vector<traffic::packet_stream>> egress(topo_->node_count());
   for (std::size_t i = 0; i < topo_->node_count(); ++i)
     egress[i].resize(topo_->port_count(static_cast<topo::node_id>(i)));
@@ -94,6 +129,7 @@ des::run_result dqn_network::run(
       out = std::move(egress_streams[0]);
     }
   }
+  sinit_timer.stop();
 
   // Per-device cached ingress (for skip detection), hop records, and drops.
   std::vector<std::vector<traffic::packet_stream>> last_ingress(topo_->node_count());
@@ -115,13 +151,16 @@ des::run_result dqn_network::run(
 
   std::vector<std::uint8_t> changed(devices.size(), 0);
   std::vector<std::size_t> inferences(ranges.size(), 0);
+  std::vector<std::size_t> skips(ranges.size(), 0);
   for (std::size_t iteration = 0; iteration < max_iterations; ++iteration) {
+    obs::scoped_timer iteration_timer{sink, "engine", "iteration", iteration};
     // Double buffer: every device reads iteration t-1 state (Algorithm 1
     // "pull the packet flows from iteration t-1").
     auto next = egress;
     std::fill(changed.begin(), changed.end(), std::uint8_t{0});
 
     std::vector<double> partition_busy(ranges.size(), 0.0);
+    std::vector<std::size_t> partition_inferences(ranges.size(), 0);
     pool.parallel_for(ranges.size(), [&](std::size_t r) {
       const double cpu_start = util::thread_cpu_seconds();
       for (const std::size_t d : ranges[r]) {
@@ -141,7 +180,10 @@ des::run_result dqn_network::run(
           for (std::size_t p = 0; p < ports && same; ++p)
             same = streams_equal(ingress[p], last_ingress[n][p],
                                  config_.convergence_epsilon);
-          if (same) continue;
+          if (same) {
+            ++skips[r];
+            continue;
+          }
         }
         // Destination-based forwarding needs the packet's dst, so bind a
         // per-device forward over (fid -> dst) collected from the ingress.
@@ -165,6 +207,7 @@ des::run_result dqn_network::run(
         next[n] = model->process(ingress, forward_by_flow, config_.apply_sec, hops,
                                  &device_drops[n], port_bandwidths);
         ++inferences[r];
+        ++partition_inferences[r];
         bool did_change = false;
         for (std::size_t p = 0; p < ports && !did_change; ++p)
           did_change = !streams_equal(next[n][p], egress[n][p],
@@ -176,19 +219,37 @@ des::run_result dqn_network::run(
     });
 
     double iteration_max = 0;
-    for (double busy : partition_busy) {
+    for (std::size_t r = 0; r < partition_busy.size(); ++r) {
+      const double busy = partition_busy[r];
       stats_.busy_seconds += busy;
       iteration_max = std::max(iteration_max, busy);
+      if (sink != nullptr) {
+        // Per-partition device-inference timing: one event per (iteration,
+        // partition), duration = CPU busy time, value = devices inferred.
+        sink->event("engine", "partition_" + std::to_string(r), iteration,
+                    sink->now() - busy, busy,
+                    static_cast<double>(partition_inferences[r]));
+        sink->observe("engine.partition_busy_seconds", busy);
+      }
     }
     stats_.critical_path_seconds += iteration_max;
 
     egress = std::move(next);
     ++stats_.iterations;
-    const bool any_changed =
-        std::any_of(changed.begin(), changed.end(), [](std::uint8_t c) { return c != 0; });
-    if (!any_changed && iteration > 0) break;
+    const auto changed_devices = static_cast<std::size_t>(
+        std::count_if(changed.begin(), changed.end(),
+                      [](std::uint8_t c) { return c != 0; }));
+    if (sink != nullptr) {
+      // Convergence delta: how many devices still changed this iteration —
+      // the IRSA fixed point is reached when this hits zero.
+      iteration_timer.set_value(static_cast<double>(changed_devices));
+      sink->gauge("engine.last_changed_devices",
+                  static_cast<double>(changed_devices));
+    }
+    if (changed_devices == 0 && iteration > 0) break;
   }
   for (std::size_t count : inferences) stats_.device_inferences += count;
+  for (std::size_t count : skips) stats_.devices_skipped += count;
 
   // Collect deliveries: the ingress streams of host nodes.
   des::run_result result;
@@ -230,18 +291,48 @@ des::run_result dqn_network::run(
   }
 
   final_egress_ = std::move(egress);
+  run_timer.stop();
   stats_.wall_seconds = watch.elapsed_seconds();
   result.wall_seconds = stats_.wall_seconds;
+  if (sink != nullptr) {
+    stats_.publish(*sink);
+    sink->count("engine.deliveries", static_cast<double>(result.deliveries.size()));
+    sink->count("engine.drops", static_cast<double>(result.drops));
+  }
   return result;
+}
+
+des::run_result dqn_network::run(const des::run_request& request) {
+  if (request.host_streams == nullptr)
+    throw std::invalid_argument{"dqn_network::run: request.host_streams is null"};
+  obs::sink* const saved = config_.sink;
+  if (request.sink != nullptr) config_.sink = request.sink;
+  try {
+    des::run_result result = run(*request.host_streams, request.horizon);
+    config_.sink = saved;
+    return result;
+  } catch (...) {
+    config_.sink = saved;
+    throw;
+  }
 }
 
 const traffic::packet_stream& dqn_network::egress_stream(topo::node_id node,
                                                          std::size_t port) const {
   if (final_egress_.empty())
-    throw std::logic_error{"dqn_network::egress_stream: run() first"};
-  if (node < 0 || static_cast<std::size_t>(node) >= final_egress_.size() ||
-      port >= final_egress_[static_cast<std::size_t>(node)].size())
-    throw std::out_of_range{"dqn_network::egress_stream"};
+    throw std::logic_error{
+        "dqn_network::egress_stream: no completed run; call run() before "
+        "reading egress traces"};
+  if (node < 0 || static_cast<std::size_t>(node) >= final_egress_.size())
+    throw std::out_of_range{"dqn_network::egress_stream: node " +
+                            std::to_string(node) + " outside topology (0.." +
+                            std::to_string(final_egress_.size() - 1) + ")"};
+  if (port >= final_egress_[static_cast<std::size_t>(node)].size())
+    throw std::out_of_range{
+        "dqn_network::egress_stream: port " + std::to_string(port) +
+        " out of range for node " + std::to_string(node) + " (" +
+        std::to_string(final_egress_[static_cast<std::size_t>(node)].size()) +
+        " ports)"};
   return final_egress_[static_cast<std::size_t>(node)][port];
 }
 

@@ -19,11 +19,25 @@
 
 #include "core/device_model.hpp"
 #include "des/records.hpp"
+#include "des/run_api.hpp"
 #include "topo/graph.hpp"
 #include "topo/routing.hpp"
 
+namespace dqn::obs {
+class metric_registry;
+class sink;
+}  // namespace dqn::obs
+
 namespace dqn::core {
 
+// Engine configuration. Remains an aggregate — brace/designated init keeps
+// working — but the preferred construction style is the documented builder
+// chain:
+//
+//   auto cfg = core::engine_config{}
+//                  .with_partitions(4)
+//                  .with_sec(false)
+//                  .with_sink(&sink);
 struct engine_config {
   std::size_t partitions = 1;      // "number of GPUs"
   std::size_t max_iterations = 0;  // 0 = 1 + diameter(G) (Theorem 3.1)
@@ -40,11 +54,57 @@ struct engine_config {
   // execution profile — with the skip, late iterations run only a few
   // devices and parallel speedup is Amdahl-limited.
   bool irsa_skip_unchanged = true;
+  // Optional observability (obs/sink.hpp): per-iteration IRSA timings and
+  // convergence deltas, per-partition busy time, skip counts, and the full
+  // engine_stats re-expressed as registry metrics. Null = zero-overhead.
+  obs::sink* sink = nullptr;
+
+  // Number of parallel inference partitions ("GPUs"); must be >= 1.
+  engine_config& with_partitions(std::size_t n) noexcept {
+    partitions = n;
+    return *this;
+  }
+  // Iteration cap; 0 restores the 1 + diameter(G) bound of Theorem 3.1.
+  engine_config& with_max_iterations(std::size_t n) noexcept {
+    max_iterations = n;
+    return *this;
+  }
+  // Enable/disable statistical error correction (§6.1 ablation).
+  engine_config& with_sec(bool enabled) noexcept {
+    apply_sec = enabled;
+    return *this;
+  }
+  // Fixed-point tolerance on per-packet egress times.
+  engine_config& with_convergence_epsilon(double eps) noexcept {
+    convergence_epsilon = eps;
+    return *this;
+  }
+  // Record per-device predicted hops into the run_result (visibility).
+  engine_config& with_hop_records(bool enabled) noexcept {
+    record_hops = enabled;
+    return *this;
+  }
+  // Model host NICs as single-queue FIFO devices.
+  engine_config& with_host_nic_model(bool enabled) noexcept {
+    model_host_nics = enabled;
+    return *this;
+  }
+  // Skip devices whose ingress is unchanged since the previous iteration.
+  engine_config& with_irsa_skip(bool enabled) noexcept {
+    irsa_skip_unchanged = enabled;
+    return *this;
+  }
+  // Attach an observability sink (nullptr detaches).
+  engine_config& with_sink(obs::sink* s) noexcept {
+    sink = s;
+    return *this;
+  }
 };
 
 struct engine_stats {
   std::size_t iterations = 0;          // IRSA iterations actually run
   std::size_t device_inferences = 0;   // devices (re)computed across iterations
+  std::size_t devices_skipped = 0;     // IRSA-skip hits across iterations
   double wall_seconds = 0;
   // CPU-time accounting for model-parallel projection (Table 7): the total
   // CPU time spent inside partition work, and its critical path (sum over
@@ -57,9 +117,25 @@ struct engine_stats {
   [[nodiscard]] double projected_wall_seconds() const noexcept {
     return wall_seconds - busy_seconds + critical_path_seconds;
   }
+
+  // engine_stats is re-expressed on top of the obs registry: publish writes
+  // every field as an "engine.*" counter/gauge, and from_registry
+  // reconstructs an identical struct from those metrics (the struct is a
+  // cached view; the registry is the source of truth when a sink is wired).
+  void publish(obs::sink& sink) const;
+  [[nodiscard]] static engine_stats from_registry(const obs::metric_registry& registry);
 };
 
-class dqn_network {
+// Lifecycle: construct -> [set_device_context]* -> run() -> {stats(),
+// egress_stream()}; run() may be called again with new streams (each run
+// resets stats and egress state). Misuse is rejected loudly rather than
+// silently degraded:
+//  * set_device_context after the first run() throws std::logic_error
+//    (overrides would not apply retroactively to completed runs);
+//  * egress_stream before any run() throws std::logic_error;
+//  * egress_stream with a node/port outside the topology throws
+//    std::out_of_range naming the offending coordinates.
+class dqn_network : public des::estimator {
  public:
   dqn_network(const topo::topology& topo, const topo::routing& routes,
               std::shared_ptr<const ptm_model> ptm, scheduler_context ctx,
@@ -67,7 +143,7 @@ class dqn_network {
 
   // Heterogeneous TM deployments: override the scheduler context of
   // individual devices (mirrors des::network_config::tm_overrides). Must be
-  // called before run().
+  // called before the first run(); throws std::logic_error afterwards.
   void set_device_context(topo::node_id node, scheduler_context ctx);
 
   // Same contract as des::network::run: host_streams[i] feeds
@@ -76,9 +152,17 @@ class dqn_network {
   [[nodiscard]] des::run_result run(
       const std::vector<traffic::packet_stream>& host_streams, double horizon);
 
+  // Unified estimator contract (des/run_api.hpp); a non-null request.sink
+  // overrides the configured sink for this run.
+  [[nodiscard]] des::run_result run(const des::run_request& request) override;
+  [[nodiscard]] const char* estimator_name() const noexcept override {
+    return "deepqueuenet";
+  }
+
   [[nodiscard]] const engine_stats& stats() const noexcept { return stats_; }
 
   // Packet-level visibility: the final egress stream of any device port.
+  // Valid only after run(); out-of-range (node, port) throws.
   [[nodiscard]] const traffic::packet_stream& egress_stream(topo::node_id node,
                                                             std::size_t port) const;
 
@@ -95,6 +179,7 @@ class dqn_network {
   std::unordered_map<topo::node_id, device_model> device_overrides_;
   engine_config config_;
   engine_stats stats_;
+  bool ran_ = false;
   std::vector<std::vector<traffic::packet_stream>> final_egress_;
 };
 

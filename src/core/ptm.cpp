@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "core/features.hpp"
+#include "obs/scoped_timer.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 
@@ -148,8 +149,10 @@ training_report ptm_model::train(
   training_report report;
   const std::size_t batch_size = std::min(config_.batch_size, n);
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    obs::scoped_timer epoch_timer{config_.sink, "ptm", "epoch", epoch};
     shuffle_rng.shuffle(order);
     double epoch_loss = 0;
+    double grad_norm = 0;
     std::size_t batches = 0;
     for (std::size_t begin = 0; begin + batch_size <= n; begin += batch_size) {
       nn::seq_batch batch{batch_size, config_.time_steps, feature_count};
@@ -178,12 +181,29 @@ training_report ptm_model::train(
         loss /= static_cast<double>(batch_size);
         (void)mlp_net_.backward(grad);
       }
+      if (config_.sink != nullptr && begin + 2 * batch_size > n) {
+        // Gradient L2 norm of the epoch's final batch (pre-step, so the
+        // grads are still the raw backward output) — the training-health
+        // signal next to the loss curve.
+        double grad_sq = 0;
+        for (const auto& p : params)
+          for (const double g : *p.grad) grad_sq += g * g;
+        grad_norm = std::sqrt(grad_sq);
+      }
       optimizer.step();
       epoch_loss += loss;
       ++batches;
     }
     const double mse = batches > 0 ? epoch_loss / static_cast<double>(batches) : 0.0;
     report.epoch_mse.push_back(mse);
+    if (config_.sink != nullptr) {
+      epoch_timer.set_value(mse);
+      config_.sink->observe("ptm.epoch_mse", mse);
+      config_.sink->observe("ptm.grad_norm", grad_norm);
+      config_.sink->gauge("ptm.last_mse", mse);
+      config_.sink->count("ptm.epochs");
+      config_.sink->count("ptm.batches", static_cast<double>(batches));
+    }
     if (on_epoch) on_epoch(epoch, mse);
   }
   trained_ = true;

@@ -19,6 +19,7 @@
 #include "des/traffic_manager.hpp"
 
 #include "core/sec.hpp"
+#include "obs/sink.hpp"
 #include "nn/adam.hpp"
 #include "nn/mlp.hpp"
 #include "nn/scaler.hpp"
@@ -46,6 +47,10 @@ struct ptm_config {
   std::size_t batch_size = 256;
   std::size_t epochs = 12;
   std::uint64_t seed = 7;
+  // Optional observability: train() records one "ptm"/"epoch" trace event
+  // per epoch (duration = epoch wall time, value = scaled-space MSE) plus
+  // gradient-norm and loss histograms. Null = no-op.
+  obs::sink* sink = nullptr;
 };
 
 // Flattened training data: `windows` is (count, time_steps, feature_count)

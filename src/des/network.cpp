@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/scoped_timer.hpp"
+#include "obs/sink.hpp"
 #include "util/stopwatch.hpp"
 
 namespace dqn::des {
@@ -154,7 +156,10 @@ run_result network::run(const std::vector<traffic::packet_stream>& host_streams,
   }
 
   // Drain: generous allowance for queued packets to leave the network.
-  sim_.run(horizon * 1.5 + 1.0);
+  {
+    obs::scoped_timer timer{config_.sink, "des", "run"};
+    sim_.run(horizon * 1.5 + 1.0);
+  }
   result_.events = sim_.events_processed();
   std::sort(result_.deliveries.begin(), result_.deliveries.end(),
             [](const delivery_record& a, const delivery_record& b) {
@@ -163,7 +168,31 @@ run_result network::run(const std::vector<traffic::packet_stream>& host_streams,
               return a.pid < b.pid;
             });
   result_.wall_seconds = watch.elapsed_seconds();
+  if (config_.sink != nullptr) {
+    obs::sink& sink = *config_.sink;
+    sink.count("des.events", static_cast<double>(result_.events));
+    sink.count("des.drops", static_cast<double>(result_.drops));
+    sink.count("des.deliveries", static_cast<double>(result_.deliveries.size()));
+    sink.count("des.hops", static_cast<double>(result_.hops.size()));
+    sink.gauge("des.max_heap_depth", static_cast<double>(sim_.max_queue_depth()));
+    sink.observe("des.wall_seconds", result_.wall_seconds);
+  }
   return std::move(result_);
+}
+
+run_result network::run(const run_request& request) {
+  if (request.host_streams == nullptr)
+    throw std::invalid_argument{"network::run: request.host_streams is null"};
+  obs::sink* const saved = config_.sink;
+  if (request.sink != nullptr) config_.sink = request.sink;
+  try {
+    run_result result = run(*request.host_streams, request.horizon);
+    config_.sink = saved;
+    return result;
+  } catch (...) {
+    config_.sink = saved;
+    throw;
+  }
 }
 
 }  // namespace dqn::des

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "des/records.hpp"
+#include "des/run_api.hpp"
 #include "des/simulator.hpp"
 #include "des/traffic_manager.hpp"
 #include "topo/graph.hpp"
@@ -28,9 +29,12 @@ struct network_config {
   // e.g. WFQ at the aggregation layer, FIFO elsewhere).
   std::map<topo::node_id, tm_config> tm_overrides;
   bool record_hops = true;  // disable for the large scalability runs
+  // Optional observability: when non-null the run records event counts, peak
+  // heap depth, drops, and wall time (null = no-op, zero overhead).
+  obs::sink* sink = nullptr;
 };
 
-class network {
+class network : public estimator {
  public:
   network(const topo::topology& topo, const topo::routing& routes,
           network_config config);
@@ -41,6 +45,12 @@ class network {
   // ids on injection. Runs the DES until `horizon` plus a drain period.
   [[nodiscard]] run_result run(const std::vector<traffic::packet_stream>& host_streams,
                                double horizon);
+
+  // Unified estimator contract (des/run_api.hpp).
+  [[nodiscard]] run_result run(const run_request& request) override;
+  [[nodiscard]] const char* estimator_name() const noexcept override {
+    return "des";
+  }
 
  private:
   struct egress_port {

@@ -8,6 +8,7 @@ void simulator::schedule_at(double when, std::function<void()> action) {
   if (when < now_)
     throw std::invalid_argument{"simulator::schedule_at: time in the past"};
   queue_.push({when, next_seq_++, std::move(action)});
+  if (queue_.size() > max_depth_) max_depth_ = queue_.size();
 }
 
 void simulator::run(double until) {

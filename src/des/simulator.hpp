@@ -30,6 +30,13 @@ class simulator {
     return processed_;
   }
 
+  // Pending events right now, and the deepest the heap has ever been — the
+  // DES's working-set indicator exported through obs ("des.max_heap_depth").
+  [[nodiscard]] std::size_t queue_depth() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t max_queue_depth() const noexcept {
+    return max_depth_;
+  }
+
  private:
   struct event {
     double time;
@@ -46,6 +53,7 @@ class simulator {
   double now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
+  std::size_t max_depth_ = 0;
   std::priority_queue<event, std::vector<event>, later> queue_;
 };
 

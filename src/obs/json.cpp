@@ -1,0 +1,191 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace dqn::obs {
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  // %.17g round-trips doubles; trim to something readable when exact.
+  std::snprintf(buf, sizeof buf, "%.12g", value);
+  return buf;
+}
+
+namespace {
+
+// Recursive-descent validator. `pos` always points at the next unconsumed
+// character; every parse_* returns false on malformed input.
+struct validator {
+  std::string_view text;
+  std::size_t pos = 0;
+  int depth = 0;
+  static constexpr int max_depth = 256;
+
+  void skip_ws() {
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t' ||
+                                 text[pos] == '\n' || text[pos] == '\r'))
+      ++pos;
+  }
+
+  bool consume(char c) {
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_literal(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) return false;
+    pos += word.size();
+    return true;
+  }
+
+  bool parse_string() {
+    if (!consume('"')) return false;
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '"') {
+        ++pos;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos;
+        if (pos >= text.size()) return false;
+        const char esc = text[pos];
+        if (esc == 'u') {
+          if (pos + 4 >= text.size()) return false;
+          for (int i = 1; i <= 4; ++i)
+            if (!std::isxdigit(static_cast<unsigned char>(text[pos + i])))
+              return false;
+          pos += 4;
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return false;
+        }
+      }
+      ++pos;
+    }
+    return false;
+  }
+
+  bool parse_number() {
+    const std::size_t begin = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    if (pos >= text.size() || !std::isdigit(static_cast<unsigned char>(text[pos])))
+      return false;
+    if (text[pos] == '0') {
+      ++pos;
+    } else {
+      while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos])))
+        ++pos;
+    }
+    if (pos < text.size() && text[pos] == '.') {
+      ++pos;
+      if (pos >= text.size() || !std::isdigit(static_cast<unsigned char>(text[pos])))
+        return false;
+      while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos])))
+        ++pos;
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      if (pos >= text.size() || !std::isdigit(static_cast<unsigned char>(text[pos])))
+        return false;
+      while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos])))
+        ++pos;
+    }
+    return pos > begin;
+  }
+
+  bool parse_value() {
+    if (++depth > max_depth) return false;
+    skip_ws();
+    bool ok = false;
+    if (pos >= text.size()) {
+      ok = false;
+    } else if (text[pos] == '{') {
+      ok = parse_object();
+    } else if (text[pos] == '[') {
+      ok = parse_array();
+    } else if (text[pos] == '"') {
+      ok = parse_string();
+    } else if (text[pos] == 't') {
+      ok = parse_literal("true");
+    } else if (text[pos] == 'f') {
+      ok = parse_literal("false");
+    } else if (text[pos] == 'n') {
+      ok = parse_literal("null");
+    } else {
+      ok = parse_number();
+    }
+    --depth;
+    return ok;
+  }
+
+  bool parse_object() {
+    if (!consume('{')) return false;
+    skip_ws();
+    if (consume('}')) return true;
+    for (;;) {
+      skip_ws();
+      if (!parse_string()) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      if (!parse_value()) return false;
+      skip_ws();
+      if (consume('}')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool parse_array() {
+    if (!consume('[')) return false;
+    skip_ws();
+    if (consume(']')) return true;
+    for (;;) {
+      if (!parse_value()) return false;
+      skip_ws();
+      if (consume(']')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+};
+
+}  // namespace
+
+bool json_is_valid(std::string_view text) {
+  validator v{text};
+  if (!v.parse_value()) return false;
+  v.skip_ws();
+  return v.pos == text.size();
+}
+
+}  // namespace dqn::obs

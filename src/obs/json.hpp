@@ -1,0 +1,23 @@
+// Minimal JSON helpers for the obs exporters: string escaping, a
+// non-finite-safe number formatter, and a strict syntax validator used by
+// tests (and by anything that wants to sanity-check a snapshot before
+// shipping it). This is a writer + checker, not a DOM — the repo has no
+// JSON dependency and does not need one.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace dqn::obs {
+
+// Escape `text` for use inside a JSON string literal (quotes not included).
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+// Render `value` as a JSON number; NaN and +/-inf (not representable in
+// JSON) become null.
+[[nodiscard]] std::string json_number(double value);
+
+// Strict recursive-descent syntax check of a complete JSON document.
+[[nodiscard]] bool json_is_valid(std::string_view text);
+
+}  // namespace dqn::obs

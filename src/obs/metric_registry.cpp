@@ -1,0 +1,84 @@
+#include "obs/metric_registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dqn::obs {
+
+double histogram_stats::stddev() const noexcept {
+  if (count < 2) return 0.0;
+  const double n = static_cast<double>(count);
+  const double var = std::max(0.0, sum_sq / n - (sum / n) * (sum / n));
+  return std::sqrt(var);
+}
+
+void histogram_stats::observe(double value) noexcept {
+  if (count == 0) {
+    min = value;
+    max = value;
+  } else {
+    min = std::min(min, value);
+    max = std::max(max, value);
+  }
+  ++count;
+  sum += value;
+  sum_sq += value * value;
+}
+
+void histogram_stats::merge(const histogram_stats& other) noexcept {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  count += other.count;
+  sum += other.sum;
+  sum_sq += other.sum_sq;
+}
+
+void metric_registry::add(std::string_view name, double delta) {
+  const std::lock_guard lock{mutex_};
+  data_.counters[std::string{name}] += delta;
+}
+
+void metric_registry::set(std::string_view name, double value) {
+  const std::lock_guard lock{mutex_};
+  data_.gauges[std::string{name}] = value;
+}
+
+void metric_registry::observe(std::string_view name, double value) {
+  const std::lock_guard lock{mutex_};
+  data_.histograms[std::string{name}].observe(value);
+}
+
+double metric_registry::counter(std::string_view name) const {
+  const std::lock_guard lock{mutex_};
+  const auto it = data_.counters.find(std::string{name});
+  return it != data_.counters.end() ? it->second : 0.0;
+}
+
+double metric_registry::gauge(std::string_view name) const {
+  const std::lock_guard lock{mutex_};
+  const auto it = data_.gauges.find(std::string{name});
+  return it != data_.gauges.end() ? it->second : 0.0;
+}
+
+histogram_stats metric_registry::histogram(std::string_view name) const {
+  const std::lock_guard lock{mutex_};
+  const auto it = data_.histograms.find(std::string{name});
+  return it != data_.histograms.end() ? it->second : histogram_stats{};
+}
+
+registry_snapshot metric_registry::snapshot() const {
+  const std::lock_guard lock{mutex_};
+  return data_;
+}
+
+void metric_registry::clear() {
+  const std::lock_guard lock{mutex_};
+  data_ = {};
+}
+
+}  // namespace dqn::obs

@@ -1,0 +1,70 @@
+// Named metric store for the observability layer (obs): counters (monotone
+// sums), gauges (last-write-wins), and histograms (streaming count / sum /
+// min / max / sum-of-squares). All mutation paths are mutex-protected so the
+// engine's partition workers, the DES, and PTM training can record into one
+// registry concurrently; reads take a consistent snapshot.
+//
+// The registry is deliberately value-oriented: a snapshot is plain data that
+// json.hpp and sink.hpp render, so exporters never hold the lock while
+// formatting.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace dqn::obs {
+
+// Streaming histogram moments; enough for mean/stddev and range without
+// storing samples (per-sample detail belongs in the trace_log).
+struct histogram_stats {
+  std::uint64_t count = 0;
+  double sum = 0;
+  double sum_sq = 0;
+  double min = 0;
+  double max = 0;
+
+  [[nodiscard]] double mean() const noexcept {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept;
+
+  void observe(double value) noexcept;
+  void merge(const histogram_stats& other) noexcept;
+};
+
+// Plain-data view of the registry at one instant (ordered maps keep JSON and
+// table output deterministic).
+struct registry_snapshot {
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, histogram_stats> histograms;
+};
+
+class metric_registry {
+ public:
+  // Add `delta` to the named counter (created at zero on first use).
+  void add(std::string_view name, double delta = 1.0);
+
+  // Set the named gauge to `value`.
+  void set(std::string_view name, double value);
+
+  // Record one sample into the named histogram.
+  void observe(std::string_view name, double value);
+
+  [[nodiscard]] double counter(std::string_view name) const;
+  [[nodiscard]] double gauge(std::string_view name) const;
+  [[nodiscard]] histogram_stats histogram(std::string_view name) const;
+
+  [[nodiscard]] registry_snapshot snapshot() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  registry_snapshot data_;
+};
+
+}  // namespace dqn::obs

@@ -1,0 +1,58 @@
+// RAII span timer built on util::stopwatch: times the enclosing scope and,
+// on destruction (or an early stop()), records both a trace event
+// (stage/name/index on the sink's timeline) and a histogram sample named
+// "<stage>.<name>.seconds". With a null sink the constructor is a pointer
+// store and the destructor a branch — no clock reads, no allocation — which
+// is what lets instrumented hot paths keep an always-on timer argument.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/sink.hpp"
+
+namespace dqn::obs {
+
+class scoped_timer {
+ public:
+  scoped_timer(sink* s, std::string_view stage, std::string_view name,
+               std::uint64_t index = 0, double value = 0.0)
+      : sink_{s} {
+    if (sink_ != nullptr) {
+      stage_ = stage;
+      name_ = name;
+      index_ = index;
+      value_ = value;
+      start_ = sink_->now();
+    }
+  }
+
+  scoped_timer(const scoped_timer&) = delete;
+  scoped_timer& operator=(const scoped_timer&) = delete;
+
+  ~scoped_timer() { stop(); }
+
+  // Update the payload recorded with the event (e.g. a loss computed after
+  // construction but before scope exit).
+  void set_value(double value) noexcept { value_ = value; }
+
+  // Record now instead of at scope exit; idempotent.
+  void stop() {
+    if (sink_ == nullptr) return;
+    const double seconds = sink_->now() - start_;
+    sink_->event(stage_, name_, index_, start_, seconds, value_);
+    sink_->observe(stage_ + "." + name_ + ".seconds", seconds);
+    sink_ = nullptr;
+  }
+
+ private:
+  sink* sink_;
+  std::string stage_;
+  std::string name_;
+  std::uint64_t index_ = 0;
+  double value_ = 0;
+  double start_ = 0;
+};
+
+}  // namespace dqn::obs

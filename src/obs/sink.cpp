@@ -1,0 +1,77 @@
+#include "obs/sink.hpp"
+
+#include "obs/json.hpp"
+
+namespace dqn::obs {
+
+std::string sink::to_json() const {
+  const registry_snapshot snap = metrics_.snapshot();
+  const auto events = trace_.events();
+
+  std::string out = "{";
+  auto scalar_map = [&out](const char* key,
+                           const std::map<std::string, double>& values) {
+    out += '"';
+    out += key;
+    out += "\":{";
+    bool first = true;
+    for (const auto& [name, value] : values) {
+      if (!first) out += ',';
+      first = false;
+      out += '"' + json_escape(name) + "\":" + json_number(value);
+    }
+    out += '}';
+  };
+
+  scalar_map("counters", snap.counters);
+  out += ',';
+  scalar_map("gauges", snap.gauges);
+
+  out += ",\"histograms\":{";
+  bool first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":{";
+    out += "\"count\":" + json_number(static_cast<double>(h.count));
+    out += ",\"sum\":" + json_number(h.sum);
+    out += ",\"mean\":" + json_number(h.mean());
+    out += ",\"stddev\":" + json_number(h.stddev());
+    out += ",\"min\":" + json_number(h.min);
+    out += ",\"max\":" + json_number(h.max);
+    out += '}';
+  }
+  out += '}';
+
+  out += ",\"events\":[";
+  first = true;
+  for (const auto& ev : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"stage\":\"" + json_escape(ev.stage) + '"';
+    out += ",\"name\":\"" + json_escape(ev.name) + '"';
+    out += ",\"index\":" + json_number(static_cast<double>(ev.index));
+    out += ",\"start\":" + json_number(ev.start);
+    out += ",\"duration\":" + json_number(ev.duration);
+    out += ",\"value\":" + json_number(ev.value);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+util::text_table sink::summary_table() const {
+  const registry_snapshot snap = metrics_.snapshot();
+  util::text_table table{{"metric", "kind", "value", "mean", "min", "max"}};
+  for (const auto& [name, value] : snap.counters)
+    table.add_row({name, "counter", util::fmt(value, 0), "", "", ""});
+  for (const auto& [name, value] : snap.gauges)
+    table.add_row({name, "gauge", util::fmt(value, 6), "", "", ""});
+  for (const auto& [name, h] : snap.histograms)
+    table.add_row({name, "histogram", util::fmt(static_cast<double>(h.count), 0),
+                   util::fmt(h.mean(), 6), util::fmt(h.min, 6),
+                   util::fmt(h.max, 6)});
+  return table;
+}
+
+}  // namespace dqn::obs

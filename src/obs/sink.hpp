@@ -1,0 +1,70 @@
+// obs::sink — the one handle instrumented code carries. It bundles a
+// metric_registry (aggregates), a trace_log (per-stage events), and a shared
+// time base (seconds since sink construction) so events from the engine, the
+// DES, and PTM training land on one timeline.
+//
+// The convention throughout the repo: config structs carry an optional
+// `obs::sink*` that defaults to nullptr, and every instrumentation site is
+// guarded by that pointer — a null sink costs one predictable branch
+// (see tests/test_obs.cpp's overhead check). The sink itself is thread-safe;
+// pass the same instance to concurrent stages freely.
+//
+// Exports: `to_json()` emits the full snapshot (counters, gauges,
+// histograms, events) as a JSON document; `summary_table()` renders the
+// aggregate metrics as a util::text_table for terminal output.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metric_registry.hpp"
+#include "obs/trace_log.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace dqn::obs {
+
+class sink {
+ public:
+  sink() = default;
+
+  // Seconds since this sink was constructed — the epoch for event starts.
+  [[nodiscard]] double now() const noexcept { return epoch_.elapsed_seconds(); }
+
+  void count(std::string_view name, double delta = 1.0) {
+    metrics_.add(name, delta);
+  }
+  void gauge(std::string_view name, double value) { metrics_.set(name, value); }
+  void observe(std::string_view name, double value) {
+    metrics_.observe(name, value);
+  }
+  void event(std::string_view stage, std::string_view name, std::uint64_t index,
+             double start, double duration, double value = 0.0) {
+    trace_.record({std::string{stage}, std::string{name}, index, start, duration,
+                   value});
+  }
+
+  [[nodiscard]] metric_registry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const metric_registry& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] trace_log& trace() noexcept { return trace_; }
+  [[nodiscard]] const trace_log& trace() const noexcept { return trace_; }
+
+  // Full snapshot as one JSON document:
+  //   {"counters": {...}, "gauges": {...}, "histograms": {...}, "events": [...]}
+  [[nodiscard]] std::string to_json() const;
+
+  // Aggregate metrics (no events) as a rendered table.
+  [[nodiscard]] util::text_table summary_table() const;
+
+  void clear() {
+    metrics_.clear();
+    trace_.clear();
+  }
+
+ private:
+  util::stopwatch epoch_;
+  metric_registry metrics_;
+  trace_log trace_;
+};
+
+}  // namespace dqn::obs

@@ -1,0 +1,34 @@
+#include "obs/trace_log.hpp"
+
+namespace dqn::obs {
+
+void trace_log::record(trace_event event) {
+  const std::lock_guard lock{mutex_};
+  events_.push_back(std::move(event));
+}
+
+std::vector<trace_event> trace_log::events() const {
+  const std::lock_guard lock{mutex_};
+  return events_;
+}
+
+std::size_t trace_log::size() const {
+  const std::lock_guard lock{mutex_};
+  return events_.size();
+}
+
+std::vector<trace_event> trace_log::events_of(std::string_view stage,
+                                              std::string_view name) const {
+  const std::lock_guard lock{mutex_};
+  std::vector<trace_event> out;
+  for (const auto& ev : events_)
+    if (ev.stage == stage && ev.name == name) out.push_back(ev);
+  return out;
+}
+
+void trace_log::clear() {
+  const std::lock_guard lock{mutex_};
+  events_.clear();
+}
+
+}  // namespace dqn::obs

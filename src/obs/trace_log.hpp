@@ -1,0 +1,44 @@
+// Structured trace of per-stage events: each event is one timed span inside
+// a named pipeline stage ("engine" iteration 3, "ptm" epoch 7, "des" run).
+// Unlike the metric_registry's aggregates, the trace keeps every event, so a
+// run's time structure — per-iteration IRSA timings, per-epoch training
+// curves — survives into the JSON export. Appends are mutex-protected.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dqn::obs {
+
+struct trace_event {
+  std::string stage;       // pipeline stage, e.g. "engine", "ptm", "des"
+  std::string name;        // event within the stage, e.g. "iteration", "epoch"
+  std::uint64_t index = 0; // ordinal within the stage (iteration/epoch number)
+  double start = 0;        // seconds since the owning sink's epoch
+  double duration = 0;     // span length in seconds
+  double value = 0;        // stage-specific payload (loss, changed devices, ...)
+};
+
+class trace_log {
+ public:
+  void record(trace_event event);
+
+  [[nodiscard]] std::vector<trace_event> events() const;
+  [[nodiscard]] std::size_t size() const;
+
+  // Events of one (stage, name) pair in record order — the "give me the
+  // training curve" accessor.
+  [[nodiscard]] std::vector<trace_event> events_of(std::string_view stage,
+                                                   std::string_view name) const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<trace_event> events_;
+};
+
+}  // namespace dqn::obs
