@@ -77,8 +77,12 @@ int main() {
     const auto pred_lat = des::all_latencies(pred);
     table.add_row(
         {std::to_string(buffer_bytes),
-         util::fmt(static_cast<double>(truth.drops) / stream.size(), 4),
-         util::fmt(static_cast<double>(pred.drops) / stream.size(), 4),
+         util::fmt(static_cast<double>(truth.drops) /
+                       static_cast<double>(stream.size()),
+                   4),
+         util::fmt(static_cast<double>(pred.drops) /
+                       static_cast<double>(stream.size()),
+                   4),
          util::fmt(stats::percentile(truth_lat, 0.99) * 1e6, 1),
          util::fmt(stats::percentile(pred_lat, 0.99) * 1e6, 1)});
   }

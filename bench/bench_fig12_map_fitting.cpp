@@ -38,7 +38,8 @@ void fit_and_print(const char* name, const std::vector<double>& iats) {
   util::text_table table{{"IAT quantile (s)", "empirical F", "MAP(2) F",
                           "MAP(4) F"}};
   for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
-    const double x = sorted[static_cast<std::size_t>(q * (sorted.size() - 1))];
+    const double x = sorted[static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1))];
     table.add_row({util::fmt(x, 7), util::fmt(q, 3),
                    util::fmt(fit2.fitted.iat_cdf(x), 3),
                    util::fmt(fit4.fitted.iat_cdf(x), 3)});

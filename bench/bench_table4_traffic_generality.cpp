@@ -91,7 +91,10 @@ int main() {
                                          traffic::traffic_model::map,
                                          target_load * mult, horizon,
                                          100 + run_index++);
-      des::network oracle{s.topo(), *s.routes, {.tm = fifo_tm, .record_hops = false}};
+      des::network_config oracle_cfg;
+      oracle_cfg.tm = fifo_tm;
+      oracle_cfg.record_hops = false;
+      des::network oracle{s.topo(), *s.routes, oracle_cfg};
       const auto truth = oracle.run(s.streams, horizon);
       auto batch = baselines::routenet_estimator::make_examples(
           s.topo(), *s.routes, s.flows, s.flow_rates, 712.0, truth);

@@ -65,7 +65,9 @@ int main() {
       auto s = bench::make_scenario_load(topo::make_fattree16(bench::bench_links()),
                                          traffic::traffic_model::poisson,
                                          0.6 * mult, 0.06 * scale, 900 + run++);
-      des::network oracle{s.topo(), *s.routes, {.tm = fifo_tm}};
+      des::network_config oracle_cfg;
+      oracle_cfg.tm = fifo_tm;
+      des::network oracle{s.topo(), *s.routes, oracle_cfg};
       const auto truth = oracle.run(s.streams, s.horizon);
       auto batch = baselines::routenet_estimator::make_examples(
           s.topo(), *s.routes, s.flows, s.flow_rates, 712.0, truth);
@@ -80,7 +82,10 @@ int main() {
     auto s = bench::make_scenario_load(topo::make_fattree16(bench::bench_links()),
                                        traffic::traffic_model::poisson, 0.6,
                                        0.06 * scale, 950);
-    des::network oracle{s.topo(), *s.routes, {.tm = fifo_tm, .record_hops = true}};
+    des::network_config oracle_cfg;
+    oracle_cfg.tm = fifo_tm;
+    oracle_cfg.record_hops = true;
+    des::network oracle{s.topo(), *s.routes, oracle_cfg};
     const auto truth = oracle.run(s.streams, s.horizon);
     mn.train(s.topo(), truth, 80);
   }

@@ -31,7 +31,10 @@ int main() {
     auto s = bench::make_scenario_load(topo::make_fattree16(bench::bench_links()),
                                        traffic::traffic_model::poisson, 0.5,
                                        0.05 * scale, 777);
-    des::network oracle{s.topo(), *s.routes, {.tm = fifo_tm, .record_hops = true}};
+    des::network_config oracle_cfg;
+    oracle_cfg.tm = fifo_tm;
+    oracle_cfg.record_hops = true;
+    des::network oracle{s.topo(), *s.routes, oracle_cfg};
     const auto truth = oracle.run(s.streams, s.horizon);
     mn.train(s.topo(), truth, 80);
   }
@@ -69,7 +72,10 @@ int main() {
 
     // Sequential DES (hop recording off: pure simulation cost).
     {
-      des::network oracle{s.topo(), *s.routes, {.tm = fifo_tm, .record_hops = false}};
+      des::network_config oracle_cfg;
+      oracle_cfg.tm = fifo_tm;
+      oracle_cfg.record_hops = false;
+      des::network oracle{s.topo(), *s.routes, oracle_cfg};
       util::stopwatch watch;
       const auto result = oracle.run(s.streams, sc.horizon);
       (void)result;

@@ -235,10 +235,11 @@ inline scenario_result run_and_compare(
     const scenario& s, std::shared_ptr<const core::ptm_model> ptm,
     const des::tm_config& tm, double bucket_seconds, bool apply_sec = true,
     std::size_t partitions = 4, bool record_truth_hops = false) {
-  des::network oracle{s.topo(), *s.routes,
-                      {.tm = tm,
-                       .record_hops = record_truth_hops,
-                       .sink = bench_sink()}};
+  des::network_config oracle_cfg;
+  oracle_cfg.tm = tm;
+  oracle_cfg.record_hops = record_truth_hops;
+  oracle_cfg.sink = bench_sink();
+  des::network oracle{s.topo(), *s.routes, oracle_cfg};
   scenario_result result;
   result.truth = oracle.run(s.streams, s.horizon);
 

@@ -61,7 +61,9 @@ int run_profiled() {
   (void)net.run(request);
 
   std::fprintf(stderr, "[profile] running the DES oracle...\n");
-  des::network oracle{topo, routes, {.sink = &sink}};
+  des::network_config oracle_cfg;
+  oracle_cfg.sink = &sink;
+  des::network oracle{topo, routes, oracle_cfg};
   (void)oracle.run(request);
 
   const std::string doc = sink.to_json();

@@ -31,14 +31,14 @@ int layer_of(const topo::topology& topo, topo::node_id node) {
 class flow_rate_tracker {
  public:
   double update(std::uint32_t flow, double send_time) {
-    auto& state = flows_[flow];
-    if (state.has_prev) {
-      const double iat = std::max(send_time - state.prev_time, 1e-9);
-      state.ema = rate_smoothing * state.ema + (1 - rate_smoothing) * (1.0 / iat);
+    auto& entry = flows_[flow];
+    if (entry.has_prev) {
+      const double iat = std::max(send_time - entry.prev_time, 1e-9);
+      entry.ema = rate_smoothing * entry.ema + (1 - rate_smoothing) * (1.0 / iat);
     }
-    state.prev_time = send_time;
-    state.has_prev = true;
-    return state.ema;
+    entry.prev_time = send_time;
+    entry.has_prev = true;
+    return entry.ema;
   }
 
  private:

@@ -71,7 +71,8 @@ std::vector<double> routenet_estimator::path_features(
       static_cast<double>(path.size() - 1),                 // hop count
       sum_util,
       max_util,
-      sum_util / std::max<std::size_t>(links_on_path, 1),   // mean utilization
+      sum_util / static_cast<double>(
+          std::max<std::size_t>(links_on_path, 1)),  // mean utilization
       min_bw,
       mean_packet_size,
       static_cast<double>(flow.priority),

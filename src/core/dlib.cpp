@@ -4,6 +4,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace dqn::core {
 
 device_model_library::device_model_library(std::filesystem::path directory)
@@ -24,8 +26,9 @@ std::string device_model_library::model_key(ptm_arch arch, std::size_t ports,
 }
 
 std::filesystem::path device_model_library::path_for(const std::string& key) const {
-  if (key.empty() || key.find('/') != std::string::npos)
-    throw std::invalid_argument{"device_model_library: bad key"};
+  DQN_ENSURE(!key.empty() && key.find('/') == std::string::npos,
+             "device_model_library: bad key '", key,
+             "' (must be non-empty, no '/')");
   return directory_ / (key + ".dqnmodel");
 }
 
@@ -40,6 +43,14 @@ void device_model_library::store(const std::string& key, const ptm_model& model)
     std::ofstream out{tmp, std::ios::binary};
     if (!out) throw std::runtime_error{"device_model_library: cannot write " + tmp};
     model.save(out);
+    out.flush();
+    if (!out) {
+      // Never rename a short write over the cache: a truncated model file
+      // would poison every later fetch_or_train until manually deleted.
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      throw std::runtime_error{"device_model_library: write failed: " + tmp};
+    }
   }
   std::filesystem::rename(tmp, path);
 }

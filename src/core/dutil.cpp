@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 #include "core/features.hpp"
 #include "obs/scoped_timer.hpp"
 #include "stats/wasserstein.hpp"
@@ -55,7 +57,7 @@ des::tm_config make_tm(const dutil_config& config, des::scheduler_kind kind,
 stream_sample generate_stream_sample(const dutil_config& config, util::rng& rng,
                                      const des::scheduler_kind* scheduler,
                                      const double* load_override) {
-  if (config.ports == 0) throw std::invalid_argument{"dutil: ports >= 1"};
+  DQN_ENSURE(config.ports > 0, "dutil: ports >= 1");
   stream_sample sample;
   sample.scheduler =
       scheduler != nullptr
@@ -212,7 +214,7 @@ device_model_bundle train_device_model(
 }
 
 double evaluate_w1(const ptm_model& model, const ptm_dataset& data, bool apply_sec) {
-  if (data.count() == 0) throw std::invalid_argument{"evaluate_w1: empty dataset"};
+  DQN_ENSURE(data.count() > 0, "evaluate_w1: empty dataset");
   const auto predictions = model.predict(data.windows, apply_sec);
   return stats::normalized_w1(predictions, data.targets);
 }

@@ -7,6 +7,7 @@
 
 #include "obs/scoped_timer.hpp"
 #include "obs/sink.hpp"
+#include "util/check.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
@@ -60,8 +61,7 @@ dqn_network::dqn_network(const topo::topology& topo, const topo::routing& routes
                 scheduler_context{des::scheduler_kind::fifo, {},
                                   device_.context().bandwidth_bps}},
       config_{config} {
-  if (config_.partitions == 0)
-    throw std::invalid_argument{"dqn_network: partitions >= 1"};
+  DQN_ENSURE(config_.partitions > 0, "dqn_network: partitions >= 1");
 }
 
 void dqn_network::set_device_context(topo::node_id node, scheduler_context ctx) {
@@ -89,8 +89,9 @@ des::run_result dqn_network::run(
     const std::vector<traffic::packet_stream>& host_streams, double horizon) {
   const auto hosts = topo_->hosts();
   const auto devices = topo_->devices();
-  if (host_streams.size() != hosts.size())
-    throw std::invalid_argument{"dqn_network::run: one stream per host required"};
+  DQN_ENSURE(host_streams.size() == hosts.size(),
+             "dqn_network::run: one stream per host required (got ",
+             host_streams.size(), " streams for ", hosts.size(), " hosts)");
 
   util::stopwatch watch;
   stats_ = {};
@@ -111,8 +112,11 @@ des::run_result dqn_network::run(
       if (ev.time > horizon) break;
       traffic::packet pkt = ev.pkt;
       pkt.src_host = hosts[i];
-      if (pkt.dst_host < 0 || static_cast<std::size_t>(pkt.dst_host) >= hosts.size())
-        throw std::invalid_argument{"dqn_network::run: dst_host index out of range"};
+      DQN_ENSURE(pkt.dst_host >= 0 &&
+                     static_cast<std::size_t>(pkt.dst_host) < hosts.size(),
+                 "dqn_network::run: dst_host ", pkt.dst_host,
+                 " out of range for ", hosts.size(), " hosts (pid ", pkt.pid,
+                 ")");
       pkt.dst_host = hosts[static_cast<std::size_t>(pkt.dst_host)];
       send_times.emplace(pkt.pid, ev.time);
       out.push_back({pkt, ev.time});
@@ -303,8 +307,8 @@ des::run_result dqn_network::run(
 }
 
 des::run_result dqn_network::run(const des::run_request& request) {
-  if (request.host_streams == nullptr)
-    throw std::invalid_argument{"dqn_network::run: request.host_streams is null"};
+  DQN_ENSURE(request.host_streams != nullptr,
+             "dqn_network::run: request.host_streams is null");
   obs::sink* const saved = config_.sink;
   if (request.sink != nullptr) config_.sink = request.sink;
   try {
@@ -323,16 +327,11 @@ const traffic::packet_stream& dqn_network::egress_stream(topo::node_id node,
     throw std::logic_error{
         "dqn_network::egress_stream: no completed run; call run() before "
         "reading egress traces"};
-  if (node < 0 || static_cast<std::size_t>(node) >= final_egress_.size())
-    throw std::out_of_range{"dqn_network::egress_stream: node " +
-                            std::to_string(node) + " outside topology (0.." +
-                            std::to_string(final_egress_.size() - 1) + ")"};
-  if (port >= final_egress_[static_cast<std::size_t>(node)].size())
-    throw std::out_of_range{
-        "dqn_network::egress_stream: port " + std::to_string(port) +
-        " out of range for node " + std::to_string(node) + " (" +
-        std::to_string(final_egress_[static_cast<std::size_t>(node)].size()) +
-        " ports)"};
+  DQN_CHECK_RANGE(node, final_egress_.size());
+  DQN_CHECK(port < final_egress_[static_cast<std::size_t>(node)].size(),
+            "dqn_network::egress_stream: port ", port,
+            " out of range for node ", node, " (",
+            final_egress_[static_cast<std::size_t>(node)].size(), " ports)");
   return final_egress_[static_cast<std::size_t>(node)][port];
 }
 

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <array>
-#include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace dqn::core {
 
@@ -90,9 +91,10 @@ std::vector<double> compute_features(const traffic::packet_stream& arrivals,
 
 std::vector<double> make_windows(std::span<const double> feature_rows,
                                  std::size_t time_steps) {
-  if (time_steps == 0) throw std::invalid_argument{"make_windows: time_steps >= 1"};
-  if (feature_rows.size() % feature_count != 0)
-    throw std::invalid_argument{"make_windows: rows not a multiple of feature_count"};
+  DQN_ENSURE(time_steps > 0, "make_windows: time_steps >= 1");
+  DQN_ENSURE(feature_rows.size() % feature_count == 0, "make_windows: ",
+             feature_rows.size(), " rows not a multiple of feature_count ",
+             feature_count);
   const std::size_t n = feature_rows.size() / feature_count;
   std::vector<double> windows(n * time_steps * feature_count, 0.0);
   for (std::size_t i = 0; i < n; ++i) {

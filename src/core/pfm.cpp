@@ -1,21 +1,22 @@
 #include "core/pfm.hpp"
 
 #include <algorithm>
-#include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace dqn::core {
 
 std::vector<traffic::packet_stream> apply_forwarding(
     const std::vector<traffic::packet_stream>& ingress, const forward_fn& forward,
     std::size_t ports) {
-  if (ingress.size() != ports)
-    throw std::invalid_argument{"apply_forwarding: one stream per ingress port"};
+  DQN_ENSURE(ingress.size() == ports, "apply_forwarding: got ",
+             ingress.size(), " streams for ", ports, " ingress ports");
   std::vector<traffic::packet_stream> egress(ports);
   for (std::size_t in_port = 0; in_port < ports; ++in_port) {
     for (const auto& ev : ingress[in_port]) {
       const std::size_t out = forward(ev.pkt.flow_id, in_port);
-      if (out >= ports)
-        throw std::out_of_range{"apply_forwarding: forward() port out of range"};
+      DQN_CHECK(out < ports, "apply_forwarding: forward() returned port ",
+                out, " of ", ports, " (flow ", ev.pkt.flow_id, ")");
       egress[out].push_back(ev);
     }
   }
@@ -25,13 +26,14 @@ std::vector<traffic::packet_stream> apply_forwarding(
 
 forwarding_tensor::forwarding_tensor(std::size_t ports, std::size_t packets)
     : ports_{ports}, packets_{packets}, bits_(ports * ports * packets, 0) {
-  if (ports == 0) throw std::invalid_argument{"forwarding_tensor: ports >= 1"};
+  DQN_ENSURE(ports > 0, "forwarding_tensor: ports >= 1");
 }
 
 std::size_t forwarding_tensor::index(std::size_t i, std::size_t j,
                                      std::size_t k) const {
-  if (i >= ports_ || j >= ports_ || k >= packets_)
-    throw std::out_of_range{"forwarding_tensor: index"};
+  DQN_CHECK(i < ports_ && j < ports_ && k < packets_,
+            "forwarding_tensor: index (", i, ", ", j, ", ", k,
+            ") outside (", ports_, ", ", ports_, ", ", packets_, ")");
   return (i * ports_ + j) * packets_ + k;
 }
 
@@ -55,16 +57,16 @@ std::size_t forwarding_tensor::fanout(std::size_t in_port, std::size_t k) const 
 forwarding_tensor build_forwarding_tensor(
     const std::vector<traffic::packet_stream>& ingress, const forward_fn& forward,
     std::size_t ports) {
-  if (ingress.size() != ports)
-    throw std::invalid_argument{"build_forwarding_tensor: one stream per port"};
+  DQN_ENSURE(ingress.size() == ports, "build_forwarding_tensor: got ",
+             ingress.size(), " streams for ", ports, " ports");
   std::size_t max_len = 0;
   for (const auto& s : ingress) max_len = std::max(max_len, s.size());
   forwarding_tensor tensor{ports, max_len};
   for (std::size_t i = 0; i < ports; ++i)
     for (std::size_t k = 0; k < ingress[i].size(); ++k) {
       const std::size_t j = forward(ingress[i][k].pkt.flow_id, i);
-      if (j >= ports)
-        throw std::out_of_range{"build_forwarding_tensor: port out of range"};
+      DQN_CHECK(j < ports, "build_forwarding_tensor: forward() returned port ",
+                j, " of ", ports);
       tensor.set(i, j, k);
     }
   return tensor;
@@ -73,8 +75,8 @@ forwarding_tensor build_forwarding_tensor(
 std::vector<traffic::packet_stream> apply_tensor(
     const forwarding_tensor& tensor,
     const std::vector<traffic::packet_stream>& ingress) {
-  if (ingress.size() != tensor.ports())
-    throw std::invalid_argument{"apply_tensor: stream count mismatch"};
+  DQN_ENSURE(ingress.size() == tensor.ports(), "apply_tensor: got ",
+             ingress.size(), " streams for ", tensor.ports(), " ports");
   std::vector<traffic::packet_stream> egress(tensor.ports());
   for (std::size_t i = 0; i < tensor.ports(); ++i)
     for (std::size_t k = 0; k < ingress[i].size(); ++k)

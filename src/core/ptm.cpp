@@ -8,6 +8,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 #include "core/features.hpp"
 #include "obs/scoped_timer.hpp"
 #include "util/rng.hpp"
@@ -30,8 +32,9 @@ std::size_t ptm_dataset::count() const {
 
 void ptm_dataset::append(const ptm_dataset& other) {
   if (time_steps == 0) time_steps = other.time_steps;
-  if (time_steps != other.time_steps)
-    throw std::invalid_argument{"ptm_dataset::append: time_steps mismatch"};
+  DQN_ENSURE(time_steps == other.time_steps,
+             "ptm_dataset::append: time_steps mismatch: ", time_steps, " vs ",
+             other.time_steps);
   windows.insert(windows.end(), other.windows.begin(), other.windows.end());
   targets.insert(targets.end(), other.targets.begin(), other.targets.end());
 }
@@ -101,8 +104,9 @@ std::size_t window_scheduler(std::span<const double> windows, std::size_t i,
 
 nn::seq_batch ptm_model::scale_windows(std::span<const double> windows) const {
   const std::size_t window_size = config_.time_steps * feature_count;
-  if (windows.size() % window_size != 0)
-    throw std::invalid_argument{"ptm_model: windows size not a multiple of window"};
+  DQN_CHECK(windows.size() % window_size == 0,
+            "ptm_model: windows size ", windows.size(),
+            " not a multiple of window ", window_size);
   const std::size_t n = windows.size() / window_size;
   nn::seq_batch batch{n, config_.time_steps, feature_count};
   std::copy(windows.begin(), windows.end(), batch.data().begin());
@@ -113,11 +117,13 @@ nn::seq_batch ptm_model::scale_windows(std::span<const double> windows) const {
 
 training_report ptm_model::train(
     const ptm_dataset& data, const std::function<void(std::size_t, double)>& on_epoch) {
-  if (data.time_steps != config_.time_steps)
-    throw std::invalid_argument{"ptm_model::train: time_steps mismatch"};
+  DQN_ENSURE(data.time_steps == config_.time_steps,
+             "ptm_model::train: dataset has time_steps=", data.time_steps,
+             ", model wants ", config_.time_steps);
   const std::size_t n = data.count();
-  if (n == 0 || data.targets.size() != n)
-    throw std::invalid_argument{"ptm_model::train: empty or inconsistent dataset"};
+  DQN_ENSURE(n > 0 && data.targets.size() == n,
+             "ptm_model::train: empty or inconsistent dataset (", n,
+             " windows, ", data.targets.size(), " targets)");
 
   util::stopwatch watch;
   {

@@ -10,6 +10,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/check.hpp"
+
 namespace dqn::core {
 
 namespace {
@@ -35,8 +37,9 @@ double median_of(std::vector<double>& values) {
 void sec_table::fit(std::span<const double> predictions,
                     std::span<const double> truths, double eps_fraction,
                     std::size_t min_points) {
-  if (predictions.size() != truths.size())
-    throw std::invalid_argument{"sec_table::fit: size mismatch"};
+  DQN_ENSURE(predictions.size() == truths.size(),
+             "sec_table::fit: ", predictions.size(), " predictions vs ",
+             truths.size(), " truths");
   bins_.clear();
   if (predictions.size() < min_points) return;
 
@@ -139,6 +142,8 @@ double sec_table::correct(double prediction) const noexcept {
       }
     }
   }
+  DQN_INVARIANT(best != nullptr,
+                "sec_table::correct: no bin selected despite non-empty table");
   if (std::abs(best->relative_error) < significance_threshold) return prediction;
   return std::max(0.0, prediction * (1.0 - best->relative_error));
 }

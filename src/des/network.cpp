@@ -5,6 +5,7 @@
 
 #include "obs/scoped_timer.hpp"
 #include "obs/sink.hpp"
+#include "util/check.hpp"
 #include "util/stopwatch.hpp"
 
 namespace dqn::des {
@@ -87,8 +88,9 @@ void network::try_transmit(topo::node_id node, std::size_t port_index) {
 
   if (topo_->at(node).kind == topo::node_kind::device) {
     const auto it = state.pending.find(pkt->pid);
-    if (it == state.pending.end())
-      throw std::logic_error{"network: dequeued packet without pending record"};
+    DQN_INVARIANT(it != state.pending.end(),
+                  "network: dequeued packet ", pkt->pid,
+                  " without pending record at node ", node);
     if (config_.record_hops) {
       hop_record h;
       h.pid = pkt->pid;
@@ -125,8 +127,9 @@ void network::try_transmit(topo::node_id node, std::size_t port_index) {
 run_result network::run(const std::vector<traffic::packet_stream>& host_streams,
                         double horizon) {
   const auto hosts = topo_->hosts();
-  if (host_streams.size() != hosts.size())
-    throw std::invalid_argument{"network::run: one stream per host required"};
+  DQN_ENSURE(host_streams.size() == hosts.size(),
+             "network::run: one stream per host required (got ",
+             host_streams.size(), " streams for ", hosts.size(), " hosts)");
   util::stopwatch watch;
   result_ = {};
   send_times_.clear();
@@ -140,8 +143,10 @@ run_result network::run(const std::vector<traffic::packet_stream>& host_streams,
       // Streams address hosts by index among topo.hosts(); translate both
       // endpoints to topology node ids.
       pkt.src_host = host;
-      if (pkt.dst_host < 0 || static_cast<std::size_t>(pkt.dst_host) >= hosts.size())
-        throw std::invalid_argument{"network::run: dst_host index out of range"};
+      DQN_ENSURE(pkt.dst_host >= 0 &&
+                     static_cast<std::size_t>(pkt.dst_host) < hosts.size(),
+                 "network::run: dst_host ", pkt.dst_host, " out of range for ",
+                 hosts.size(), " hosts (pid ", pkt.pid, ")");
       pkt.dst_host = hosts[static_cast<std::size_t>(pkt.dst_host)];
       sim_.schedule_at(ev.time, [this, host, pkt] {
         // Host NIC: enqueue on the single uplink port.
@@ -181,8 +186,8 @@ run_result network::run(const std::vector<traffic::packet_stream>& host_streams,
 }
 
 run_result network::run(const run_request& request) {
-  if (request.host_streams == nullptr)
-    throw std::invalid_argument{"network::run: request.host_streams is null"};
+  DQN_ENSURE(request.host_streams != nullptr,
+             "network::run: request.host_streams is null");
   obs::sink* const saved = config_.sink;
   if (request.sink != nullptr) config_.sink = request.sink;
   try {

@@ -1,12 +1,12 @@
 #include "des/simulator.hpp"
 
-#include <stdexcept>
+#include "util/check.hpp"
 
 namespace dqn::des {
 
 void simulator::schedule_at(double when, std::function<void()> action) {
-  if (when < now_)
-    throw std::invalid_argument{"simulator::schedule_at: time in the past"};
+  DQN_ENSURE(when >= now_, "simulator::schedule_at: time ", when,
+             " is in the past (now = ", now_, ")");
   queue_.push({when, next_seq_++, std::move(action)});
   if (queue_.size() > max_depth_) max_depth_ = queue_.size();
 }

@@ -1,7 +1,8 @@
 #include "des/traffic_manager.hpp"
 
 #include <algorithm>
-#include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace dqn::des {
 
@@ -17,21 +18,22 @@ const char* to_string(scheduler_kind kind) noexcept {
 }
 
 traffic_manager::traffic_manager(tm_config config) : config_{std::move(config)} {
-  if (config_.classes == 0)
-    throw std::invalid_argument{"traffic_manager: classes must be >= 1"};
-  if (config_.buffer_packets == 0)
-    throw std::invalid_argument{"traffic_manager: buffer must hold >= 1 packet"};
+  DQN_ENSURE(config_.classes > 0, "traffic_manager: classes must be >= 1");
+  DQN_ENSURE(config_.buffer_packets > 0,
+             "traffic_manager: buffer must hold >= 1 packet");
   const bool weighted = config_.kind == scheduler_kind::wrr ||
                         config_.kind == scheduler_kind::drr ||
                         config_.kind == scheduler_kind::wfq;
   if (weighted) {
-    if (config_.class_weights.size() != config_.classes)
-      throw std::invalid_argument{"traffic_manager: need one weight per class"};
+    DQN_ENSURE(config_.class_weights.size() == config_.classes,
+               "traffic_manager: ", to_string(config_.kind), " needs ",
+               config_.classes, " weights, got ", config_.class_weights.size());
     for (double w : config_.class_weights)
-      if (w <= 0) throw std::invalid_argument{"traffic_manager: weights must be > 0"};
+      DQN_ENSURE(w > 0, "traffic_manager: weights must be > 0, got ", w);
   }
-  if (config_.kind == scheduler_kind::fifo && config_.classes != 1)
-    throw std::invalid_argument{"traffic_manager: FIFO has exactly one class"};
+  DQN_ENSURE(config_.kind != scheduler_kind::fifo || config_.classes == 1,
+             "traffic_manager: FIFO has exactly one class, got ",
+             config_.classes);
   if (config_.kind == scheduler_kind::wfq) {
     wfq_queues_.resize(config_.classes);
     wfq_last_finish_.assign(config_.classes, 0.0);
@@ -88,6 +90,9 @@ std::optional<traffic::packet> traffic_manager::dequeue() {
       break;
   }
   if (out) {
+    DQN_INVARIANT(backlog_ > 0 && backlog_bytes_ >= out->size_bytes,
+                  "traffic_manager: backlog accounting underflow: backlog=",
+                  backlog_, " bytes=", backlog_bytes_, " pkt=", out->size_bytes);
     --backlog_;
     backlog_bytes_ -= out->size_bytes;
   }
@@ -185,8 +190,7 @@ std::optional<traffic::packet> traffic_manager::dequeue_wfq() {
 }
 
 std::size_t traffic_manager::queue_length(std::size_t klass) const {
-  if (klass >= config_.classes)
-    throw std::out_of_range{"traffic_manager::queue_length"};
+  DQN_CHECK_RANGE(klass, config_.classes);
   if (config_.kind == scheduler_kind::wfq) return wfq_queues_[klass].size();
   return queues_[klass].size();
 }

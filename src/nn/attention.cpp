@@ -5,12 +5,14 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace dqn::nn {
 
 multi_head_attention::multi_head_attention(const attention_config& config,
                                            util::rng& rng)
     : config_{config} {
-  if (config.heads == 0) throw std::invalid_argument{"attention: heads must be > 0"};
+  DQN_ENSURE(config.heads > 0, "attention: heads must be > 0");
   for (std::size_t h = 0; h < config.heads; ++h) {
     wq_.push_back(matrix::glorot(config.model_dim, config.key_dim, rng));
     wk_.push_back(matrix::glorot(config.model_dim, config.key_dim, rng));
@@ -66,8 +68,8 @@ matrix multi_head_attention::forward_sample(const matrix& x, sample_cache* cache
 }
 
 seq_batch multi_head_attention::forward(const seq_batch& x) {
-  if (x.features() != config_.model_dim)
-    throw std::invalid_argument{"attention::forward: feature dim mismatch"};
+  DQN_CHECK(x.features() == config_.model_dim, "attention::forward: got ",
+            x.features(), " features, want ", config_.model_dim);
   caches_.assign(x.batch(), {});
   seq_batch out{x.batch(), x.time(), config_.out_dim};
   for (std::size_t b = 0; b < x.batch(); ++b)
@@ -76,8 +78,8 @@ seq_batch multi_head_attention::forward(const seq_batch& x) {
 }
 
 seq_batch multi_head_attention::forward_const(const seq_batch& x) const {
-  if (x.features() != config_.model_dim)
-    throw std::invalid_argument{"attention::forward_const: feature dim mismatch"};
+  DQN_CHECK(x.features() == config_.model_dim, "attention::forward_const: got ",
+            x.features(), " features, want ", config_.model_dim);
   seq_batch out{x.batch(), x.time(), config_.out_dim};
   for (std::size_t b = 0; b < x.batch(); ++b)
     out.set_sample(b, forward_sample(x.sample(b), nullptr));

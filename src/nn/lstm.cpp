@@ -5,6 +5,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace dqn::nn {
 
 namespace {
@@ -67,8 +69,8 @@ void lstm::step(const matrix& x_t, matrix& h, matrix& c, step_cache* cache) cons
 }
 
 seq_batch lstm::forward(const seq_batch& x) {
-  if (x.features() != input_dim())
-    throw std::invalid_argument{"lstm::forward: feature dim mismatch"};
+  DQN_CHECK(x.features() == input_dim(), "lstm::forward: got ", x.features(),
+            " features, want ", input_dim());
   const std::size_t batch = x.batch(), time = x.time(), hidden = hidden_dim();
   caches_.assign(time, {});
   cached_time_ = time;
@@ -84,8 +86,8 @@ seq_batch lstm::forward(const seq_batch& x) {
 }
 
 seq_batch lstm::forward_const(const seq_batch& x) const {
-  if (x.features() != input_dim())
-    throw std::invalid_argument{"lstm::forward_const: feature dim mismatch"};
+  DQN_CHECK(x.features() == input_dim(), "lstm::forward_const: got ",
+            x.features(), " features, want ", input_dim());
   const std::size_t batch = x.batch(), time = x.time(), hidden = hidden_dim();
   seq_batch out{batch, time, hidden};
   matrix h{batch, hidden};
@@ -172,6 +174,10 @@ void lstm::load(std::istream& in) {
   std::uint8_t rev = 0;
   in.read(reinterpret_cast<char*>(&rev), sizeof rev);
   if (!in) throw std::runtime_error{"lstm::load: truncated stream"};
+  DQN_ENSURE(wx_.cols() == wh_.cols() && wh_.rows() * 4 == wh_.cols() &&
+                 b_.size() == wx_.cols(),
+             "lstm::load: inconsistent shapes wx=", wx_.rows(), "x", wx_.cols(),
+             " wh=", wh_.rows(), "x", wh_.cols(), " b=", b_.size());
   reverse_ = rev != 0;
   gwx_ = matrix{wx_.rows(), wx_.cols()};
   gwh_ = matrix{wh_.rows(), wh_.cols()};

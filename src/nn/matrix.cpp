@@ -5,22 +5,18 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace dqn::nn {
-
-namespace {
-
-void check(bool ok, const char* what) {
-  if (!ok) throw std::invalid_argument{what};
-}
-
-}  // namespace
 
 // i-k-j loop order: the inner loop walks both b and out contiguously, which
 // keeps the naive kernel within a small factor of a tuned BLAS for the sizes
 // these models use.
 void matmul_acc(const matrix& a, const matrix& b, matrix& out) {
-  check(a.cols() == b.rows(), "matmul: inner dimensions differ");
-  check(out.rows() == a.rows() && out.cols() == b.cols(), "matmul: bad out shape");
+  DQN_CHECK(a.cols() == b.rows(), "matmul: inner dimensions differ: ", a.rows(),
+            "x", a.cols(), " * ", b.rows(), "x", b.cols());
+  DQN_CHECK(out.rows() == a.rows() && out.cols() == b.cols(),
+            "matmul: bad out shape ", out.rows(), "x", out.cols());
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   for (std::size_t i = 0; i < m; ++i) {
     double* out_row = out.data().data() + i * n;
@@ -40,8 +36,10 @@ matrix matmul(const matrix& a, const matrix& b) {
 }
 
 void matmul_tn_acc(const matrix& a, const matrix& b, matrix& out) {
-  check(a.rows() == b.rows(), "matmul_tn: leading dimensions differ");
-  check(out.rows() == a.cols() && out.cols() == b.cols(), "matmul_tn: bad out shape");
+  DQN_CHECK(a.rows() == b.rows(), "matmul_tn: leading dimensions differ: ",
+            a.rows(), "x", a.cols(), " vs ", b.rows(), "x", b.cols());
+  DQN_CHECK(out.rows() == a.cols() && out.cols() == b.cols(),
+            "matmul_tn: bad out shape ", out.rows(), "x", out.cols());
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
   for (std::size_t kk = 0; kk < k; ++kk) {
     const double* a_row = a.data().data() + kk * m;
@@ -62,8 +60,10 @@ matrix matmul_tn(const matrix& a, const matrix& b) {
 }
 
 void matmul_nt_acc(const matrix& a, const matrix& b, matrix& out) {
-  check(a.cols() == b.cols(), "matmul_nt: trailing dimensions differ");
-  check(out.rows() == a.rows() && out.cols() == b.rows(), "matmul_nt: bad out shape");
+  DQN_CHECK(a.cols() == b.cols(), "matmul_nt: trailing dimensions differ: ",
+            a.rows(), "x", a.cols(), " vs ", b.rows(), "x", b.cols());
+  DQN_CHECK(out.rows() == a.rows() && out.cols() == b.rows(),
+            "matmul_nt: bad out shape ", out.rows(), "x", out.cols());
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
   for (std::size_t i = 0; i < m; ++i) {
     const double* a_row = a.data().data() + i * k;
@@ -84,12 +84,15 @@ matrix matmul_nt(const matrix& a, const matrix& b) {
 }
 
 void add_inplace(matrix& a, const matrix& b) {
-  check(a.rows() == b.rows() && a.cols() == b.cols(), "add_inplace: shape mismatch");
+  DQN_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+            "add_inplace: shape mismatch: ", a.rows(), "x", a.cols(), " vs ",
+            b.rows(), "x", b.cols());
   for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] += b.data()[i];
 }
 
 void add_row_vector(matrix& m, std::span<const double> bias) {
-  check(bias.size() == m.cols(), "add_row_vector: width mismatch");
+  DQN_CHECK(bias.size() == m.cols(), "add_row_vector: width mismatch: bias ",
+            bias.size(), " vs ", m.cols(), " cols");
   for (std::size_t r = 0; r < m.rows(); ++r) {
     auto row = m.row(r);
     for (std::size_t c = 0; c < m.cols(); ++c) row[c] += bias[c];
@@ -97,7 +100,9 @@ void add_row_vector(matrix& m, std::span<const double> bias) {
 }
 
 matrix hadamard(const matrix& a, const matrix& b) {
-  check(a.rows() == b.rows() && a.cols() == b.cols(), "hadamard: shape mismatch");
+  DQN_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+            "hadamard: shape mismatch: ", a.rows(), "x", a.cols(), " vs ",
+            b.rows(), "x", b.cols());
   matrix out{a.rows(), a.cols()};
   for (std::size_t i = 0; i < a.size(); ++i)
     out.data()[i] = a.data()[i] * b.data()[i];
@@ -124,6 +129,9 @@ matrix load_matrix(std::istream& in) {
   in.read(reinterpret_cast<char*>(&rows), sizeof rows);
   in.read(reinterpret_cast<char*>(&cols), sizeof cols);
   if (!in) throw std::runtime_error{"load_matrix: truncated header"};
+  DQN_ENSURE(rows <= (std::uint64_t{1} << 32) && cols <= (std::uint64_t{1} << 32),
+             "load_matrix: implausible shape ", rows, "x", cols,
+             " (corrupt stream?)");
   matrix m{static_cast<std::size_t>(rows), static_cast<std::size_t>(cols)};
   in.read(reinterpret_cast<char*>(m.data().data()),
           static_cast<std::streamsize>(m.size() * sizeof(double)));

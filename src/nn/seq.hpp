@@ -4,10 +4,10 @@
 #pragma once
 
 #include <cstddef>
-#include <stdexcept>
 #include <vector>
 
 #include "nn/matrix.hpp"
+#include "util/check.hpp"
 
 namespace dqn::nn {
 
@@ -36,7 +36,7 @@ class seq_batch {
 
   // Copy of the cross-batch slice at time t, shaped (batch, features).
   [[nodiscard]] matrix time_slice(std::size_t t) const {
-    if (t >= time_) throw std::out_of_range{"seq_batch::time_slice"};
+    DQN_CHECK_RANGE(t, time_);
     matrix m{batch_, features_};
     for (std::size_t b = 0; b < batch_; ++b)
       for (std::size_t f = 0; f < features_; ++f) m(b, f) = at(b, t, f);
@@ -44,22 +44,26 @@ class seq_batch {
   }
 
   void set_time_slice(std::size_t t, const matrix& m) {
-    if (t >= time_ || m.rows() != batch_ || m.cols() != features_)
-      throw std::invalid_argument{"seq_batch::set_time_slice: shape mismatch"};
+    DQN_CHECK_RANGE(t, time_);
+    DQN_CHECK(m.rows() == batch_ && m.cols() == features_,
+              "seq_batch::set_time_slice: got ", m.rows(), "x", m.cols(),
+              ", want ", batch_, "x", features_);
     for (std::size_t b = 0; b < batch_; ++b)
       for (std::size_t f = 0; f < features_; ++f) at(b, t, f) = m(b, f);
   }
 
   void add_time_slice(std::size_t t, const matrix& m) {
-    if (t >= time_ || m.rows() != batch_ || m.cols() != features_)
-      throw std::invalid_argument{"seq_batch::add_time_slice: shape mismatch"};
+    DQN_CHECK_RANGE(t, time_);
+    DQN_CHECK(m.rows() == batch_ && m.cols() == features_,
+              "seq_batch::add_time_slice: got ", m.rows(), "x", m.cols(),
+              ", want ", batch_, "x", features_);
     for (std::size_t b = 0; b < batch_; ++b)
       for (std::size_t f = 0; f < features_; ++f) at(b, t, f) += m(b, f);
   }
 
   // Copy of sample b, shaped (time, features).
   [[nodiscard]] matrix sample(std::size_t b) const {
-    if (b >= batch_) throw std::out_of_range{"seq_batch::sample"};
+    DQN_CHECK_RANGE(b, batch_);
     matrix m{time_, features_};
     for (std::size_t t = 0; t < time_; ++t)
       for (std::size_t f = 0; f < features_; ++f) m(t, f) = at(b, t, f);
@@ -67,8 +71,10 @@ class seq_batch {
   }
 
   void set_sample(std::size_t b, const matrix& m) {
-    if (b >= batch_ || m.rows() != time_ || m.cols() != features_)
-      throw std::invalid_argument{"seq_batch::set_sample: shape mismatch"};
+    DQN_CHECK_RANGE(b, batch_);
+    DQN_CHECK(m.rows() == time_ && m.cols() == features_,
+              "seq_batch::set_sample: got ", m.rows(), "x", m.cols(),
+              ", want ", time_, "x", features_);
     for (std::size_t t = 0; t < time_; ++t)
       for (std::size_t f = 0; f < features_; ++f) at(b, t, f) = m(t, f);
   }

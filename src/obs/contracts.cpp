@@ -1,0 +1,38 @@
+#include "obs/contracts.hpp"
+
+#include <atomic>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace dqn::obs {
+
+namespace {
+
+std::atomic<sink*> g_contract_sink{nullptr};
+
+void count_violation(const util::contract_failure_info& info) {
+  if (sink* const s = g_contract_sink.load(std::memory_order_acquire);
+      s != nullptr) {
+    s->count("contracts.violations");
+    s->count(std::string{"contracts.violations."} + info.kind);
+  }
+}
+
+}  // namespace
+
+void install_contract_counter(sink& s) noexcept {
+  g_contract_sink.store(&s, std::memory_order_release);
+  util::set_contract_observer(&count_violation);
+}
+
+void remove_contract_counter() noexcept {
+  g_contract_sink.store(nullptr, std::memory_order_release);
+  const util::contract_observer prev = util::set_contract_observer(nullptr);
+  if (prev != nullptr && prev != &count_violation) {
+    // Someone else's observer replaced ours in the meantime; put it back.
+    util::set_contract_observer(prev);
+  }
+}
+
+}  // namespace dqn::obs

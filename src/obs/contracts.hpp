@@ -1,0 +1,22 @@
+// Bridges util's contract layer into the obs layer: installing a sink here
+// registers a contract observer that bumps the `contracts.violations` counter
+// (and a per-kind counter, e.g. `contracts.violations.range`) on every
+// contract failure, whatever the active failure mode. Under
+// contract_mode::log_and_continue this is how soak runs surface near-misses
+// without dying on them.
+#pragma once
+
+#include "obs/sink.hpp"
+
+namespace dqn::obs {
+
+// Start counting contract violations into `s`. Replaces any previously
+// installed contract observer (there is one global observer slot; the obs
+// bridge owns it once installed).
+void install_contract_counter(sink& s) noexcept;
+
+// Stop counting; the observer slot is cleared only if the bridge still owns
+// it, so an unrelated observer installed afterwards is left untouched.
+void remove_contract_counter() noexcept;
+
+}  // namespace dqn::obs

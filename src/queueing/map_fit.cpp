@@ -26,9 +26,13 @@ iat_statistics compute_iat_statistics(std::span<const double> iats) {
   stats.lag1 = var > 0 ? lag_cov / var : 0;
   std::vector<double> sorted(iats.begin(), iats.end());
   std::sort(sorted.begin(), sorted.end());
-  stats.q10 = sorted[static_cast<std::size_t>(0.10 * (sorted.size() - 1))];
-  stats.q50 = sorted[static_cast<std::size_t>(0.50 * (sorted.size() - 1))];
-  stats.q90 = sorted[static_cast<std::size_t>(0.90 * (sorted.size() - 1))];
+  const auto quantile_index = [&](double q) {
+    return static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1));
+  };
+  stats.q10 = sorted[quantile_index(0.10)];
+  stats.q50 = sorted[quantile_index(0.50)];
+  stats.q90 = sorted[quantile_index(0.90)];
   return stats;
 }
 

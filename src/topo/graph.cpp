@@ -1,7 +1,8 @@
 #include "topo/graph.hpp"
 
 #include <deque>
-#include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace dqn::topo {
 
@@ -17,12 +18,14 @@ node_id topology::add_device(std::string name) {
 
 std::size_t topology::connect(node_id a, node_id b, double bandwidth_bps,
                               double propagation_delay) {
-  if (a < 0 || b < 0 || static_cast<std::size_t>(a) >= nodes_.size() ||
-      static_cast<std::size_t>(b) >= nodes_.size())
-    throw std::out_of_range{"topology::connect: unknown node"};
-  if (a == b) throw std::invalid_argument{"topology::connect: self-loop"};
-  if (bandwidth_bps <= 0 || propagation_delay < 0)
-    throw std::invalid_argument{"topology::connect: bad link parameters"};
+  DQN_ENSURE(a >= 0 && b >= 0 && static_cast<std::size_t>(a) < nodes_.size() &&
+                 static_cast<std::size_t>(b) < nodes_.size(),
+             "topology::connect: unknown node ", a, " or ", b, " (have ",
+             nodes_.size(), ")");
+  DQN_ENSURE(a != b, "topology::connect: self-loop on node ", a);
+  DQN_ENSURE(bandwidth_bps > 0 && propagation_delay >= 0,
+             "topology::connect: bad link parameters bandwidth=", bandwidth_bps,
+             " delay=", propagation_delay);
   link l;
   l.node_a = a;
   l.port_a = nodes_[static_cast<std::size_t>(a)].links.size();
@@ -38,19 +41,18 @@ std::size_t topology::connect(node_id a, node_id b, double bandwidth_bps,
 }
 
 const node& topology::at(node_id id) const {
-  if (id < 0 || static_cast<std::size_t>(id) >= nodes_.size())
-    throw std::out_of_range{"topology::at: unknown node"};
+  DQN_CHECK_RANGE(id, nodes_.size());
   return nodes_[static_cast<std::size_t>(id)];
 }
 
 const link& topology::link_at(std::size_t index) const {
-  if (index >= links_.size()) throw std::out_of_range{"topology::link_at"};
+  DQN_CHECK_RANGE(index, links_.size());
   return links_[index];
 }
 
 topology::peer topology::peer_of(node_id id, std::size_t port) const {
   const node& n = at(id);
-  if (port >= n.links.size()) throw std::out_of_range{"topology::peer_of: port"};
+  DQN_CHECK_RANGE(port, n.links.size());
   const link& l = links_[n.links[port]];
   peer p;
   p.link_index = n.links[port];

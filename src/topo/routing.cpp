@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace dqn::topo {
@@ -30,12 +31,12 @@ routing::routing(const topology& topo, std::uint64_t ecmp_salt)
 
 const std::vector<std::size_t>& routing::equal_cost_ports(node_id current,
                                                           node_id dst_host) const {
-  if (dst_host < 0 || static_cast<std::size_t>(dst_host) >= next_ports_.size() ||
-      next_ports_[static_cast<std::size_t>(dst_host)].empty())
-    throw std::out_of_range{"routing: unknown destination host"};
+  DQN_CHECK(dst_host >= 0 &&
+                static_cast<std::size_t>(dst_host) < next_ports_.size() &&
+                !next_ports_[static_cast<std::size_t>(dst_host)].empty(),
+            "routing: node ", dst_host, " is not a known destination host");
   const auto& table = next_ports_[static_cast<std::size_t>(dst_host)];
-  if (current < 0 || static_cast<std::size_t>(current) >= table.size())
-    throw std::out_of_range{"routing: unknown node"};
+  DQN_CHECK_RANGE(current, table.size());
   return table[static_cast<std::size_t>(current)];
 }
 

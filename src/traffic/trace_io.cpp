@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/check.hpp"
+
 namespace dqn::traffic {
 
 namespace {
@@ -34,9 +36,8 @@ T parse_number(std::string_view field, std::size_t line_number, const char* what
   const auto* begin = field.data();
   const auto* end = begin + field.size();
   const auto [ptr, ec] = std::from_chars(begin, end, value);
-  if (ec != std::errc{} || ptr != end)
-    throw std::runtime_error{"trace csv line " + std::to_string(line_number) +
-                             ": bad " + what + " '" + std::string{field} + "'"};
+  DQN_ENSURE(ec == std::errc{} && ptr == end, "trace csv line ", line_number,
+             ": bad ", what, " '", std::string{field}, "'");
   return value;
 }
 
@@ -47,9 +48,12 @@ double parse_double(std::string_view field, std::size_t line_number,
   const std::string buffer{field};
   char* end = nullptr;
   const double value = std::strtod(buffer.c_str(), &end);
-  if (end != buffer.c_str() + buffer.size())
-    throw std::runtime_error{"trace csv line " + std::to_string(line_number) +
-                             ": bad " + what + " '" + buffer + "'"};
+  // strtod consumes zero characters from an empty field and leaves end ==
+  // begin, so the emptiness check is not redundant with the full-consumption
+  // check below.
+  DQN_ENSURE(!buffer.empty() && end == buffer.c_str() + buffer.size(),
+             "trace csv line ", line_number, ": bad ", what, " '", buffer,
+             "'");
   return value;
 }
 
@@ -76,8 +80,10 @@ void write_trace_csv_file(const std::string& path, const packet_stream& stream) 
 
 packet_stream read_trace_csv(std::istream& in) {
   std::string line;
-  if (!std::getline(in, line) || line != header)
-    throw std::runtime_error{"trace csv: missing or wrong header"};
+  const bool got_header = static_cast<bool>(std::getline(in, line));
+  DQN_ENSURE(got_header && line == header,
+             "trace csv: missing or wrong header",
+             got_header ? " (got '" + line + "')" : std::string{});
   packet_stream stream;
   std::size_t line_number = 1;
   double previous_time = -1;
@@ -85,23 +91,20 @@ packet_stream read_trace_csv(std::istream& in) {
     ++line_number;
     if (line.empty()) continue;
     const auto fields = split_fields(line);
-    if (fields.size() != 9)
-      throw std::runtime_error{"trace csv line " + std::to_string(line_number) +
-                               ": expected 9 fields, got " +
-                               std::to_string(fields.size())};
+    DQN_ENSURE(fields.size() == 9, "trace csv line ", line_number,
+               ": expected 9 fields, got ", fields.size());
     packet_event ev;
     ev.time = parse_double(fields[0], line_number, "time");
-    if (ev.time < previous_time)
-      throw std::runtime_error{"trace csv line " + std::to_string(line_number) +
-                               ": times must be non-decreasing"};
+    DQN_ENSURE(ev.time >= previous_time, "trace csv line ", line_number,
+               ": times must be non-decreasing (", ev.time, " after ",
+               previous_time, ")");
     previous_time = ev.time;
     ev.pkt.pid = parse_number<std::uint64_t>(fields[1], line_number, "pid");
     ev.pkt.flow_id = parse_number<std::uint32_t>(fields[2], line_number, "flow_id");
     ev.pkt.size_bytes =
         parse_number<std::uint32_t>(fields[3], line_number, "size_bytes");
-    if (ev.pkt.size_bytes == 0)
-      throw std::runtime_error{"trace csv line " + std::to_string(line_number) +
-                               ": size_bytes must be > 0"};
+    DQN_ENSURE(ev.pkt.size_bytes > 0, "trace csv line ", line_number,
+               ": size_bytes must be > 0");
     ev.pkt.protocol =
         static_cast<std::uint8_t>(parse_number<int>(fields[4], line_number, "protocol"));
     ev.pkt.priority =
@@ -114,6 +117,11 @@ packet_stream read_trace_csv(std::istream& in) {
         parse_number<std::int32_t>(fields[8], line_number, "dst_host");
     stream.push_back(ev);
   }
+  // getline stops on either eof (fine) or a hard read error (not fine):
+  // distinguish the two instead of silently returning a truncated stream.
+  if (in.bad())
+    throw std::runtime_error{"trace csv: stream read error after line " +
+                             std::to_string(line_number)};
   return stream;
 }
 

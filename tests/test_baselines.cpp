@@ -114,7 +114,9 @@ TEST(mimicnet, trains_from_reference_and_predicts_fattree) {
   const auto topo = topo::make_fattree16();
   const topo::routing routes{topo};
   const auto s = make_scenario(16, traffic::traffic_model::map, 40'000.0, 0.1, 34);
-  des::network oracle{topo, routes, {.tm = {}, .record_hops = true}};
+  des::network_config oracle_cfg;
+  oracle_cfg.record_hops = true;
+  des::network oracle{topo, routes, oracle_cfg};
   const auto truth = oracle.run(s.streams, 0.1);
 
   baselines::mimicnet_estimator mn;
@@ -137,7 +139,9 @@ TEST(mimicnet, scale_generalizes_to_larger_fattree) {
   const auto small = topo::make_fattree16();
   const topo::routing small_routes{small};
   const auto s16 = make_scenario(16, traffic::traffic_model::map, 40'000.0, 0.1, 35);
-  des::network oracle{small, small_routes, {.tm = {}, .record_hops = true}};
+  des::network_config oracle_cfg;
+  oracle_cfg.record_hops = true;
+  des::network oracle{small, small_routes, oracle_cfg};
   const auto truth16 = oracle.run(s16.streams, 0.1);
   baselines::mimicnet_estimator mn;
   mn.train(small, truth16, 40);

@@ -1,0 +1,243 @@
+// Unit tests for the contracts layer (util/check.hpp): macro semantics,
+// failure modes, the observer hook, the obs-layer violation counter, and one
+// negative contract test per swept module. The per-module tests double as the
+// guarantee that DQN_CHECK sites are actually live in checked builds — the
+// remaining negative coverage lives next to each module's own test suite
+// (test_nn, test_topo, test_des, test_obs, test_more_coverage,
+// test_trace_io_and_fluid).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "des/traffic_manager.hpp"
+#include "nn/seq.hpp"
+#include "obs/contracts.hpp"
+#include "obs/sink.hpp"
+#include "topo/builders.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using dqn::util::contract_failure_info;
+using dqn::util::contract_mode;
+using dqn::util::contract_violation;
+using dqn::util::contract_violation_count;
+using dqn::util::contracts_enabled;
+using dqn::util::reset_contract_violation_count;
+using dqn::util::scoped_contract_mode;
+using dqn::util::set_contract_observer;
+
+// The observer slot is a single global; tests that install one always restore
+// the previous value via this RAII helper.
+class scoped_observer {
+ public:
+  explicit scoped_observer(dqn::util::contract_observer obs)
+      : previous_{set_contract_observer(obs)} {}
+  scoped_observer(const scoped_observer&) = delete;
+  scoped_observer& operator=(const scoped_observer&) = delete;
+  ~scoped_observer() { set_contract_observer(previous_); }
+
+ private:
+  dqn::util::contract_observer previous_;
+};
+
+TEST(contracts, ensure_throws_with_location_and_message) {
+  const int got = 3;
+  try {
+    DQN_ENSURE(got == 4, "got ", got, ", want 4");
+    FAIL() << "DQN_ENSURE did not throw";
+  } catch (const contract_violation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("test_contracts.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("ensure failed"), std::string::npos) << what;
+    EXPECT_NE(what.find("got == 4"), std::string::npos) << what;
+    EXPECT_NE(what.find("got 3, want 4"), std::string::npos) << what;
+  }
+}
+
+TEST(contracts, ensure_passes_silently) {
+  const auto before = contract_violation_count();
+  DQN_ENSURE(1 + 1 == 2);
+  DQN_ENSURE(true, "never formatted");
+  EXPECT_EQ(contract_violation_count(), before);
+}
+
+TEST(contracts, violation_is_a_logic_error) {
+  EXPECT_THROW(DQN_ENSURE(false), std::logic_error);
+}
+
+TEST(contracts, check_respects_build_mode) {
+  const auto before = contract_violation_count();
+  if (contracts_enabled) {
+    EXPECT_THROW(DQN_CHECK(false, "live"), contract_violation);
+    EXPECT_EQ(contract_violation_count(), before + 1);
+  } else {
+    DQN_CHECK(false, "compiled out");
+    EXPECT_EQ(contract_violation_count(), before);
+  }
+}
+
+TEST(contracts, check_range_reports_both_values) {
+  if (!contracts_enabled) GTEST_SKIP() << "DQN_CHECK_RANGE compiled out";
+  const std::size_t index = 7;
+  const std::size_t size = 3;
+  try {
+    DQN_CHECK_RANGE(index, size);
+    FAIL() << "DQN_CHECK_RANGE did not throw";
+  } catch (const contract_violation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("range failed"), std::string::npos) << what;
+    EXPECT_NE(what.find("index = 7"), std::string::npos) << what;
+    EXPECT_NE(what.find("size = 3"), std::string::npos) << what;
+  }
+}
+
+TEST(contracts, check_range_rejects_negative_signed_index) {
+  if (!contracts_enabled) GTEST_SKIP() << "DQN_CHECK_RANGE compiled out";
+  const int index = -1;
+  EXPECT_THROW(DQN_CHECK_RANGE(index, std::size_t{10}), contract_violation);
+}
+
+TEST(contracts, invariant_reports_kind) {
+  if (!contracts_enabled) GTEST_SKIP() << "DQN_INVARIANT compiled out";
+  try {
+    DQN_INVARIANT(false, "broken");
+    FAIL() << "DQN_INVARIANT did not throw";
+  } catch (const contract_violation& e) {
+    EXPECT_NE(std::string{e.what()}.find("invariant failed"),
+              std::string::npos);
+  }
+}
+
+TEST(contracts, unreachable_always_throws_in_throw_mode) {
+  // DQN_UNREACHABLE is always live, whatever the build mode.
+  EXPECT_THROW(DQN_UNREACHABLE("should not get here"), contract_violation);
+}
+
+TEST(contracts, disabled_macros_do_not_evaluate_operands) {
+  if (contracts_enabled) GTEST_SKIP() << "checks are live in this build";
+  bool evaluated = false;
+  auto touch = [&evaluated] {
+    evaluated = true;
+    return false;
+  };
+  DQN_CHECK(touch(), "side effect");
+  EXPECT_FALSE(evaluated);
+}
+
+TEST(contracts, log_and_continue_returns_and_counts) {
+  reset_contract_violation_count();
+  scoped_contract_mode mode{contract_mode::log_and_continue};
+  DQN_ENSURE(false, "survivable");
+  DQN_ENSURE(false, "survivable again");
+  EXPECT_EQ(contract_violation_count(), 2u);
+}
+
+TEST(contracts, scoped_mode_restores_previous_mode) {
+  ASSERT_EQ(dqn::util::get_contract_mode(), contract_mode::throw_exception);
+  {
+    scoped_contract_mode mode{contract_mode::log_and_continue};
+    EXPECT_EQ(dqn::util::get_contract_mode(),
+              contract_mode::log_and_continue);
+  }
+  EXPECT_EQ(dqn::util::get_contract_mode(), contract_mode::throw_exception);
+}
+
+namespace observer_state {
+std::atomic<int> calls{0};
+std::string last_kind;
+
+void record(const contract_failure_info& info) {
+  calls.fetch_add(1);
+  last_kind = info.kind;
+}
+
+void throwing(const contract_failure_info&) { throw std::runtime_error{"x"}; }
+}  // namespace observer_state
+
+TEST(contracts, observer_sees_every_violation) {
+  observer_state::calls = 0;
+  scoped_observer obs{&observer_state::record};
+  EXPECT_THROW(DQN_ENSURE(false, "observed"), contract_violation);
+  EXPECT_EQ(observer_state::calls.load(), 1);
+  EXPECT_EQ(observer_state::last_kind, "ensure");
+}
+
+TEST(contracts, throwing_observer_does_not_change_failure_semantics) {
+  scoped_observer obs{&observer_state::throwing};
+  // Still the configured mode's exception, not the observer's.
+  EXPECT_THROW(DQN_ENSURE(false), contract_violation);
+}
+
+TEST(contracts, set_observer_returns_previous) {
+  const auto prev = set_contract_observer(&observer_state::record);
+  EXPECT_EQ(set_contract_observer(prev), &observer_state::record);
+}
+
+TEST(contracts, obs_bridge_counts_violations_per_kind) {
+  dqn::obs::sink sink;
+  dqn::obs::install_contract_counter(sink);
+  EXPECT_THROW(DQN_ENSURE(false, "counted"), contract_violation);
+  EXPECT_THROW(DQN_ENSURE(false, "counted again"), contract_violation);
+  dqn::obs::remove_contract_counter();
+  EXPECT_EQ(sink.metrics().counter("contracts.violations"), 2.0);
+  EXPECT_EQ(sink.metrics().counter("contracts.violations.ensure"), 2.0);
+  // Removed: further violations no longer reach the sink.
+  EXPECT_THROW(DQN_ENSURE(false, "not counted"), contract_violation);
+  EXPECT_EQ(sink.metrics().counter("contracts.violations"), 2.0);
+}
+
+TEST(contracts, obs_bridge_counts_under_log_and_continue) {
+  // The soak-run configuration from the module comment: violations are
+  // logged, execution continues, and the sink keeps score.
+  dqn::obs::sink sink;
+  dqn::obs::install_contract_counter(sink);
+  {
+    scoped_contract_mode mode{contract_mode::log_and_continue};
+    DQN_ENSURE(false, "soak");
+  }
+  dqn::obs::remove_contract_counter();
+  EXPECT_EQ(sink.metrics().counter("contracts.violations"), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// One negative contract test per swept module.
+// ---------------------------------------------------------------------------
+
+TEST(contracts_modules, nn_seq_batch_rejects_out_of_range_slice) {
+  if (!contracts_enabled) GTEST_SKIP() << "DQN_CHECK compiled out";
+  const dqn::nn::seq_batch batch{2, 3, 4};
+  EXPECT_THROW((void)batch.time_slice(3), contract_violation);
+  EXPECT_THROW((void)batch.sample(2), contract_violation);
+}
+
+TEST(contracts_modules, topo_rejects_unknown_node) {
+  if (!contracts_enabled) GTEST_SKIP() << "DQN_CHECK compiled out";
+  const auto topo = dqn::topo::make_line(3);
+  EXPECT_THROW((void)topo.at(-1), contract_violation);
+  EXPECT_THROW((void)topo.at(99), contract_violation);
+  EXPECT_THROW((void)topo.link_at(99), contract_violation);
+}
+
+TEST(contracts_modules, des_rejects_unknown_queue_class) {
+  if (!contracts_enabled) GTEST_SKIP() << "DQN_CHECK compiled out";
+  dqn::des::tm_config cfg;
+  cfg.kind = dqn::des::scheduler_kind::fifo;
+  cfg.classes = 1;
+  const dqn::des::traffic_manager tm{cfg};
+  EXPECT_THROW((void)tm.queue_length(1), contract_violation);
+}
+
+TEST(contracts_modules, des_rejects_bad_scheduler_config_in_every_build) {
+  // DQN_ENSURE path: live in Release too.
+  dqn::des::tm_config cfg;
+  cfg.kind = dqn::des::scheduler_kind::wrr;
+  cfg.classes = 2;
+  cfg.class_weights = {1.0};  // one weight short
+  EXPECT_THROW(dqn::des::traffic_manager{cfg}, contract_violation);
+}
+
+}  // namespace

@@ -8,6 +8,7 @@
 #include "core/pfm.hpp"
 #include "core/sec.hpp"
 #include "util/rng.hpp"
+#include "util/check.hpp"
 
 namespace {
 
@@ -97,9 +98,9 @@ TEST(windows, sliding_window_alignment) {
 
 TEST(windows, rejects_bad_shapes) {
   std::vector<double> rows(feature_count + 1, 0.0);
-  EXPECT_THROW((void)make_windows(rows, 3), std::invalid_argument);
+  EXPECT_THROW((void)make_windows(rows, 3), dqn::util::contract_violation);
   std::vector<double> good(feature_count, 0.0);
-  EXPECT_THROW((void)make_windows(good, 0), std::invalid_argument);
+  EXPECT_THROW((void)make_windows(good, 0), dqn::util::contract_violation);
 }
 
 // --- PFM -------------------------------------------------------------------
@@ -358,7 +359,7 @@ TEST(sec, mismatched_sizes_throw) {
   sec_table sec;
   std::vector<double> a{1, 2, 3};
   std::vector<double> b{1, 2};
-  EXPECT_THROW(sec.fit(a, b), std::invalid_argument);
+  EXPECT_THROW(sec.fit(a, b), dqn::util::contract_violation);
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include "topo/routing.hpp"
 #include "traffic/traffic_gen.hpp"
 #include "util/rng.hpp"
+#include "util/check.hpp"
 
 namespace {
 
@@ -74,13 +75,15 @@ TEST(simulator, rejects_past_events) {
   simulator sim;
   sim.schedule_at(1.0, [] {});
   sim.run(2.0);
-  EXPECT_THROW(sim.schedule_at(1.5, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_at(1.5, [] {}), dqn::util::contract_violation);
 }
 
 // --- Traffic managers -------------------------------------------------------
 
 TEST(traffic_manager, fifo_preserves_order) {
-  traffic_manager tm{{.kind = scheduler_kind::fifo}};
+  tm_config fifo_cfg;
+  fifo_cfg.kind = scheduler_kind::fifo;
+  traffic_manager tm{fifo_cfg};
   for (std::uint64_t i = 0; i < 5; ++i) EXPECT_TRUE(tm.enqueue(make_packet(i, 100)));
   for (std::uint64_t i = 0; i < 5; ++i) {
     const auto p = tm.dequeue();
@@ -91,7 +94,10 @@ TEST(traffic_manager, fifo_preserves_order) {
 }
 
 TEST(traffic_manager, drop_tail_when_full) {
-  traffic_manager tm{{.kind = scheduler_kind::fifo, .buffer_packets = 2}};
+  tm_config small_cfg;
+  small_cfg.kind = scheduler_kind::fifo;
+  small_cfg.buffer_packets = 2;
+  traffic_manager tm{small_cfg};
   EXPECT_TRUE(tm.enqueue(make_packet(0, 100)));
   EXPECT_TRUE(tm.enqueue(make_packet(1, 100)));
   EXPECT_FALSE(tm.enqueue(make_packet(2, 100)));
@@ -245,11 +251,11 @@ TEST(traffic_manager, rejects_invalid_configs) {
   tm_config no_weights;
   no_weights.kind = scheduler_kind::wfq;
   no_weights.classes = 2;
-  EXPECT_THROW(traffic_manager{no_weights}, std::invalid_argument);
+  EXPECT_THROW(traffic_manager{no_weights}, dqn::util::contract_violation);
   tm_config multi_fifo;
   multi_fifo.kind = scheduler_kind::fifo;
   multi_fifo.classes = 2;
-  EXPECT_THROW(traffic_manager{multi_fifo}, std::invalid_argument);
+  EXPECT_THROW(traffic_manager{multi_fifo}, dqn::util::contract_violation);
 }
 
 // --- Single-switch harness ---------------------------------------------------
@@ -377,7 +383,9 @@ TEST(network, conserves_packets_at_moderate_load) {
 TEST(network, hop_records_cover_every_switch_on_path) {
   const auto topo = dqn::topo::make_line(3);
   const dqn::topo::routing routes{topo};
-  network net{topo, routes, {.tm = {}, .record_hops = true}};
+  network_config net_cfg;
+  net_cfg.record_hops = true;
+  network net{topo, routes, net_cfg};
   packet_stream stream;
   auto p = make_packet(0, 500);
   p.flow_id = 9;
@@ -424,7 +432,7 @@ TEST(network, rejects_wrong_stream_count) {
   const auto topo = dqn::topo::make_line(2);
   const dqn::topo::routing routes{topo};
   network net{topo, routes, {}};
-  EXPECT_THROW((void)net.run({}, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)net.run({}, 1.0), dqn::util::contract_violation);
 }
 
 }  // namespace

@@ -121,7 +121,8 @@ TEST(heterogeneous_tm, des_applies_per_node_override) {
   }
   ASSERT_GT(nh, 100u);
   ASSERT_GT(nl, 100u);
-  EXPECT_LT(high / nh, 0.5 * (low / nl));
+  EXPECT_LT(high / static_cast<double>(nh),
+            0.5 * (low / static_cast<double>(nl)));
 }
 
 TEST(heterogeneous_tm, engine_override_changes_predictions) {

@@ -24,6 +24,7 @@
 #include "topo/builders.hpp"
 #include "topo/routing.hpp"
 #include "util/rng.hpp"
+#include "util/check.hpp"
 
 namespace {
 
@@ -177,16 +178,18 @@ TEST(ptm_errors, train_rejects_mismatched_time_steps) {
   core::ptm_model model{cfg};
   core::ptm_dataset data;
   data.time_steps = 8;
-  EXPECT_THROW((void)model.train(data), std::invalid_argument);
+  EXPECT_THROW((void)model.train(data), dqn::util::contract_violation);
 }
 
 TEST(pfm_errors, out_of_range_port_throws) {
   std::vector<traffic::packet_stream> ingress(2);
   traffic::packet p;
   ingress[0].push_back({p, 0.0});
-  EXPECT_THROW((void)core::apply_forwarding(
-                   ingress, [](std::uint32_t, std::size_t) { return 5u; }, 2),
-               std::out_of_range);
+  if (dqn::util::contracts_enabled) {
+    EXPECT_THROW((void)core::apply_forwarding(
+                     ingress, [](std::uint32_t, std::size_t) { return 5u; }, 2),
+                 dqn::util::contract_violation);
+  }
 }
 
 TEST(dlib, default_directory_honours_env) {
@@ -201,8 +204,8 @@ TEST(dlib, default_directory_honours_env) {
 
 TEST(dlib, rejects_path_traversal_keys) {
   core::device_model_library lib{"/tmp/dqn_key_test"};
-  EXPECT_THROW((void)lib.contains("../evil"), std::invalid_argument);
-  EXPECT_THROW((void)lib.contains(""), std::invalid_argument);
+  EXPECT_THROW((void)lib.contains("../evil"), dqn::util::contract_violation);
+  EXPECT_THROW((void)lib.contains(""), dqn::util::contract_violation);
   std::filesystem::remove_all("/tmp/dqn_key_test");
 }
 

@@ -13,6 +13,7 @@
 #include "nn/seq.hpp"
 #include "nn/seq_regressor.hpp"
 #include "util/rng.hpp"
+#include "util/check.hpp"
 
 namespace {
 
@@ -52,8 +53,10 @@ TEST(matrix, matmul_nt_equals_matmul_with_transpose) {
 TEST(matrix, shape_mismatch_throws) {
   matrix a{2, 3};
   matrix b{2, 3};
-  EXPECT_THROW((void)matmul(a, b), std::invalid_argument);
-  EXPECT_THROW(add_inplace(a, matrix{3, 2}), std::invalid_argument);
+  if (!dqn::util::contracts_enabled)
+    GTEST_SKIP() << "DQN_CHECK compiled out in this build";
+  EXPECT_THROW((void)matmul(a, b), dqn::util::contract_violation);
+  EXPECT_THROW(add_inplace(a, matrix{3, 2}), dqn::util::contract_violation);
 }
 
 TEST(matrix, save_load_roundtrip) {

@@ -155,7 +155,8 @@ TEST(map_process, simulated_cdf_matches_analytic_cdf) {
   for (auto& iat : iats) iat = m.sample_iat(state, rng);
   std::sort(iats.begin(), iats.end());
   for (const double q : {0.25, 0.5, 0.9}) {
-    const double x = iats[static_cast<std::size_t>(q * iats.size())];
+    const double x = iats[static_cast<std::size_t>(
+        q * static_cast<double>(iats.size()))];
     EXPECT_NEAR(m.iat_cdf(x), q, 0.01);
   }
 }
@@ -204,7 +205,8 @@ TEST(map_fit, recovers_bursty_mmpp) {
   // And the fitted model's CDF should track the empirical one (Figure 12).
   std::sort(iats.begin(), iats.end());
   for (const double q : {0.25, 0.5, 0.75, 0.95}) {
-    const double x = iats[static_cast<std::size_t>(q * iats.size())];
+    const double x = iats[static_cast<std::size_t>(
+        q * static_cast<double>(iats.size()))];
     EXPECT_NEAR(fit.fitted.iat_cdf(x), q, 0.12) << "quantile " << q;
   }
 }

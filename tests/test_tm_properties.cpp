@@ -76,7 +76,7 @@ INSTANTIATE_TEST_SUITE_P(
         share_case{"wfq_5to4", scheduler_kind::wfq, {5, 4}, true},
         share_case{"wfq_9to1", scheduler_kind::wfq, {9, 1}, true},
         share_case{"wfq_111", scheduler_kind::wfq, {1, 1, 1}, true}),
-    [](const auto& info) { return info.param.name; });
+    [](const auto& param_info) { return param_info.param.name; });
 
 class byte_fairness : public ::testing::TestWithParam<scheduler_kind> {};
 
@@ -110,7 +110,7 @@ TEST_P(byte_fairness, equal_weights_split_bytes_evenly_with_mixed_sizes) {
 INSTANTIATE_TEST_SUITE_P(byte_fair_schedulers, byte_fairness,
                          ::testing::Values(scheduler_kind::drr,
                                            scheduler_kind::wfq),
-                         [](const auto& info) { return to_string(info.param); });
+                         [](const auto& param_info) { return to_string(param_info.param); });
 
 class work_conservation : public ::testing::TestWithParam<scheduler_kind> {};
 
@@ -147,7 +147,7 @@ TEST_P(work_conservation, single_switch_is_work_conserving) {
   std::size_t departures = 0;
   for (const auto& hop : result.hops)
     if (hop.departure >= 0.1 && hop.departure < 0.4) ++departures;
-  const double measured_rate = departures / 0.3;
+  const double measured_rate = static_cast<double>(departures) / 0.3;
   EXPECT_NEAR(measured_rate, capacity_pps, 0.02 * capacity_pps)
       << to_string(kind);
 }
@@ -158,7 +158,7 @@ INSTANTIATE_TEST_SUITE_P(all_disciplines, work_conservation,
                                            scheduler_kind::wrr,
                                            scheduler_kind::drr,
                                            scheduler_kind::wfq),
-                         [](const auto& info) { return to_string(info.param); });
+                         [](const auto& param_info) { return to_string(param_info.param); });
 
 TEST(sp_property, high_priority_latency_insensitive_to_low_priority_load) {
   // Adding low-priority traffic must not increase high-priority waiting
@@ -172,7 +172,7 @@ TEST(sp_property, high_priority_latency_insensitive_to_low_priority_load) {
     cfg.bandwidth_bps = 1e8;
     dqn::traffic::packet_stream stream;
     std::uint64_t pid = 0;
-    for (const auto [rate, priority] :
+    for (const auto& [rate, priority] :
          {std::pair{3000.0, std::uint8_t{0}}, std::pair{low_rate, std::uint8_t{1}}}) {
       if (rate <= 0) continue;
       double t = 0;

@@ -12,6 +12,7 @@
 #include "topo/routing.hpp"
 #include "traffic/trace_io.hpp"
 #include "util/rng.hpp"
+#include "util/check.hpp"
 
 namespace {
 
@@ -59,19 +60,19 @@ TEST(trace_io, roundtrip_preserves_everything) {
 TEST(trace_io, rejects_malformed_input) {
   {
     std::stringstream bad{"not,a,header\n"};
-    EXPECT_THROW((void)traffic::read_trace_csv(bad), std::runtime_error);
+    EXPECT_THROW((void)traffic::read_trace_csv(bad), dqn::util::contract_violation);
   }
   {
     std::stringstream missing_fields;
     missing_fields << "time,pid,flow_id,size_bytes,protocol,priority,weight,"
                       "src_host,dst_host\n1.0,1,2\n";
-    EXPECT_THROW((void)traffic::read_trace_csv(missing_fields), std::runtime_error);
+    EXPECT_THROW((void)traffic::read_trace_csv(missing_fields), dqn::util::contract_violation);
   }
   {
     std::stringstream bad_number;
     bad_number << "time,pid,flow_id,size_bytes,protocol,priority,weight,"
                   "src_host,dst_host\n1.0,x,0,100,17,0,1,0,1\n";
-    EXPECT_THROW((void)traffic::read_trace_csv(bad_number), std::runtime_error);
+    EXPECT_THROW((void)traffic::read_trace_csv(bad_number), dqn::util::contract_violation);
   }
   {
     std::stringstream out_of_order;
@@ -79,13 +80,13 @@ TEST(trace_io, rejects_malformed_input) {
                     "src_host,dst_host\n"
                  << "2.0,0,0,100,17,0,1,0,1\n"
                  << "1.0,1,0,100,17,0,1,0,1\n";
-    EXPECT_THROW((void)traffic::read_trace_csv(out_of_order), std::runtime_error);
+    EXPECT_THROW((void)traffic::read_trace_csv(out_of_order), dqn::util::contract_violation);
   }
   {
     std::stringstream zero_size;
     zero_size << "time,pid,flow_id,size_bytes,protocol,priority,weight,"
                  "src_host,dst_host\n1.0,0,0,0,17,0,1,0,1\n";
-    EXPECT_THROW((void)traffic::read_trace_csv(zero_size), std::runtime_error);
+    EXPECT_THROW((void)traffic::read_trace_csv(zero_size), dqn::util::contract_violation);
   }
 }
 

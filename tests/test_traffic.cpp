@@ -109,7 +109,7 @@ TEST(synthetic_traces, bc_paug89_like_is_bursty_and_calibrated) {
   ASSERT_GT(trace.iats.size(), 1000u);
   EXPECT_EQ(trace.iats.size(), trace.sizes.size());
   const double total = std::accumulate(trace.iats.begin(), trace.iats.end(), 0.0);
-  EXPECT_NEAR(trace.iats.size() / total, 1000.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(trace.iats.size()) / total, 1000.0, 1.0);
   // Self-similar-style traffic has SCV well above Poisson's 1.
   const auto stats = dqn::queueing::compute_iat_statistics(trace.iats);
   EXPECT_GT(stats.scv, 1.5);
@@ -120,7 +120,7 @@ TEST(synthetic_traces, anarchy_like_is_quasi_periodic_with_bursts) {
   const auto trace = make_anarchy_like(20'000, 500.0, r);
   ASSERT_EQ(trace.iats.size(), 20'000u);
   const double total = std::accumulate(trace.iats.begin(), trace.iats.end(), 0.0);
-  EXPECT_NEAR(trace.iats.size() / total, 500.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(trace.iats.size()) / total, 500.0, 1.0);
   const auto stats = dqn::queueing::compute_iat_statistics(trace.iats);
   // Bursts create positive lag-1 correlation.
   EXPECT_GT(stats.lag1, 0.05);
@@ -216,8 +216,8 @@ INSTANTIATE_TEST_SUITE_P(all_models, traffic_model_sweep,
                                            traffic_model::map,
                                            traffic_model::bc_paug89,
                                            traffic_model::anarchy),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
                              case traffic_model::poisson: return "Poisson";
                              case traffic_model::onoff: return "OnOff";
                              case traffic_model::map: return "MAP";
