@@ -1,13 +1,22 @@
 // Micro-benchmarks (google-benchmark) of the hot kernels every experiment
 // rides on: the matmul behind PTM inference, scheduler enqueue/dequeue, the
-// DES event loop, W1 metric computation, PFM forwarding, and the
-// observability scoped-timer in both its no-op and recording modes.
+// DES event loop (bare and with a live obs counter handle), W1 metric
+// computation, PFM forwarding, and the observability primitives — scoped
+// timer, sharded metric handles — in both their no-op and recording modes.
+// The 0-vs-1 arg pairs quantify the "live sink < 5% over null sink"
+// overhead budget the obs layer is held to.
+//
+// Honors DQN_BENCH_JSON (bench/common.hpp): when set, the recording-mode
+// benchmarks route through the shared bench sink and the registry snapshot
+// is dumped at exit — CI uploads it as the perf-trajectory artifact.
 #include <benchmark/benchmark.h>
 
+#include "bench/common.hpp"
 #include "core/pfm.hpp"
 #include "des/simulator.hpp"
 #include "des/traffic_manager.hpp"
 #include "nn/matrix.hpp"
+#include "obs/handles.hpp"
 #include "obs/scoped_timer.hpp"
 #include "obs/sink.hpp"
 #include "stats/wasserstein.hpp"
@@ -16,6 +25,15 @@
 using namespace dqn;
 
 namespace {
+
+// The sink recording-mode benchmarks write into: the shared DQN_BENCH_JSON
+// sink when profiling is on (so the exported snapshot has real content),
+// otherwise a process-local one.
+obs::sink& recording_sink() {
+  static obs::sink local;
+  obs::sink* shared = bench::bench_sink();
+  return shared != nullptr ? *shared : local;
+}
 
 void bm_matmul(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -57,9 +75,16 @@ BENCHMARK(bm_traffic_manager)
     ->Arg(static_cast<int>(des::scheduler_kind::drr))
     ->Arg(static_cast<int>(des::scheduler_kind::wfq));
 
+// Arg 0: default (null) event-counter handle — one branch per event.
+// Arg 1: live "des.events" handle into a recording sink — the instrumented
+// event loop must stay within the 5% overhead budget of arg 0.
 void bm_event_loop(benchmark::State& state) {
+  const obs::counter_handle events =
+      state.range(0) == 0 ? obs::counter_handle{}
+                          : recording_sink().counter_handle_for("des.events");
   for (auto _ : state) {
     des::simulator sim;
+    sim.set_event_counter(events);
     int counter = 0;
     for (int i = 0; i < 1000; ++i)
       sim.schedule_at(i * 1e-6, [&counter] { ++counter; });
@@ -68,7 +93,7 @@ void bm_event_loop(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 1000);
 }
-BENCHMARK(bm_event_loop);
+BENCHMARK(bm_event_loop)->Arg(0)->Arg(1);
 
 void bm_wasserstein(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -125,6 +150,52 @@ void bm_obs_scoped_timer(benchmark::State& state) {
 }
 BENCHMARK(bm_obs_scoped_timer)->Arg(0)->Arg(1);
 
+// Arg 0: default-constructed (null) counter handle — the one-branch no-op
+// every un-profiled hot path pays. Arg 1: live handle — a relaxed atomic
+// store into the caller's exclusive shard.
+void bm_obs_counter_handle(benchmark::State& state) {
+  const obs::counter_handle handle =
+      state.range(0) == 0
+          ? obs::counter_handle{}
+          : recording_sink().counter_handle_for("bench.counter");
+  for (auto _ : state) {
+    obs::counter_handle local = handle;
+    local.add();
+    benchmark::DoNotOptimize(&local);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_obs_counter_handle)->Arg(0)->Arg(1);
+
+// Same pairing for the quantile histogram: bucket index + shard update.
+void bm_obs_histogram_handle(benchmark::State& state) {
+  const obs::histogram_handle handle =
+      state.range(0) == 0
+          ? obs::histogram_handle{}
+          : recording_sink().histogram_handle_for("bench.histogram");
+  double value = 1e-6;
+  for (auto _ : state) {
+    obs::histogram_handle local = handle;
+    local.observe(value);
+    value = value < 1.0 ? value * 1.0001 : 1e-6;
+    benchmark::DoNotOptimize(&local);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(bm_obs_histogram_handle)->Arg(0)->Arg(1);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Not BENCHMARK_MAIN(): when DQN_BENCH_JSON profiling is on, the whole
+// benchmark run is wrapped in one "bench"/"micro_kernels" span so the
+// exported snapshot carries the run's wall time next to the handle metrics.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  {
+    obs::scoped_timer run_timer{bench::bench_sink(), "bench", "micro_kernels"};
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  benchmark::Shutdown();
+  return 0;
+}

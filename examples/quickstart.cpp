@@ -10,6 +10,14 @@
 // pipeline (DUtil training + engine run + DES oracle) instrumented through
 // one obs::sink, emitting the full registry snapshot as JSON on stdout —
 // per-epoch PTM training loss, per-IRSA-iteration timings, DES counters.
+// Two more profiling flags compose with it (each implies the profiled
+// pipeline): `--chrome-trace <path>` writes the run's span timeline as
+// Chrome trace-event JSON (load in chrome://tracing or ui.perfetto.dev),
+// and `--journeys N` samples every packet's per-hop journey and prints the
+// first N of them.
+#include <cstdlib>
+#include <fstream>
+#include <string>
 #include <string_view>
 
 #include "des/run_api.hpp"
@@ -21,12 +29,23 @@ using namespace dqn;
 
 namespace {
 
-// The --json profile mode. Deliberately trains a fresh tiny device model
-// (no DLib cache) so the ptm.* per-epoch metrics are always present in the
-// snapshot, then profiles a DeepQueueNet run and the DES oracle on the same
-// scenario through the same sink. Only the JSON document goes to stdout.
-int run_profiled() {
+struct profile_options {
+  bool json = false;
+  std::string chrome_trace;    // output path; empty = off
+  std::size_t journeys = 0;    // print the first N traced journeys
+  [[nodiscard]] bool any() const {
+    return json || !chrome_trace.empty() || journeys > 0;
+  }
+};
+
+// The profile mode (--json / --chrome-trace / --journeys). Deliberately
+// trains a fresh tiny device model (no DLib cache) so the ptm.* per-epoch
+// metrics are always present in the snapshot, then profiles a DeepQueueNet
+// run and the DES oracle on the same scenario through the same sink. Only
+// the requested documents go to stdout.
+int run_profiled(const profile_options& options) {
   obs::sink sink;
+  if (options.journeys > 0) sink.journeys().configure(/*sample_rate=*/1.0);
 
   core::dutil_config dutil_cfg;
   dutil_cfg.ports = 4;
@@ -66,11 +85,50 @@ int run_profiled() {
   des::network oracle{topo, routes, oracle_cfg};
   (void)oracle.run(request);
 
-  const std::string doc = sink.to_json();
-  std::printf("%s\n", doc.c_str());
-  if (!obs::json_is_valid(doc)) {
-    std::fprintf(stderr, "[profile] snapshot failed JSON validation\n");
-    return 1;
+  if (options.json) {
+    const std::string doc = sink.to_json();
+    std::printf("%s\n", doc.c_str());
+    if (!obs::json_is_valid(doc)) {
+      std::fprintf(stderr, "[profile] snapshot failed JSON validation\n");
+      return 1;
+    }
+  }
+  if (!options.chrome_trace.empty()) {
+    const std::string trace = sink.to_chrome_trace();
+    if (!obs::json_is_valid(trace)) {
+      std::fprintf(stderr, "[profile] chrome trace failed JSON validation\n");
+      return 1;
+    }
+    std::ofstream out{options.chrome_trace};
+    if (!out) {
+      std::fprintf(stderr, "[profile] cannot open %s for writing\n",
+                   options.chrome_trace.c_str());
+      return 1;
+    }
+    out << trace;
+    std::fprintf(stderr,
+                 "[profile] wrote %zu spans to %s (open in chrome://tracing "
+                 "or ui.perfetto.dev)\n",
+                 sink.trace().size(), options.chrome_trace.c_str());
+  }
+  if (options.journeys > 0) {
+    const auto journeys = sink.journeys().journeys();
+    std::printf("journeys traced: %zu (showing up to %zu)\n", journeys.size(),
+                options.journeys);
+    std::size_t shown = 0;
+    for (const auto& journey : journeys) {
+      if (shown++ >= options.journeys) break;
+      std::printf("  pid %llu flow %llu send %.6fs deliver %.6fs\n",
+                  static_cast<unsigned long long>(journey.pid),
+                  static_cast<unsigned long long>(journey.flow),
+                  journey.send_time, journey.delivery_time);
+      for (const auto& hop : journey.hops)
+        std::printf("    device %lld q%llu arrive %.6fs raw +%.2gs "
+                    "corrected +%.2gs depart %.6fs\n",
+                    static_cast<long long>(hop.device),
+                    static_cast<unsigned long long>(hop.queue), hop.arrival,
+                    hop.raw_delay, hop.corrected_delay, hop.departure);
+    }
   }
   std::fprintf(stderr, "[profile] %zu trace events captured\n",
                sink.trace().size());
@@ -80,7 +138,24 @@ int run_profiled() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 1 && std::string_view{argv[1]} == "--json") return run_profiled();
+  profile_options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg{argv[i]};
+    if (arg == "--json") {
+      options.json = true;
+    } else if (arg == "--chrome-trace" && i + 1 < argc) {
+      options.chrome_trace = argv[++i];
+    } else if (arg == "--journeys" && i + 1 < argc) {
+      options.journeys = static_cast<std::size_t>(std::strtoull(
+          argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: quickstart [--json] [--chrome-trace <path>] "
+                   "[--journeys N]\n");
+      return 2;
+    }
+  }
+  if (options.any()) return run_profiled(options);
 
   std::printf("=== DeepQueueNet quickstart ===\n\n");
 

@@ -8,7 +8,10 @@
 #
 # --json [dir]: additionally profile every bench through the observability
 # sink (obs::sink) and write one registry snapshot per binary as
-# <dir>/<bench>.json (default dir: bench_json). Tables still print as usual.
+# <dir>/<bench>.json (default dir: bench_json). Tables still print as usual,
+# and one summary line per run — bench name, wall seconds, key counters,
+# git SHA — is appended to BENCH_results.json at the repo root (JSON lines),
+# building the perf trajectory across commits.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -19,13 +22,53 @@ if [ "${1:-}" = "--json" ]; then
   echo "profiling enabled: JSON snapshots under $json_dir/"
 fi
 
+# Append one JSON-lines summary of a profiled run to BENCH_results.json.
+# Needs python3 for snapshot parsing; degrades to a warning without it.
+append_summary() {
+  bench_name="$1"; snapshot="$2"; wall="$3"
+  if ! command -v python3 >/dev/null 2>&1; then
+    echo "[bench-json] python3 not found; skipping BENCH_results.json entry"
+    return 0
+  fi
+  python3 - "$bench_name" "$snapshot" "$wall" >> BENCH_results.json <<'PY' \
+    || echo "[bench-json] failed to summarize $snapshot"
+import json
+import subprocess
+import sys
+
+bench, path, wall = sys.argv[1], sys.argv[2], float(sys.argv[3])
+try:
+    with open(path) as f:
+        snap = json.load(f)
+except Exception:
+    snap = {}
+sha = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                     capture_output=True, text=True).stdout.strip()
+counters = snap.get("counters", {})
+keys = ["engine.iterations", "engine.device_inferences", "engine.deliveries",
+        "des.events", "des.deliveries", "ptm.epochs", "ptm.batches",
+        "sec.corrections", "trace.dropped"]
+print(json.dumps({
+    "bench": bench,
+    "wall_seconds": wall,
+    "git_sha": sha,
+    "counters": {k: counters[k] for k in keys if k in counters},
+}, sort_keys=True))
+PY
+}
+
 echo "DQN_BENCH_SCALE=${DQN_BENCH_SCALE:-1.0} DQN_PTM_ARCH=${DQN_PTM_ARCH:-mlp}"
 for b in build/bench/*; do
   [ -x "$b" ] && [ -f "$b" ] || continue
   echo
   echo "##### $b"
   if [ -n "$json_dir" ]; then
-    DQN_BENCH_JSON="$json_dir/$(basename "$b").json" "$b"
+    snapshot="$json_dir/$(basename "$b").json"
+    start=$(date +%s.%N)
+    DQN_BENCH_JSON="$snapshot" "$b"
+    end=$(date +%s.%N)
+    append_summary "$(basename "$b")" "$snapshot" \
+      "$(awk -v a="$start" -v b="$end" 'BEGIN { printf "%.3f", b - a }')"
   else
     "$b"
   fi

@@ -5,6 +5,9 @@
 #include <vector>
 #include <stdexcept>
 
+#include "obs/journey.hpp"
+#include "obs/sink.hpp"
+
 namespace dqn::core {
 
 device_model::device_model(std::shared_ptr<const ptm_model> ptm, scheduler_context ctx)
@@ -17,11 +20,27 @@ std::vector<traffic::packet_stream> device_model::process(
     const std::vector<traffic::packet_stream>& ingress, const forward_fn& forward,
     bool apply_sec, std::vector<predicted_hop>* hops,
     std::vector<traffic::packet>* dropped,
-    std::span<const double> port_bandwidths) const {
+    std::span<const double> port_bandwidths, const journey_capture* journeys,
+    obs::sink* sink) const {
   const std::size_t ports = ingress.size();
   // PFM: exact forwarding into per-egress-queue arrival series.
   std::vector<traffic::packet_stream> queues =
       apply_forwarding(ingress, forward, ports);
+
+  obs::journey_tracer* const tracer =
+      (journeys != nullptr && journeys->tracer != nullptr &&
+       journeys->tracer->enabled())
+          ? journeys->tracer
+          : nullptr;
+  obs::counter_handle pfm_forwarded;
+  obs::counter_handle device_drops;
+  if (sink != nullptr) {
+    pfm_forwarded = sink->counter_handle_for("pfm.forwarded");
+    device_drops = sink->counter_handle_for("pfm.drops");
+    std::size_t total = 0;
+    for (const auto& queue : queues) total += queue.size();
+    pfm_forwarded.add(static_cast<double>(total));
+  }
 
   std::vector<traffic::packet_stream> egress(ports);
   for (std::size_t out = 0; out < ports; ++out) {
@@ -64,6 +83,7 @@ std::vector<traffic::packet_stream> device_model::process(
         if (waiting_bytes + ev.pkt.size_bytes >
             static_cast<double>(ctx_.buffer_bytes)) {
           if (dropped != nullptr) dropped->push_back(ev.pkt);
+          device_drops.add();
           continue;
         }
         const double service =
@@ -82,7 +102,9 @@ std::vector<traffic::packet_stream> device_model::process(
     port_ctx.bandwidth_bps = line_bps;
     const auto rows = compute_features(queue, port_ctx);
     const auto windows = make_windows(rows, ptm_->config().time_steps);
-    auto sojourns = ptm_->predict(windows, apply_sec);
+    std::vector<double> raw_sojourns;
+    auto sojourns = ptm_->predict(windows, apply_sec,
+                                  tracer != nullptr ? &raw_sojourns : nullptr);
 
     // Scheduler-theoretic bound (prior knowledge, like the PFM): under
     // non-preemptive strict priority, the highest class waits exactly its
@@ -136,6 +158,16 @@ std::vector<traffic::packet_stream> device_model::process(
       out_stream.push_back({queue[i].pkt, departures[i]});
       if (hops != nullptr)
         hops->push_back({queue[i].pkt.pid, out, queue[i].time, departures[i]});
+      if (tracer != nullptr && tracer->sampled(queue[i].pkt.pid)) {
+        obs::journey_hop hop;
+        hop.device = journeys->device;
+        hop.queue = out;
+        hop.arrival = queue[i].time;
+        hop.raw_delay = raw_sojourns[i];
+        hop.corrected_delay = departures[i] - queue[i].time;
+        hop.departure = departures[i];
+        tracer->record_hop(queue[i].pkt.pid, hop);
+      }
     }
     // Re-sequencing: egress streams are time series again (§3.2.4).
     std::sort(out_stream.begin(), out_stream.end());

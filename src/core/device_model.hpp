@@ -13,6 +13,11 @@
 #include "core/ptm.hpp"
 #include "traffic/packet.hpp"
 
+namespace dqn::obs {
+class journey_tracer;
+class sink;
+}  // namespace dqn::obs
+
 namespace dqn::core {
 
 // One packet's predicted passage through a device (the DQN analogue of a
@@ -22,6 +27,15 @@ struct predicted_hop {
   std::size_t out_port = 0;
   double arrival = 0;    // at the egress queue
   double departure = 0;  // arrival + predicted sojourn
+};
+
+// Optional per-packet journey capture for process(): when `tracer` is
+// non-null, every sampled packet's hop through this device is recorded
+// (upserted, so IRSA re-runs overwrite with the converged value) with its
+// PFM queue choice, pre-SEC PTM sojourn, and final corrected delay.
+struct journey_capture {
+  obs::journey_tracer* tracer = nullptr;
+  std::int64_t device = -1;  // topology node id recorded with each hop
 };
 
 class device_model {
@@ -37,12 +51,16 @@ class device_model {
   // `port_bandwidths`, when it has one entry per port, overrides the
   // context's uniform line rate for each egress port (heterogeneous links);
   // it feeds the unfinished-work feature, the drop replay, and the
-  // feasibility projection.
+  // feasibility projection. `journeys` opts sampled packets into per-hop
+  // journey tracing (see journey_capture); `sink` records PFM/drop counters
+  // through lock-free handles — both default to off and cost one branch.
   [[nodiscard]] std::vector<traffic::packet_stream> process(
       const std::vector<traffic::packet_stream>& ingress, const forward_fn& forward,
       bool apply_sec = true, std::vector<predicted_hop>* hops = nullptr,
       std::vector<traffic::packet>* dropped = nullptr,
-      std::span<const double> port_bandwidths = {}) const;
+      std::span<const double> port_bandwidths = {},
+      const journey_capture* journeys = nullptr,
+      obs::sink* sink = nullptr) const;
 
   [[nodiscard]] const scheduler_context& context() const noexcept { return ctx_; }
 

@@ -5,8 +5,10 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/journey.hpp"
 #include "obs/scoped_timer.hpp"
 #include "obs/sink.hpp"
+#include "obs/span.hpp"
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
@@ -98,6 +100,15 @@ des::run_result dqn_network::run(
   ran_ = true;
   obs::sink* const sink = config_.sink;
   obs::scoped_timer run_timer{sink, "engine", "run"};
+  // Hot-path metrics go through pre-resolved handles (lock-free to record);
+  // journey tracing is active only when the sink's tracer was configured.
+  obs::histogram_handle device_seconds_handle;
+  obs::journey_tracer* tracer = nullptr;
+  if (sink != nullptr) {
+    device_seconds_handle =
+        sink->histogram_handle_for("engine.device_infer_seconds");
+    if (sink->journeys().enabled()) tracer = &sink->journeys();
+  }
 
   // SInit: place the injected streams as the hosts' (fixed) egress streams,
   // translating host indices to node ids.
@@ -119,6 +130,8 @@ des::run_result dqn_network::run(
                  ")");
       pkt.dst_host = hosts[static_cast<std::size_t>(pkt.dst_host)];
       send_times.emplace(pkt.pid, ev.time);
+      if (tracer != nullptr && tracer->sampled(pkt.pid))
+        tracer->record_send(pkt.pid, pkt.flow_id, ev.time);
       out.push_back({pkt, ev.time});
     }
     if (config_.model_host_nics && !out.empty()) {
@@ -129,7 +142,7 @@ des::run_result dqn_network::run(
       const double bandwidths[1] = {nic_bps};
       auto egress_streams = host_nic_.process(
           {out}, [](std::uint32_t, std::size_t) { return std::size_t{0}; },
-          config_.apply_sec, nullptr, nullptr, bandwidths);
+          config_.apply_sec, nullptr, nullptr, bandwidths, nullptr, sink);
       out = std::move(egress_streams[0]);
     }
   }
@@ -165,11 +178,20 @@ des::run_result dqn_network::run(
 
     std::vector<double> partition_busy(ranges.size(), 0.0);
     std::vector<std::size_t> partition_inferences(ranges.size(), 0);
+    // Worker spans cannot see the main thread's span stack, so the
+    // iteration span's id is passed in as the explicit parent.
+    const std::uint64_t iteration_span = iteration_timer.id();
     pool.parallel_for(ranges.size(), [&](std::size_t r) {
       const double cpu_start = util::thread_cpu_seconds();
       for (const std::size_t d : ranges[r]) {
         const topo::node_id node = devices[d];
         const auto n = static_cast<std::size_t>(node);
+        obs::scoped_span device_span{sink,
+                                     "engine",
+                                     "device",
+                                     static_cast<std::uint64_t>(node),
+                                     0.0,
+                                     iteration_span};
         const std::size_t ports = topo_->port_count(node);
         std::vector<traffic::packet_stream> ingress(ports);
         std::vector<double> port_bandwidths(ports);
@@ -208,8 +230,12 @@ des::run_result dqn_network::run(
             it != device_overrides_.end())
           model = &it->second;
         device_drops[n].clear();
+        const journey_capture capture{tracer, static_cast<std::int64_t>(node)};
         next[n] = model->process(ingress, forward_by_flow, config_.apply_sec, hops,
-                                 &device_drops[n], port_bandwidths);
+                                 &device_drops[n], port_bandwidths,
+                                 tracer != nullptr ? &capture : nullptr, sink);
+        device_span.set_value(1.0);  // 1 = inferred (skips end with value 0)
+        device_seconds_handle.observe(device_span.stop());
         ++inferences[r];
         ++partition_inferences[r];
         bool did_change = false;
@@ -270,6 +296,8 @@ des::run_result dqn_network::run(
       d.dst = ev.pkt.dst_host;
       d.send_time = send_times.at(ev.pkt.pid);
       d.delivery_time = ev.time;
+      if (tracer != nullptr && tracer->sampled(ev.pkt.pid))
+        tracer->record_delivery(ev.pkt.pid, ev.time);
       result.deliveries.push_back(d);
     }
   }

@@ -153,6 +153,14 @@ training_report ptm_model::train(
   util::rng shuffle_rng{util::derive_seed(config_.seed, 0x5ec5)};
 
   training_report report;
+  // Per-batch telemetry through pre-resolved handles: the batch loop is the
+  // training hot path, so it must not take the registry's name lock.
+  obs::counter_handle batches_handle;
+  obs::histogram_handle batch_mse_handle;
+  if (config_.sink != nullptr) {
+    batches_handle = config_.sink->counter_handle_for("ptm.batches");
+    batch_mse_handle = config_.sink->histogram_handle_for("ptm.batch_mse");
+  }
   const std::size_t batch_size = std::min(config_.batch_size, n);
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
     obs::scoped_timer epoch_timer{config_.sink, "ptm", "epoch", epoch};
@@ -199,6 +207,8 @@ training_report ptm_model::train(
       optimizer.step();
       epoch_loss += loss;
       ++batches;
+      batches_handle.add();
+      batch_mse_handle.observe(loss);
     }
     const double mse = batches > 0 ? epoch_loss / static_cast<double>(batches) : 0.0;
     report.epoch_mse.push_back(mse);
@@ -208,7 +218,6 @@ training_report ptm_model::train(
       config_.sink->observe("ptm.grad_norm", grad_norm);
       config_.sink->gauge("ptm.last_mse", mse);
       config_.sink->count("ptm.epochs");
-      config_.sink->count("ptm.batches", static_cast<double>(batches));
     }
     if (on_epoch) on_epoch(epoch, mse);
   }
@@ -218,7 +227,8 @@ training_report ptm_model::train(
 }
 
 std::vector<double> ptm_model::predict(std::span<const double> windows,
-                                       bool apply_sec) const {
+                                       bool apply_sec,
+                                       std::vector<double>* raw_out) const {
   if (!trained_) throw std::logic_error{"ptm_model::predict: model not trained"};
   const nn::seq_batch batch = scale_windows(windows);
   const std::size_t n = batch.batch();
@@ -232,6 +242,18 @@ std::vector<double> ptm_model::predict(std::span<const double> windows,
     const nn::matrix pred = mlp_net_.forward_const(flat);
     for (std::size_t i = 0; i < n; ++i) out[i] = pred(i, 0);
   }
+  if (raw_out != nullptr) {
+    raw_out->clear();
+    raw_out->resize(n);
+  }
+  // SEC telemetry goes through pre-resolved handles (one name lookup per
+  // predict call, lock-free per packet); null handles when no sink is set.
+  obs::counter_handle sec_corrections;
+  obs::histogram_handle sec_relative;
+  if (config_.sink != nullptr && apply_sec) {
+    sec_corrections = config_.sink->counter_handle_for("sec.corrections");
+    sec_relative = config_.sink->histogram_handle_for("sec.relative_correction");
+  }
   for (std::size_t i = 0; i < out.size(); ++i) {
     // Clamp to (slightly beyond) the training range: scaled outputs past it
     // are extrapolation noise that the inverse transform would amplify.
@@ -239,9 +261,17 @@ std::vector<double> ptm_model::predict(std::span<const double> windows,
     y = residual_from_net(
         target_scaler_.inverse(y),
         window_prior_bound(windows, i, config_.time_steps));
+    if (raw_out != nullptr) (*raw_out)[i] = std::max(0.0, y);
     if (apply_sec) {
       const auto& table = sec_[window_scheduler(windows, i, config_.time_steps)];
-      if (table.fitted()) y = table.correct(y);
+      if (table.fitted()) {
+        const double rel = table.relative_correction(y);
+        if (rel != 0.0) {
+          sec_corrections.add();
+          sec_relative.observe(std::abs(rel));
+          y = std::max(0.0, y * (1.0 - rel));
+        }
+      }
     }
     out[i] = std::max(0.0, y);  // sojourn times cannot be negative
   }

@@ -86,8 +86,13 @@ class ptm_model {
 
   // Predict sojourn seconds for raw windows; thread-safe (const). SEC is
   // applied when fitted unless `apply_sec` is false (the §6.1 ablation).
-  [[nodiscard]] std::vector<double> predict(std::span<const double> windows,
-                                            bool apply_sec = true) const;
+  // `raw_out`, if non-null, receives the pre-SEC sojourns (same length as
+  // the return value) — the journey tracer reports both so per-packet hops
+  // show what SEC changed. When config().sink is set, predict records
+  // "sec.corrections" / "sec.relative_correction" through lock-free handles.
+  [[nodiscard]] std::vector<double> predict(
+      std::span<const double> windows, bool apply_sec = true,
+      std::vector<double>* raw_out = nullptr) const;
 
   [[nodiscard]] const ptm_config& config() const noexcept { return config_; }
   [[nodiscard]] bool trained() const noexcept { return trained_; }

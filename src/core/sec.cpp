@@ -124,8 +124,8 @@ void sec_table::fit(std::span<const double> predictions,
 // would inject validation-set noise into every prediction.
 constexpr double significance_threshold = 0.05;
 
-double sec_table::correct(double prediction) const noexcept {
-  if (bins_.empty() || prediction <= 0) return prediction;
+double sec_table::relative_correction(double prediction) const noexcept {
+  if (bins_.empty() || prediction <= 0) return 0.0;
   const bin* best = nullptr;
   double best_distance = std::numeric_limits<double>::infinity();
   auto it = std::lower_bound(bins_.begin(), bins_.end(), prediction,
@@ -144,8 +144,14 @@ double sec_table::correct(double prediction) const noexcept {
   }
   DQN_INVARIANT(best != nullptr,
                 "sec_table::correct: no bin selected despite non-empty table");
-  if (std::abs(best->relative_error) < significance_threshold) return prediction;
-  return std::max(0.0, prediction * (1.0 - best->relative_error));
+  if (std::abs(best->relative_error) < significance_threshold) return 0.0;
+  return best->relative_error;
+}
+
+double sec_table::correct(double prediction) const noexcept {
+  const double rel = relative_correction(prediction);
+  if (rel == 0.0) return prediction;
+  return std::max(0.0, prediction * (1.0 - rel));
 }
 
 void sec_table::save(std::ostream& out) const {

@@ -39,6 +39,12 @@ class sec_table {
   // outside every bin use the nearest bin. Uncorrected if no bins were fit.
   [[nodiscard]] double correct(double prediction) const noexcept;
 
+  // The relative error this table would subtract from `prediction`: 0 when
+  // no bins were fit or the matched bin's error is below the significance
+  // threshold; correct(p) == max(0, p * (1 - relative_correction(p))).
+  // Exposed so instrumentation can report how often and how hard SEC fires.
+  [[nodiscard]] double relative_correction(double prediction) const noexcept;
+
   [[nodiscard]] bool fitted() const noexcept { return !bins_.empty(); }
   [[nodiscard]] const std::vector<bin>& bins() const noexcept { return bins_; }
 

@@ -162,8 +162,15 @@ run_result network::run(const std::vector<traffic::packet_stream>& host_streams,
 
   // Drain: generous allowance for queued packets to leave the network.
   {
+    // Live event counting through a handle (lock-free per event) instead of
+    // a one-shot count at the end; the handle is re-installed per run so a
+    // run_request's sink override takes effect.
+    sim_.set_event_counter(config_.sink != nullptr
+                               ? config_.sink->counter_handle_for("des.events")
+                               : obs::counter_handle{});
     obs::scoped_timer timer{config_.sink, "des", "run"};
     sim_.run(horizon * 1.5 + 1.0);
+    sim_.set_event_counter({});
   }
   result_.events = sim_.events_processed();
   std::sort(result_.deliveries.begin(), result_.deliveries.end(),
@@ -175,7 +182,6 @@ run_result network::run(const std::vector<traffic::packet_stream>& host_streams,
   result_.wall_seconds = watch.elapsed_seconds();
   if (config_.sink != nullptr) {
     obs::sink& sink = *config_.sink;
-    sink.count("des.events", static_cast<double>(result_.events));
     sink.count("des.drops", static_cast<double>(result_.drops));
     sink.count("des.deliveries", static_cast<double>(result_.deliveries.size()));
     sink.count("des.hops", static_cast<double>(result_.hops.size()));

@@ -21,6 +21,7 @@ void simulator::run(double until) {
     queue_.pop();
     now_ = e.time;
     ++processed_;
+    event_counter_.add();
     e.action();
   }
   now_ = until;

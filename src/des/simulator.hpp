@@ -9,6 +9,8 @@
 #include <queue>
 #include <vector>
 
+#include "obs/handles.hpp"
+
 namespace dqn::des {
 
 class simulator {
@@ -37,6 +39,13 @@ class simulator {
     return max_depth_;
   }
 
+  // Live per-event counting through a pre-resolved obs handle: the event
+  // loop increments it lock-free as it processes; a default (null) handle
+  // costs one branch per event. des::network installs "des.events" here.
+  void set_event_counter(obs::counter_handle handle) noexcept {
+    event_counter_ = handle;
+  }
+
  private:
   struct event {
     double time;
@@ -54,6 +63,7 @@ class simulator {
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
   std::size_t max_depth_ = 0;
+  obs::counter_handle event_counter_;
   std::priority_queue<event, std::vector<event>, later> queue_;
 };
 

@@ -1,0 +1,31 @@
+#include "obs/chrome_trace.hpp"
+
+#include "obs/json.hpp"
+
+namespace dqn::obs {
+
+std::string to_chrome_trace(const std::vector<trace_event>& events) {
+  std::string out = R"({"displayTimeUnit":"ms","traceEvents":[)";
+  bool first = true;
+  for (const auto& ev : events) {
+    if (!first) out += ',';
+    first = false;
+    out += R"({"name":")" + json_escape(ev.name) + '"';
+    out += R"(,"cat":")" + json_escape(ev.stage) + '"';
+    out += R"(,"ph":"X")";
+    out += ",\"ts\":" + json_number(ev.start * 1e6);
+    out += ",\"dur\":" + json_number(ev.duration * 1e6);
+    out += ",\"pid\":1";
+    out += ",\"tid\":" + json_number(static_cast<double>(ev.thread));
+    out += ",\"args\":{";
+    out += "\"index\":" + json_number(static_cast<double>(ev.index));
+    out += ",\"value\":" + json_number(ev.value);
+    out += ",\"span_id\":" + json_number(static_cast<double>(ev.span_id));
+    out += ",\"parent_id\":" + json_number(static_cast<double>(ev.parent_id));
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace dqn::obs

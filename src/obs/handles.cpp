@@ -1,0 +1,28 @@
+#include "obs/handles.hpp"
+
+#include <atomic>
+
+#include "obs/metric_registry.hpp"
+
+namespace dqn::obs {
+
+std::uint32_t thread_ordinal() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+void counter_handle::record(double delta) noexcept {
+  registry_->counter_add(id_, delta);
+}
+
+void gauge_handle::record(double value) noexcept {
+  registry_->gauge_set(id_, value);
+}
+
+void histogram_handle::record(double value) noexcept {
+  registry_->histogram_observe(id_, value);
+}
+
+}  // namespace dqn::obs

@@ -1,0 +1,96 @@
+// Pre-registered metric handles: the lock-free hot path of the obs layer.
+//
+// A handle is resolved once (name -> dense id, under the registry's meta
+// mutex) and then records without any lock: each recording thread owns a
+// private shard of relaxed-atomic cells, and the registry aggregates the
+// shards only when a snapshot is taken. This is what lets the engine's
+// partition workers, the DES event loop, and the PTM batch loop keep
+// always-on instrumentation at nanosecond cost.
+//
+//   obs::counter_handle events = sink.counter_handle_for("des.events");
+//   ...                      // hot loop:
+//   events.add();            // relaxed atomic into this thread's shard
+//
+// A default-constructed handle is null: every record call is a single
+// branch, mirroring the repo's null-`obs::sink*` convention. Handles are
+// plain (pointer, id) values — copy them freely — but they must not outlive
+// the registry (or sink) that created them.
+#pragma once
+
+#include <cstdint>
+
+namespace dqn::obs {
+
+class metric_registry;
+
+// Small dense ordinal of the calling thread (first call assigns the next
+// free one). Shard selection and chrome-trace `tid` attribution both use it.
+[[nodiscard]] std::uint32_t thread_ordinal() noexcept;
+
+class counter_handle {
+ public:
+  counter_handle() = default;
+
+  void add(double delta = 1.0) noexcept {
+    if (registry_ != nullptr) record(delta);
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return registry_ != nullptr;
+  }
+
+ private:
+  friend class metric_registry;
+  counter_handle(metric_registry* registry, std::uint32_t id) noexcept
+      : registry_{registry}, id_{id} {}
+  void record(double delta) noexcept;
+
+  metric_registry* registry_ = nullptr;
+  std::uint32_t id_ = 0;
+};
+
+class gauge_handle {
+ public:
+  gauge_handle() = default;
+
+  void set(double value) noexcept {
+    if (registry_ != nullptr) record(value);
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return registry_ != nullptr;
+  }
+
+ private:
+  friend class metric_registry;
+  gauge_handle(metric_registry* registry, std::uint32_t id) noexcept
+      : registry_{registry}, id_{id} {}
+  void record(double value) noexcept;
+
+  metric_registry* registry_ = nullptr;
+  std::uint32_t id_ = 0;
+};
+
+class histogram_handle {
+ public:
+  histogram_handle() = default;
+
+  void observe(double value) noexcept {
+    if (registry_ != nullptr) record(value);
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return registry_ != nullptr;
+  }
+
+ private:
+  friend class metric_registry;
+  histogram_handle(metric_registry* registry, std::uint32_t id) noexcept
+      : registry_{registry}, id_{id} {}
+  void record(double value) noexcept;
+
+  metric_registry* registry_ = nullptr;
+  std::uint32_t id_ = 0;
+};
+
+}  // namespace dqn::obs

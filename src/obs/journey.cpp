@@ -1,0 +1,94 @@
+#include "obs/journey.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dqn::obs {
+namespace {
+
+// splitmix64 finalizer — cheap, well-mixed, and stable across platforms.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void journey_tracer::configure(double sample_rate, std::uint64_t seed) {
+  seed_ = seed;
+  if (!(sample_rate > 0.0)) {
+    threshold_ = 0;
+  } else if (sample_rate >= 1.0) {
+    threshold_ = std::numeric_limits<std::uint64_t>::max();
+  } else {
+    threshold_ = static_cast<std::uint64_t>(
+        std::ldexp(sample_rate, 64));
+  }
+}
+
+bool journey_tracer::sampled(std::uint64_t pid) const noexcept {
+  if (threshold_ == 0) return false;
+  if (threshold_ == std::numeric_limits<std::uint64_t>::max()) return true;
+  return mix(pid ^ seed_) < threshold_;
+}
+
+void journey_tracer::record_send(std::uint64_t pid, std::uint64_t flow,
+                                 double time) {
+  const std::lock_guard lock{mutex_};
+  auto& journey = journeys_[pid];
+  journey.pid = pid;
+  journey.flow = flow;
+  journey.send_time = time;
+}
+
+void journey_tracer::record_hop(std::uint64_t pid, const journey_hop& hop) {
+  const std::lock_guard lock{mutex_};
+  auto& journey = journeys_[pid];
+  journey.pid = pid;
+  for (auto& existing : journey.hops) {
+    if (existing.device == hop.device) {
+      existing = hop;  // IRSA re-run of the same device: converged value wins
+      return;
+    }
+  }
+  journey.hops.push_back(hop);
+}
+
+void journey_tracer::record_delivery(std::uint64_t pid, double time) {
+  const std::lock_guard lock{mutex_};
+  auto& journey = journeys_[pid];
+  journey.pid = pid;
+  journey.delivery_time = time;
+}
+
+std::vector<packet_journey> journey_tracer::journeys() const {
+  const std::lock_guard lock{mutex_};
+  std::vector<packet_journey> out;
+  out.reserve(journeys_.size());
+  for (const auto& [pid, journey] : journeys_) out.push_back(journey);
+  std::sort(out.begin(), out.end(),
+            [](const packet_journey& a, const packet_journey& b) {
+              return a.pid < b.pid;
+            });
+  for (auto& journey : out)
+    std::sort(journey.hops.begin(), journey.hops.end(),
+              [](const journey_hop& a, const journey_hop& b) {
+                return a.arrival < b.arrival;
+              });
+  return out;
+}
+
+std::size_t journey_tracer::size() const {
+  const std::lock_guard lock{mutex_};
+  return journeys_.size();
+}
+
+void journey_tracer::clear() {
+  const std::lock_guard lock{mutex_};
+  journeys_.clear();
+}
+
+}  // namespace dqn::obs

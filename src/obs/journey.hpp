@@ -1,0 +1,72 @@
+// Sampled per-packet journey tracing — the "packet-level visibility" the
+// paper promises, surfaced through obs. A journey_tracer follows a sampled
+// subset of packets end to end: injection by traffic generation, each
+// device hop (egress queue chosen by the PFM, raw PTM-predicted sojourn,
+// SEC-corrected sojourn), and final delivery.
+//
+// Sampling is deterministic: a packet is traced iff a seeded integer hash
+// of its pid falls under the configured rate, so two runs over the same
+// workload trace the same packets and rate 1.0 traces every packet.
+// Recording is mutex-protected (journeys are rare at realistic rates);
+// enabled()/sampled() are lock-free so the fast path for unsampled packets
+// is a hash and a compare. record_hop() upserts by device id: IRSA
+// re-processes devices across iterations, and the last write — the
+// converged prediction — wins.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace dqn::obs {
+
+struct journey_hop {
+  std::int64_t device = -1;    // topology node id
+  std::uint64_t queue = 0;     // egress queue (output port) chosen by the PFM
+  double arrival = 0;          // arrival at the egress queue (sim seconds)
+  double raw_delay = 0;        // PTM sojourn before SEC correction
+  double corrected_delay = 0;  // final sojourn (SEC + feasibility projection)
+  double departure = 0;        // arrival + corrected_delay
+};
+
+struct packet_journey {
+  std::uint64_t pid = 0;
+  std::uint64_t flow = 0;
+  double send_time = -1.0;      // < 0 until traffic generation records it
+  double delivery_time = -1.0;  // < 0 until the packet is delivered
+  std::vector<journey_hop> hops;  // sorted by arrival time on export
+};
+
+class journey_tracer {
+ public:
+  static constexpr std::uint64_t default_seed = 0x9e3779b97f4a7c15ull;
+
+  journey_tracer() = default;
+
+  // rate in [0, 1] (clamped). Call before recording starts — configure() is
+  // not synchronized against concurrent sampled() calls.
+  void configure(double sample_rate, std::uint64_t seed = default_seed);
+
+  [[nodiscard]] bool enabled() const noexcept { return threshold_ != 0; }
+  [[nodiscard]] bool sampled(std::uint64_t pid) const noexcept;
+
+  void record_send(std::uint64_t pid, std::uint64_t flow, double time);
+  void record_hop(std::uint64_t pid, const journey_hop& hop);
+  void record_delivery(std::uint64_t pid, double time);
+
+  // All traced journeys, sorted by pid, each hop list sorted by arrival.
+  [[nodiscard]] std::vector<packet_journey> journeys() const;
+  [[nodiscard]] std::size_t size() const;
+
+  void clear();
+
+ private:
+  // Sampled iff hash(pid) < threshold_; UINT64_MAX means "all".
+  std::uint64_t threshold_ = 0;
+  std::uint64_t seed_ = default_seed;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, packet_journey> journeys_;
+};
+
+}  // namespace dqn::obs

@@ -1,18 +1,32 @@
 #include "obs/metric_registry.hpp"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <cmath>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.hpp"
 
 namespace dqn::obs {
 
+// ---------------------------------------------------------------- moments
+
 double histogram_stats::stddev() const noexcept {
   if (count < 2) return 0.0;
-  const double n = static_cast<double>(count);
-  const double var = std::max(0.0, sum_sq / n - (sum / n) * (sum / n));
-  return std::sqrt(var);
+  return std::sqrt(std::max(0.0, m2) / static_cast<double>(count));
+}
+
+double histogram_stats::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  return std::clamp(buckets.quantile(q), min, max);
 }
 
 void histogram_stats::observe(double value) noexcept {
+  buckets.observe(value);
   if (count == 0) {
     min = value;
     max = value;
@@ -22,7 +36,9 @@ void histogram_stats::observe(double value) noexcept {
   }
   ++count;
   sum += value;
-  sum_sq += value * value;
+  const double delta = value - running_mean;
+  running_mean += delta / static_cast<double>(count);
+  m2 += delta * (value - running_mean);
 }
 
 void histogram_stats::merge(const histogram_stats& other) noexcept {
@@ -31,54 +47,372 @@ void histogram_stats::merge(const histogram_stats& other) noexcept {
     *this = other;
     return;
   }
-  min = std::min(min, other.min);
-  max = std::max(max, other.max);
+  // Chan's parallel-variance combination — no large-mean cancellation.
+  const double na = static_cast<double>(count);
+  const double nb = static_cast<double>(other.count);
+  const double delta = other.running_mean - running_mean;
+  running_mean += delta * nb / (na + nb);
+  m2 += other.m2 + delta * delta * na * nb / (na + nb);
   count += other.count;
   sum += other.sum;
-  sum_sq += other.sum_sq;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  buckets.merge(other.buckets);
+}
+
+// ---------------------------------------------------------------- shards
+
+namespace {
+
+// Threads with ordinal < kShardSlots get an exclusive shard (single-writer
+// relaxed atomics); later threads share a mutex-serialized overflow shard,
+// so correctness never depends on the process's thread count.
+constexpr std::size_t kShardSlots = 128;
+
+// A fixed array of lazily allocated blocks: cells have stable addresses and
+// readers traverse concurrently with writers through atomic block pointers.
+// Ownership lives in the unique_ptr array; the atomics only publish.
+template <typename Cell, std::size_t BlockSize, std::size_t BlockCount>
+struct cell_table {
+  using block_type = std::array<Cell, BlockSize>;
+  static constexpr std::size_t capacity = BlockSize * BlockCount;
+
+  std::array<std::atomic<block_type*>, BlockCount> blocks{};
+  std::array<std::unique_ptr<block_type>, BlockCount> storage;
+  std::mutex install_mutex;
+
+  cell_table() = default;
+  cell_table(const cell_table&) = delete;
+  cell_table& operator=(const cell_table&) = delete;
+
+  // Cell for `id`, allocating its block on first touch. The hot path is one
+  // acquire load; only the first toucher of a block takes the install mutex.
+  Cell& at(std::size_t id) noexcept {
+    auto& slot = blocks[id / BlockSize];
+    block_type* block = slot.load(std::memory_order_acquire);
+    if (block == nullptr) {
+      const std::lock_guard lock{install_mutex};
+      block = slot.load(std::memory_order_relaxed);
+      if (block == nullptr) {
+        auto& owned = storage[id / BlockSize];
+        owned = std::make_unique<block_type>();
+        block = owned.get();
+        slot.store(block, std::memory_order_release);
+      }
+    }
+    return (*block)[id % BlockSize];
+  }
+
+  [[nodiscard]] const Cell* find(std::size_t id) const noexcept {
+    const block_type* block =
+        blocks[id / BlockSize].load(std::memory_order_acquire);
+    return block == nullptr ? nullptr : &(*block)[id % BlockSize];
+  }
+  [[nodiscard]] Cell* find(std::size_t id) noexcept {
+    block_type* block = blocks[id / BlockSize].load(std::memory_order_acquire);
+    return block == nullptr ? nullptr : &(*block)[id % BlockSize];
+  }
+};
+
+// One histogram's per-shard state: bucket counts plus Welford moments. Only
+// the owning thread writes (or the overflow mutex serializes writers), so
+// updates are relaxed load/store pairs; readers may see a snapshot that is
+// mid-update by one sample, which aggregation tolerates.
+struct hist_cell {
+  std::array<std::atomic<std::uint64_t>, quantile_histogram::bucket_count>
+      buckets{};
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<double> sum{0};
+  std::atomic<double> running_mean{0};
+  std::atomic<double> m2{0};
+  std::atomic<double> min_value{0};
+  std::atomic<double> max_value{0};
+
+  void observe_exclusive(double value) noexcept {
+    auto& bucket = buckets[quantile_histogram::bucket_of(value)];
+    bucket.store(bucket.load(std::memory_order_relaxed) + 1,
+                 std::memory_order_relaxed);
+    const std::uint64_t n = count.load(std::memory_order_relaxed) + 1;
+    sum.store(sum.load(std::memory_order_relaxed) + value,
+              std::memory_order_relaxed);
+    const double old_mean = running_mean.load(std::memory_order_relaxed);
+    const double delta = value - old_mean;
+    const double new_mean = old_mean + delta / static_cast<double>(n);
+    running_mean.store(new_mean, std::memory_order_relaxed);
+    m2.store(m2.load(std::memory_order_relaxed) + delta * (value - new_mean),
+             std::memory_order_relaxed);
+    if (n == 1) {
+      min_value.store(value, std::memory_order_relaxed);
+      max_value.store(value, std::memory_order_relaxed);
+    } else {
+      if (value < min_value.load(std::memory_order_relaxed))
+        min_value.store(value, std::memory_order_relaxed);
+      if (value > max_value.load(std::memory_order_relaxed))
+        max_value.store(value, std::memory_order_relaxed);
+    }
+    count.store(n, std::memory_order_relaxed);
+  }
+
+  void accumulate_into(histogram_stats& out) const noexcept {
+    histogram_stats part;
+    part.count = count.load(std::memory_order_relaxed);
+    if (part.count == 0) return;
+    part.sum = sum.load(std::memory_order_relaxed);
+    part.running_mean = running_mean.load(std::memory_order_relaxed);
+    part.m2 = m2.load(std::memory_order_relaxed);
+    part.min = min_value.load(std::memory_order_relaxed);
+    part.max = max_value.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < quantile_histogram::bucket_count; ++i) {
+      const std::uint64_t n = buckets[i].load(std::memory_order_relaxed);
+      if (n != 0) part.buckets.add(i, n);
+    }
+    out.merge(part);
+  }
+
+  void reset() noexcept {
+    for (auto& bucket : buckets) bucket.store(0, std::memory_order_relaxed);
+    count.store(0, std::memory_order_relaxed);
+    sum.store(0, std::memory_order_relaxed);
+    running_mean.store(0, std::memory_order_relaxed);
+    m2.store(0, std::memory_order_relaxed);
+    min_value.store(0, std::memory_order_relaxed);
+    max_value.store(0, std::memory_order_relaxed);
+  }
+};
+
+struct metric_shard {
+  cell_table<std::atomic<double>, 64, 64> counters;  // up to 4096 counters
+  cell_table<hist_cell, 8, 64> hists;                // up to 512 histograms
+};
+
+void counter_cell_add(std::atomic<double>& cell, double delta) noexcept {
+  cell.store(cell.load(std::memory_order_relaxed) + delta,
+             std::memory_order_relaxed);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------- impl
+
+struct metric_registry::impl {
+  mutable std::mutex meta_mutex;
+  std::unordered_map<std::string, std::uint32_t> counter_ids;
+  std::unordered_map<std::string, std::uint32_t> gauge_ids;
+  std::unordered_map<std::string, std::uint32_t> hist_ids;
+  std::vector<std::string> counter_names;
+  std::vector<std::string> gauge_names;
+  std::vector<std::string> hist_names;
+
+  // Gauges are last-write-wins, so they need no sharding: shared cells.
+  cell_table<std::atomic<double>, 64, 64> gauges;
+
+  std::array<std::atomic<metric_shard*>, kShardSlots> shards{};
+  // Each storage entry is written once, by the slot's owning thread; the
+  // atomic publishes the pointer to snapshot readers.
+  std::array<std::unique_ptr<metric_shard>, kShardSlots> shard_storage;
+  metric_shard overflow;
+  std::mutex overflow_mutex;
+
+  // This thread's exclusive shard, or nullptr when the thread ordinal is
+  // past the slot table (caller then serializes on the overflow shard).
+  metric_shard* exclusive_shard() noexcept {
+    const std::uint32_t ordinal = thread_ordinal();
+    if (ordinal >= kShardSlots) return nullptr;
+    auto& slot = shards[ordinal];
+    metric_shard* shard = slot.load(std::memory_order_relaxed);
+    if (shard == nullptr) {
+      auto& owned = shard_storage[ordinal];
+      owned = std::make_unique<metric_shard>();
+      shard = owned.get();
+      slot.store(shard, std::memory_order_release);
+    }
+    return shard;
+  }
+
+  static std::uint32_t resolve(std::unordered_map<std::string, std::uint32_t>& ids,
+                               std::vector<std::string>& names,
+                               std::string_view name, std::size_t capacity,
+                               const char* kind) {
+    std::string key{name};
+    if (const auto it = ids.find(key); it != ids.end()) return it->second;
+    DQN_ENSURE(names.size() < capacity, "metric_registry: too many ", kind,
+               " metrics (capacity ", capacity, ") registering '", key, "'");
+    const auto id = static_cast<std::uint32_t>(names.size());
+    names.push_back(key);
+    ids.emplace(std::move(key), id);
+    return id;
+  }
+
+  template <typename Fn>
+  void for_each_shard(Fn&& fn) const {
+    for (const auto& slot : shards) {
+      if (const metric_shard* shard = slot.load(std::memory_order_acquire))
+        fn(*shard);
+    }
+    fn(overflow);
+  }
+
+  [[nodiscard]] double sum_counter(std::uint32_t id) const {
+    double total = 0;
+    for_each_shard([&](const metric_shard& shard) {
+      if (const auto* cell = shard.counters.find(id))
+        total += cell->load(std::memory_order_relaxed);
+    });
+    return total;
+  }
+
+  [[nodiscard]] histogram_stats merge_histogram(std::uint32_t id) const {
+    histogram_stats out;
+    for_each_shard([&](const metric_shard& shard) {
+      if (const auto* cell = shard.hists.find(id)) cell->accumulate_into(out);
+    });
+    return out;
+  }
+};
+
+metric_registry::metric_registry() : impl_{std::make_unique<impl>()} {}
+metric_registry::~metric_registry() = default;
+
+counter_handle metric_registry::counter_handle_for(std::string_view name) {
+  const std::lock_guard lock{impl_->meta_mutex};
+  const auto id =
+      impl::resolve(impl_->counter_ids, impl_->counter_names, name,
+                    decltype(metric_shard::counters)::capacity, "counter");
+  return counter_handle{this, id};
+}
+
+gauge_handle metric_registry::gauge_handle_for(std::string_view name) {
+  const std::lock_guard lock{impl_->meta_mutex};
+  const auto id = impl::resolve(impl_->gauge_ids, impl_->gauge_names, name,
+                                decltype(impl::gauges)::capacity, "gauge");
+  return gauge_handle{this, id};
+}
+
+histogram_handle metric_registry::histogram_handle_for(std::string_view name) {
+  const std::lock_guard lock{impl_->meta_mutex};
+  const auto id =
+      impl::resolve(impl_->hist_ids, impl_->hist_names, name,
+                    decltype(metric_shard::hists)::capacity, "histogram");
+  return histogram_handle{this, id};
 }
 
 void metric_registry::add(std::string_view name, double delta) {
-  const std::lock_guard lock{mutex_};
-  data_.counters[std::string{name}] += delta;
+  counter_handle_for(name).add(delta);
 }
 
 void metric_registry::set(std::string_view name, double value) {
-  const std::lock_guard lock{mutex_};
-  data_.gauges[std::string{name}] = value;
+  gauge_handle_for(name).set(value);
 }
 
 void metric_registry::observe(std::string_view name, double value) {
-  const std::lock_guard lock{mutex_};
-  data_.histograms[std::string{name}].observe(value);
+  histogram_handle_for(name).observe(value);
+}
+
+void metric_registry::counter_add(std::uint32_t id, double delta) noexcept {
+  impl& im = *impl_;
+  if (metric_shard* shard = im.exclusive_shard()) {
+    counter_cell_add(shard->counters.at(id), delta);
+    return;
+  }
+  const std::lock_guard lock{im.overflow_mutex};
+  counter_cell_add(im.overflow.counters.at(id), delta);
+}
+
+void metric_registry::gauge_set(std::uint32_t id, double value) noexcept {
+  impl_->gauges.at(id).store(value, std::memory_order_relaxed);
+}
+
+void metric_registry::histogram_observe(std::uint32_t id, double value) noexcept {
+  impl& im = *impl_;
+  if (metric_shard* shard = im.exclusive_shard()) {
+    shard->hists.at(id).observe_exclusive(value);
+    return;
+  }
+  const std::lock_guard lock{im.overflow_mutex};
+  im.overflow.hists.at(id).observe_exclusive(value);
 }
 
 double metric_registry::counter(std::string_view name) const {
-  const std::lock_guard lock{mutex_};
-  const auto it = data_.counters.find(std::string{name});
-  return it != data_.counters.end() ? it->second : 0.0;
+  impl& im = *impl_;
+  std::uint32_t id = 0;
+  {
+    const std::lock_guard lock{im.meta_mutex};
+    const auto it = im.counter_ids.find(std::string{name});
+    if (it == im.counter_ids.end()) return 0.0;
+    id = it->second;
+  }
+  return im.sum_counter(id);
 }
 
 double metric_registry::gauge(std::string_view name) const {
-  const std::lock_guard lock{mutex_};
-  const auto it = data_.gauges.find(std::string{name});
-  return it != data_.gauges.end() ? it->second : 0.0;
+  impl& im = *impl_;
+  std::uint32_t id = 0;
+  {
+    const std::lock_guard lock{im.meta_mutex};
+    const auto it = im.gauge_ids.find(std::string{name});
+    if (it == im.gauge_ids.end()) return 0.0;
+    id = it->second;
+  }
+  const auto* cell = im.gauges.find(id);
+  return cell != nullptr ? cell->load(std::memory_order_relaxed) : 0.0;
 }
 
 histogram_stats metric_registry::histogram(std::string_view name) const {
-  const std::lock_guard lock{mutex_};
-  const auto it = data_.histograms.find(std::string{name});
-  return it != data_.histograms.end() ? it->second : histogram_stats{};
+  impl& im = *impl_;
+  std::uint32_t id = 0;
+  {
+    const std::lock_guard lock{im.meta_mutex};
+    const auto it = im.hist_ids.find(std::string{name});
+    if (it == im.hist_ids.end()) return histogram_stats{};
+    id = it->second;
+  }
+  return im.merge_histogram(id);
 }
 
 registry_snapshot metric_registry::snapshot() const {
-  const std::lock_guard lock{mutex_};
-  return data_;
+  impl& im = *impl_;
+  std::vector<std::string> counter_names, gauge_names, hist_names;
+  {
+    const std::lock_guard lock{im.meta_mutex};
+    counter_names = im.counter_names;
+    gauge_names = im.gauge_names;
+    hist_names = im.hist_names;
+  }
+  registry_snapshot snap;
+  for (std::uint32_t id = 0; id < counter_names.size(); ++id)
+    snap.counters[counter_names[id]] = im.sum_counter(id);
+  for (std::uint32_t id = 0; id < gauge_names.size(); ++id) {
+    const auto* cell = im.gauges.find(id);
+    snap.gauges[gauge_names[id]] =
+        cell != nullptr ? cell->load(std::memory_order_relaxed) : 0.0;
+  }
+  for (std::uint32_t id = 0; id < hist_names.size(); ++id)
+    snap.histograms[hist_names[id]] = im.merge_histogram(id);
+  return snap;
 }
 
 void metric_registry::clear() {
-  const std::lock_guard lock{mutex_};
-  data_ = {};
+  impl& im = *impl_;
+  const std::lock_guard meta_lock{im.meta_mutex};
+  const std::lock_guard overflow_lock{im.overflow_mutex};
+  const auto reset_shard = [&](metric_shard& shard) {
+    for (std::uint32_t id = 0; id < im.counter_names.size(); ++id) {
+      if (auto* cell = shard.counters.find(id))
+        cell->store(0.0, std::memory_order_relaxed);
+    }
+    for (std::uint32_t id = 0; id < im.hist_names.size(); ++id) {
+      if (auto* cell = shard.hists.find(id)) cell->reset();
+    }
+  };
+  for (auto& slot : im.shards) {
+    if (metric_shard* shard = slot.load(std::memory_order_acquire))
+      reset_shard(*shard);
+  }
+  reset_shard(im.overflow);
+  for (std::uint32_t id = 0; id < im.gauge_names.size(); ++id) {
+    if (auto* cell = im.gauges.find(id))
+      cell->store(0.0, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace dqn::obs

@@ -1,42 +1,67 @@
 // Named metric store for the observability layer (obs): counters (monotone
-// sums), gauges (last-write-wins), and histograms (streaming count / sum /
-// min / max / sum-of-squares). All mutation paths are mutex-protected so the
-// engine's partition workers, the DES, and PTM training can record into one
-// registry concurrently; reads take a consistent snapshot.
+// sums), gauges (last-write-wins), and quantile histograms (Welford moments
+// + log-bucketed percentiles).
 //
-// The registry is deliberately value-oriented: a snapshot is plain data that
-// json.hpp and sink.hpp render, so exporters never hold the lock while
-// formatting.
+// Two recording paths share one store:
+//  * handles (handles.hpp) — resolved once, then lock-free: counter and
+//    histogram cells live in per-thread shards of relaxed atomics that only
+//    their owning thread writes; gauges are shared atomic cells
+//    (last-write-wins needs no sharding). This is the hot path.
+//  * the string-keyed API below — the compatibility path: each call resolves
+//    the name to a handle under the meta mutex, then records through the
+//    same shard machinery.
+//
+// snapshot() aggregates the shards into plain data (ordered maps keep JSON
+// and table output deterministic) so exporters never block recorders while
+// formatting. clear() zeroes every cell but keeps registrations, so issued
+// handles stay valid across clears.
 #pragma once
 
 #include <cstdint>
 #include <map>
-#include <mutex>
+#include <memory>
 #include <string>
 #include <string_view>
 
+#include "obs/handles.hpp"
+#include "obs/quantile_histogram.hpp"
+
 namespace dqn::obs {
 
-// Streaming histogram moments; enough for mean/stddev and range without
-// storing samples (per-sample detail belongs in the trace_log).
+// Aggregated view of one histogram: exact count/sum/min/max, Welford-style
+// running moments for a numerically stable stddev (stable even for
+// mean ~ 1e9 with stddev ~ 1, where the old count/sum/sum_sq formulation
+// cancels catastrophically), and log-scale buckets for quantiles.
 struct histogram_stats {
   std::uint64_t count = 0;
   double sum = 0;
-  double sum_sq = 0;
   double min = 0;
   double max = 0;
+  // Welford running moments (public so shard aggregation can fill them, but
+  // observe()/merge() are the intended mutators).
+  double running_mean = 0;
+  double m2 = 0;  // sum of squared deviations from the running mean
+  quantile_histogram buckets;
 
   [[nodiscard]] double mean() const noexcept {
     return count > 0 ? sum / static_cast<double>(count) : 0.0;
   }
   [[nodiscard]] double stddev() const noexcept;
 
+  // Quantile estimate from the log buckets, clamped to the exact observed
+  // [min, max]; q in [0, 1]. Resolution is ~3% relative (quantile_histogram).
+  [[nodiscard]] double quantile(double q) const noexcept;
+  [[nodiscard]] double p50() const noexcept { return quantile(0.50); }
+  [[nodiscard]] double p90() const noexcept { return quantile(0.90); }
+  [[nodiscard]] double p99() const noexcept { return quantile(0.99); }
+  [[nodiscard]] double p999() const noexcept { return quantile(0.999); }
+
   void observe(double value) noexcept;
   void merge(const histogram_stats& other) noexcept;
 };
 
-// Plain-data view of the registry at one instant (ordered maps keep JSON and
-// table output deterministic).
+// Plain-data view of the registry at one instant. Every registered metric
+// appears (a pre-registered handle that never recorded reads as zero/empty).
 struct registry_snapshot {
   std::map<std::string, double> counters;
   std::map<std::string, double> gauges;
@@ -45,13 +70,19 @@ struct registry_snapshot {
 
 class metric_registry {
  public:
-  // Add `delta` to the named counter (created at zero on first use).
+  metric_registry();
+  ~metric_registry();
+  metric_registry(const metric_registry&) = delete;
+  metric_registry& operator=(const metric_registry&) = delete;
+
+  // ---- handle path (hot): resolve once, record lock-free ----
+  [[nodiscard]] counter_handle counter_handle_for(std::string_view name);
+  [[nodiscard]] gauge_handle gauge_handle_for(std::string_view name);
+  [[nodiscard]] histogram_handle histogram_handle_for(std::string_view name);
+
+  // ---- string-keyed path (compat): resolves to a handle per call ----
   void add(std::string_view name, double delta = 1.0);
-
-  // Set the named gauge to `value`.
   void set(std::string_view name, double value);
-
-  // Record one sample into the named histogram.
   void observe(std::string_view name, double value);
 
   [[nodiscard]] double counter(std::string_view name) const;
@@ -60,11 +91,19 @@ class metric_registry {
 
   [[nodiscard]] registry_snapshot snapshot() const;
 
+  // Zero every cell; registrations (and issued handles) survive.
   void clear();
 
  private:
-  mutable std::mutex mutex_;
-  registry_snapshot data_;
+  friend class counter_handle;
+  friend class gauge_handle;
+  friend class histogram_handle;
+  void counter_add(std::uint32_t id, double delta) noexcept;
+  void gauge_set(std::uint32_t id, double value) noexcept;
+  void histogram_observe(std::uint32_t id, double value) noexcept;
+
+  struct impl;
+  std::unique_ptr<impl> impl_;
 };
 
 }  // namespace dqn::obs

@@ -1,0 +1,66 @@
+#include "obs/quantile_histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dqn::obs {
+
+std::size_t quantile_histogram::bucket_of(double value) noexcept {
+  if (!(value > 0) || std::isinf(value)) {
+    // Zero, negatives, NaN: underflow. +inf: overflow.
+    return std::isinf(value) && value > 0 ? bucket_count - 1 : 0;
+  }
+  int exponent = 0;
+  const double mantissa = std::frexp(value, &exponent);  // value = m * 2^e, m in [0.5, 1)
+  // Shift to v = m' * 2^(e-1) with m' in [1, 2): octave e-1, linear sub-bucket.
+  const int octave = exponent - 1;
+  if (octave < min_exponent) return 0;
+  if (octave >= max_exponent) return bucket_count - 1;
+  const auto sub = static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(sub_buckets) - 1.0,
+                       (mantissa * 2.0 - 1.0) * static_cast<double>(sub_buckets)));
+  return 1 + static_cast<std::size_t>(octave - min_exponent) * sub_buckets + sub;
+}
+
+double quantile_histogram::bucket_value(std::size_t index) noexcept {
+  if (index == 0) return std::ldexp(1.0, min_exponent);          // grid floor
+  if (index >= bucket_count - 1) return std::ldexp(1.0, max_exponent);  // grid cap
+  const std::size_t linear = index - 1;
+  const int octave = min_exponent + static_cast<int>(linear / sub_buckets);
+  const double sub = static_cast<double>(linear % sub_buckets);
+  // Midpoint of the bucket's [1 + s/16, 1 + (s+1)/16) mantissa range.
+  const double mantissa = 1.0 + (sub + 0.5) / static_cast<double>(sub_buckets);
+  return std::ldexp(mantissa, octave);
+}
+
+void quantile_histogram::add(std::size_t bucket, std::uint64_t count) noexcept {
+  const std::size_t index = std::min(bucket, bucket_count - 1);
+  counts_[index] += count;
+  total_ += count;
+}
+
+void quantile_histogram::merge(const quantile_histogram& other) noexcept {
+  for (std::size_t i = 0; i < bucket_count; ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
+double quantile_histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0.0;
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(clamped * static_cast<double>(total_)));
+  const std::uint64_t target = std::max<std::uint64_t>(rank, 1);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bucket_count; ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= target) return bucket_value(i);
+  }
+  return bucket_value(bucket_count - 1);
+}
+
+void quantile_histogram::clear() noexcept {
+  counts_.fill(0);
+  total_ = 0;
+}
+
+}  // namespace dqn::obs

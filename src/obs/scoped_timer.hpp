@@ -1,30 +1,28 @@
-// RAII span timer built on util::stopwatch: times the enclosing scope and,
-// on destruction (or an early stop()), records both a trace event
-// (stage/name/index on the sink's timeline) and a histogram sample named
-// "<stage>.<name>.seconds". With a null sink the constructor is a pointer
-// store and the destructor a branch — no clock reads, no allocation — which
-// is what lets instrumented hot paths keep an always-on timer argument.
+// RAII span timer: a scoped_span (hierarchical trace event with span id,
+// parent id, and thread ordinal — see span.hpp) that additionally records
+// its duration as a histogram sample named "<stage>.<name>.seconds". With a
+// null sink the constructor is a pointer store and the destructor a branch —
+// no clock reads, no allocation — which is what lets instrumented hot paths
+// keep an always-on timer argument.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <string_view>
 
-#include "obs/sink.hpp"
+#include "obs/span.hpp"
 
 namespace dqn::obs {
 
 class scoped_timer {
  public:
   scoped_timer(sink* s, std::string_view stage, std::string_view name,
-               std::uint64_t index = 0, double value = 0.0)
-      : sink_{s} {
+               std::uint64_t index = 0, double value = 0.0,
+               std::uint64_t parent = auto_parent)
+      : span_{s, stage, name, index, value, parent}, sink_{s} {
     if (sink_ != nullptr) {
-      stage_ = stage;
-      name_ = name;
-      index_ = index;
-      value_ = value;
-      start_ = sink_->now();
+      metric_.reserve(stage.size() + name.size() + 9);
+      metric_.append(stage).append(1, '.').append(name).append(".seconds");
     }
   }
 
@@ -35,24 +33,24 @@ class scoped_timer {
 
   // Update the payload recorded with the event (e.g. a loss computed after
   // construction but before scope exit).
-  void set_value(double value) noexcept { value_ = value; }
+  void set_value(double value) noexcept { span_.set_value(value); }
+
+  // Span id of the underlying scoped_span (0 for a null sink); pass to
+  // spans opened on other threads on this timer's behalf.
+  [[nodiscard]] std::uint64_t id() const noexcept { return span_.id(); }
 
   // Record now instead of at scope exit; idempotent.
   void stop() {
     if (sink_ == nullptr) return;
-    const double seconds = sink_->now() - start_;
-    sink_->event(stage_, name_, index_, start_, seconds, value_);
-    sink_->observe(stage_ + "." + name_ + ".seconds", seconds);
+    const double seconds = span_.stop();
+    sink_->observe(metric_, seconds);
     sink_ = nullptr;
   }
 
  private:
+  scoped_span span_;
   sink* sink_;
-  std::string stage_;
-  std::string name_;
-  std::uint64_t index_ = 0;
-  double value_ = 0;
-  double start_ = 0;
+  std::string metric_;
 };
 
 }  // namespace dqn::obs

@@ -1,0 +1,71 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "obs/handles.hpp"
+
+namespace dqn::obs {
+namespace {
+
+// Span ids are process-unique (not per-sink) so parent links stay
+// unambiguous even if multiple sinks are live in one process.
+std::uint64_t next_span_id() noexcept {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Per-thread stack of open span ids, for auto_parent resolution. Spans
+// normally close LIFO (they are scope-bound), but an explicit out-of-order
+// stop() is tolerated: pop removes the matching id wherever it sits.
+std::vector<std::uint64_t>& open_spans() noexcept {
+  thread_local std::vector<std::uint64_t> stack;
+  return stack;
+}
+
+std::uint64_t innermost_open_span() noexcept {
+  const auto& stack = open_spans();
+  return stack.empty() ? 0 : stack.back();
+}
+
+void push_open_span(std::uint64_t id) { open_spans().push_back(id); }
+
+void pop_open_span(std::uint64_t id) noexcept {
+  auto& stack = open_spans();
+  if (!stack.empty() && stack.back() == id) {
+    stack.pop_back();
+    return;
+  }
+  const auto it = std::find(stack.rbegin(), stack.rend(), id);
+  if (it != stack.rend()) stack.erase(std::next(it).base());
+}
+
+}  // namespace
+
+scoped_span::scoped_span(sink* s, std::string_view stage,
+                         std::string_view name, std::uint64_t index,
+                         double value, std::uint64_t parent)
+    : sink_{s} {
+  if (sink_ == nullptr) return;
+  stage_ = stage;
+  name_ = name;
+  index_ = index;
+  value_ = value;
+  id_ = next_span_id();
+  parent_ = parent == auto_parent ? innermost_open_span() : parent;
+  push_open_span(id_);
+  start_ = sink_->now();
+}
+
+double scoped_span::stop() {
+  if (sink_ == nullptr) return 0.0;
+  const double seconds = sink_->now() - start_;
+  pop_open_span(id_);
+  sink_->trace().record({std::move(stage_), std::move(name_), index_, start_,
+                         seconds, value_, id_, parent_, thread_ordinal()});
+  sink_ = nullptr;
+  return seconds;
+}
+
+}  // namespace dqn::obs

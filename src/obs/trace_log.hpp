@@ -1,11 +1,20 @@
-// Structured trace of per-stage events: each event is one timed span inside
-// a named pipeline stage ("engine" iteration 3, "ptm" epoch 7, "des" run).
-// Unlike the metric_registry's aggregates, the trace keeps every event, so a
-// run's time structure — per-iteration IRSA timings, per-epoch training
-// curves — survives into the JSON export. Appends are mutex-protected.
+// Structured trace of per-stage events. Each event is one timed span inside
+// a named pipeline stage ("engine" iteration 3, "ptm" epoch 7, "des" run),
+// and spans recorded through obs::scoped_span / obs::scoped_timer carry
+// hierarchy: a process-unique span id, the id of the enclosing span (0 =
+// root), and the recording thread's ordinal — enough to reconstruct the
+// run's full timeline (chrome_trace.hpp renders it for Perfetto).
+//
+// Storage is a mutex-protected ring buffer: when the log is full the oldest
+// event is evicted and counted in dropped(), so long-running always-on
+// profiling cannot grow memory without bound. The default capacity
+// (default_capacity = 2^18 = 262,144 events, tens of MB worst case) is
+// generous enough that quickstart-to-bench-scale runs never drop; raise or
+// lower it per sink with set_capacity().
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -20,14 +29,27 @@ struct trace_event {
   double start = 0;        // seconds since the owning sink's epoch
   double duration = 0;     // span length in seconds
   double value = 0;        // stage-specific payload (loss, changed devices, ...)
+  // Span structure (scoped_span fills these; flat sink.event() leaves the
+  // ids zero but still stamps the recording thread).
+  std::uint64_t span_id = 0;   // process-unique id; 0 = not a span
+  std::uint64_t parent_id = 0; // enclosing span; 0 = root
+  std::uint32_t thread = 0;    // obs::thread_ordinal() of the recorder
 };
 
 class trace_log {
  public:
+  static constexpr std::size_t default_capacity = std::size_t{1} << 18;
+
   void record(trace_event event);
 
   [[nodiscard]] std::vector<trace_event> events() const;
   [[nodiscard]] std::size_t size() const;
+
+  // Ring-buffer bound: events recorded past it evict the oldest entry.
+  void set_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t capacity() const;
+  // Events evicted so far (never reset by eviction; clear() zeroes it).
+  [[nodiscard]] std::uint64_t dropped() const;
 
   // Events of one (stage, name) pair in record order — the "give me the
   // training curve" accessor.
@@ -38,7 +60,9 @@ class trace_log {
 
  private:
   mutable std::mutex mutex_;
-  std::vector<trace_event> events_;
+  std::deque<trace_event> events_;
+  std::size_t capacity_ = default_capacity;
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace dqn::obs

@@ -7,7 +7,9 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -16,7 +18,9 @@
 #include "core/dutil.hpp"
 #include "core/engine.hpp"
 #include "obs/contracts.hpp"
+#include "obs/handles.hpp"
 #include "obs/sink.hpp"
+#include "obs/span.hpp"
 #include "obs/trace_log.hpp"
 #include "topo/builders.hpp"
 #include "topo/routing.hpp"
@@ -125,6 +129,78 @@ TEST(concurrency, trace_log_keeps_every_event) {
     const auto mine = log.events_of("writer" + std::to_string(t), "tick");
     EXPECT_EQ(mine.size(), events);
   }
+}
+
+// The sharded lock-free handle path: many threads hammer the same
+// pre-resolved counter/gauge/histogram handles while a reader thread takes
+// snapshots concurrently. Counters and histogram counts must be exact; the
+// gauge must end on one of the written values; every snapshot the reader
+// observed must be internally consistent (count never exceeds the final
+// total). This is the dedicated TSan workload for the per-thread shards.
+TEST(concurrency, sharded_handles_are_exact_under_snapshotting_reader) {
+  constexpr std::size_t writers = 8;
+  constexpr std::size_t ops = 5'000;
+  obs::sink sink;
+  auto counter = sink.counter_handle_for("stress.counter");
+  auto gauge = sink.gauge_handle_for("stress.gauge");
+  auto histogram = sink.histogram_handle_for("stress.hist");
+
+  std::atomic<bool> done{false};
+  std::thread reader{[&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const auto snap = sink.metrics().snapshot();
+      const auto it = snap.histograms.find("stress.hist");
+      if (it != snap.histograms.end())
+        EXPECT_LE(it->second.count, writers * ops);
+    }
+  }};
+  run_threads(writers, [&](std::size_t t) {
+    obs::counter_handle my_counter = counter;      // handles are value types
+    obs::gauge_handle my_gauge = gauge;
+    obs::histogram_handle my_histogram = histogram;
+    for (std::size_t i = 0; i < ops; ++i) {
+      my_counter.add();
+      my_gauge.set(static_cast<double>(t + 1));
+      my_histogram.observe(static_cast<double>(i % 100));
+    }
+  });
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_DOUBLE_EQ(sink.metrics().counter("stress.counter"),
+                   static_cast<double>(writers * ops));
+  const double last_gauge = sink.metrics().gauge("stress.gauge");
+  EXPECT_GE(last_gauge, 1.0);
+  EXPECT_LE(last_gauge, static_cast<double>(writers));
+  const auto h = sink.metrics().histogram("stress.hist");
+  EXPECT_EQ(h.count, writers * ops);
+  EXPECT_DOUBLE_EQ(h.min, 0.0);
+  EXPECT_DOUBLE_EQ(h.max, 99.0);
+}
+
+// Spans opened concurrently on many threads (each nesting two levels, all
+// parented to one root via its explicit id) must all land in the ring with
+// correct parentage and per-thread ordinals.
+TEST(concurrency, spans_record_hierarchy_from_competing_threads) {
+  constexpr std::size_t workers = 6;
+  obs::sink sink;
+  obs::scoped_span root{&sink, "stress", "root"};
+  run_threads(workers, [&, parent = root.id()](std::size_t t) {
+    obs::scoped_span outer{&sink, "stress", "outer", t, 0.0, parent};
+    obs::scoped_span inner{&sink, "stress", "inner", t};
+  });
+  root.stop();
+
+  const auto outers = sink.trace().events_of("stress", "outer");
+  const auto inners = sink.trace().events_of("stress", "inner");
+  ASSERT_EQ(outers.size(), workers);
+  ASSERT_EQ(inners.size(), workers);
+  for (const auto& ev : outers) EXPECT_EQ(ev.parent_id, root.id());
+  // Each inner span auto-parents to its own thread's outer span.
+  std::map<std::uint64_t, std::uint64_t> outer_by_index;
+  for (const auto& ev : outers) outer_by_index[ev.index] = ev.span_id;
+  for (const auto& ev : inners)
+    EXPECT_EQ(ev.parent_id, outer_by_index[ev.index]);
 }
 
 TEST(concurrency, sink_accepts_concurrent_mixed_traffic) {

@@ -1,0 +1,466 @@
+// The rebuilt obs profiling layer: sharded lock-free metric handles,
+// log-bucketed quantile histograms with Welford moments, hierarchical spans
+// and the Chrome trace exporter, the bounded trace ring, and sampled
+// per-packet journey tracing — including the end-to-end engine run where
+// journeys at sample rate 1.0 must agree hop-for-hop with the engine's own
+// predicted-hop records.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/dutil.hpp"
+#include "core/engine.hpp"
+#include "des/records.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/handles.hpp"
+#include "obs/journey.hpp"
+#include "obs/json.hpp"
+#include "obs/metric_registry.hpp"
+#include "obs/quantile_histogram.hpp"
+#include "obs/scoped_timer.hpp"
+#include "obs/sink.hpp"
+#include "obs/span.hpp"
+#include "topo/builders.hpp"
+#include "topo/routing.hpp"
+#include "traffic/traffic_gen.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace dqn;
+
+// ---------------------------------------------------------------- handles
+
+TEST(obs_handles, counter_gauge_histogram_roundtrip_through_handles) {
+  obs::metric_registry registry;
+  auto counter = registry.counter_handle_for("c");
+  auto gauge = registry.gauge_handle_for("g");
+  auto histogram = registry.histogram_handle_for("h");
+
+  counter.add();
+  counter.add(4.0);
+  gauge.set(2.5);
+  histogram.observe(1.0);
+  histogram.observe(3.0);
+
+  EXPECT_DOUBLE_EQ(registry.counter("c"), 5.0);
+  EXPECT_DOUBLE_EQ(registry.gauge("g"), 2.5);
+  const auto h = registry.histogram("h");
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_DOUBLE_EQ(h.sum, 4.0);
+  EXPECT_DOUBLE_EQ(h.min, 1.0);
+  EXPECT_DOUBLE_EQ(h.max, 3.0);
+}
+
+TEST(obs_handles, null_handles_are_inert) {
+  obs::counter_handle counter;
+  obs::gauge_handle gauge;
+  obs::histogram_handle histogram;
+  counter.add();
+  gauge.set(1.0);
+  histogram.observe(1.0);  // must not crash; nothing to assert beyond that
+}
+
+TEST(obs_handles, string_path_and_handle_path_share_one_metric) {
+  obs::metric_registry registry;
+  auto counter = registry.counter_handle_for("shared.counter");
+  registry.add("shared.counter", 2.0);
+  counter.add(3.0);
+  EXPECT_DOUBLE_EQ(registry.counter("shared.counter"), 5.0);
+
+  auto histogram = registry.histogram_handle_for("shared.hist");
+  registry.observe("shared.hist", 1.0);
+  histogram.observe(2.0);
+  EXPECT_EQ(registry.histogram("shared.hist").count, 2u);
+  EXPECT_DOUBLE_EQ(registry.histogram("shared.hist").sum, 3.0);
+}
+
+TEST(obs_handles, clear_zeroes_values_but_keeps_handles_valid) {
+  obs::metric_registry registry;
+  auto counter = registry.counter_handle_for("c");
+  counter.add(7.0);
+  registry.clear();
+  EXPECT_DOUBLE_EQ(registry.counter("c"), 0.0);
+  counter.add();  // the registration survives clear(); the handle still works
+  EXPECT_DOUBLE_EQ(registry.counter("c"), 1.0);
+  // Registered-but-zero metrics still appear in the snapshot.
+  EXPECT_EQ(registry.snapshot().counters.count("c"), 1u);
+}
+
+TEST(obs_handles, shard_aggregation_is_exact_under_contention) {
+  constexpr std::size_t threads = 8;
+  constexpr std::size_t ops = 20'000;
+  obs::metric_registry registry;
+  auto counter = registry.counter_handle_for("hot.counter");
+  auto histogram = registry.histogram_handle_for("hot.hist");
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t)
+    workers.emplace_back([counter, histogram]() mutable {
+      for (std::size_t i = 0; i < ops; ++i) {
+        counter.add();
+        histogram.observe(1.0);
+      }
+    });
+  for (auto& worker : workers) worker.join();
+
+  EXPECT_DOUBLE_EQ(registry.counter("hot.counter"),
+                   static_cast<double>(threads * ops));
+  const auto h = registry.histogram("hot.hist");
+  EXPECT_EQ(h.count, threads * ops);
+  EXPECT_DOUBLE_EQ(h.sum, static_cast<double>(threads * ops));
+  EXPECT_DOUBLE_EQ(h.min, 1.0);
+  EXPECT_DOUBLE_EQ(h.max, 1.0);
+  EXPECT_NEAR(h.stddev(), 0.0, 1e-12);
+}
+
+TEST(obs_handles, null_and_live_recording_are_cheap) {
+  // Null handle: one branch per call. Live handle: a relaxed store into the
+  // calling thread's exclusive shard (~ns). Bounds are loose for CI boxes.
+  constexpr std::size_t n = 10'000'000;
+  {
+    obs::counter_handle null_handle;
+    util::stopwatch watch;
+    for (std::size_t i = 0; i < n; ++i) null_handle.add();
+    EXPECT_LT(watch.elapsed_seconds(), 0.5);
+  }
+  {
+    obs::metric_registry registry;
+    auto live = registry.counter_handle_for("fast");
+    util::stopwatch watch;
+    for (std::size_t i = 0; i < n; ++i) live.add();
+    EXPECT_LT(watch.elapsed_seconds(), 2.0);
+    EXPECT_DOUBLE_EQ(registry.counter("fast"), static_cast<double>(n));
+  }
+}
+
+// ----------------------------------------------------- quantile histograms
+
+TEST(obs_quantiles, bucket_quantiles_track_exact_quantiles) {
+  obs::quantile_histogram buckets;
+  util::rng rng{11};
+  std::vector<double> values(100'000);
+  for (auto& v : values) {
+    v = rng.exponential(1e4);  // ~100us-mean sojourns, heavy upper tail
+    buckets.observe(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const double exact =
+        values[static_cast<std::size_t>(q * (static_cast<double>(values.size()) - 1))];
+    const double approx = buckets.quantile(q);
+    EXPECT_NEAR(approx, exact, exact * 0.06)
+        << "q=" << q << " exact=" << exact << " approx=" << approx;
+  }
+}
+
+TEST(obs_quantiles, histogram_stats_quantiles_clamped_to_observed_range) {
+  obs::histogram_stats stats;
+  for (int i = 1; i <= 100; ++i) stats.observe(static_cast<double>(i));
+  EXPECT_GE(stats.p50(), stats.min);
+  EXPECT_LE(stats.p999(), stats.max);
+  EXPECT_NEAR(stats.p50(), 50.0, 50.0 * 0.05);
+  EXPECT_NEAR(stats.p99(), 99.0, 99.0 * 0.05);
+  EXPECT_LE(stats.p50(), stats.p90());
+  EXPECT_LE(stats.p90(), stats.p99());
+}
+
+TEST(obs_quantiles, stddev_is_stable_for_large_mean_small_variance) {
+  // Regression: the old count/sum/sum_sq stddev cancels catastrophically
+  // here (sum_sq ~ 1e24, variance ~ 1); Welford moments do not.
+  obs::histogram_stats stats;
+  constexpr double mean = 1e9;
+  for (int i = 0; i < 10'000; ++i)
+    stats.observe(mean + ((i % 2 == 0) ? 1.0 : -1.0));
+  EXPECT_NEAR(stats.mean(), mean, 1e-3);
+  EXPECT_NEAR(stats.stddev(), 1.0, 1e-3);
+}
+
+TEST(obs_quantiles, merge_matches_joint_stream_with_welford_moments) {
+  obs::histogram_stats a, b, joint;
+  util::rng rng{5};
+  for (int i = 0; i < 5'000; ++i) {
+    const double v = 1e9 + rng.normal(0.0, 3.0);
+    ((i % 2 == 0) ? a : b).observe(v);
+    joint.observe(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count, joint.count);
+  EXPECT_NEAR(a.mean(), joint.mean(), 1e-3);
+  EXPECT_NEAR(a.stddev(), joint.stddev(), 1e-6);
+  EXPECT_NEAR(a.p50(), joint.p50(), std::abs(joint.p50()) * 1e-12);
+}
+
+// ------------------------------------------------------- spans and traces
+
+TEST(obs_spans, auto_parent_nests_within_a_thread) {
+  obs::sink sink;
+  std::uint64_t outer_id = 0;
+  std::uint64_t inner_id = 0;
+  {
+    obs::scoped_span outer{&sink, "t", "outer"};
+    outer_id = outer.id();
+    ASSERT_NE(outer_id, 0u);
+    {
+      obs::scoped_span inner{&sink, "t", "inner"};
+      inner_id = inner.id();
+    }
+  }
+  const auto outer_events = sink.trace().events_of("t", "outer");
+  const auto inner_events = sink.trace().events_of("t", "inner");
+  ASSERT_EQ(outer_events.size(), 1u);
+  ASSERT_EQ(inner_events.size(), 1u);
+  EXPECT_EQ(outer_events[0].span_id, outer_id);
+  EXPECT_EQ(outer_events[0].parent_id, 0u);
+  EXPECT_EQ(inner_events[0].span_id, inner_id);
+  EXPECT_EQ(inner_events[0].parent_id, outer_id);
+}
+
+TEST(obs_spans, explicit_parent_links_across_threads) {
+  obs::sink sink;
+  obs::scoped_span root{&sink, "t", "root"};
+  std::thread worker{[&sink, parent = root.id()] {
+    obs::scoped_span child{&sink, "t", "child", 0, 0.0, parent};
+    obs::scoped_span grandchild{&sink, "t", "grandchild"};
+  }};
+  worker.join();
+  root.stop();
+
+  const auto root_events = sink.trace().events_of("t", "root");
+  const auto child_events = sink.trace().events_of("t", "child");
+  const auto grandchild_events = sink.trace().events_of("t", "grandchild");
+  ASSERT_EQ(root_events.size(), 1u);
+  ASSERT_EQ(child_events.size(), 1u);
+  ASSERT_EQ(grandchild_events.size(), 1u);
+  EXPECT_EQ(child_events[0].parent_id, root_events[0].span_id);
+  // auto_parent on the worker thread resolves to the worker's open span.
+  EXPECT_EQ(grandchild_events[0].parent_id, child_events[0].span_id);
+  // Span events carry the recording thread's ordinal.
+  EXPECT_NE(child_events[0].thread, root_events[0].thread);
+}
+
+TEST(obs_spans, scoped_timer_still_records_event_and_histogram) {
+  obs::sink sink;
+  {
+    obs::scoped_timer timer{&sink, "stage", "work", 3};
+    EXPECT_NE(timer.id(), 0u);
+  }
+  const auto events = sink.trace().events_of("stage", "work");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_NE(events[0].span_id, 0u);
+  EXPECT_EQ(sink.metrics().histogram("stage.work.seconds").count, 1u);
+}
+
+TEST(obs_trace_ring, capacity_bounds_memory_and_counts_drops) {
+  obs::sink sink;
+  sink.trace().set_capacity(4);
+  for (std::uint64_t i = 0; i < 10; ++i)
+    sink.event("ring", "ev", i, 0.0, 0.0);
+  EXPECT_EQ(sink.trace().size(), 4u);
+  EXPECT_EQ(sink.trace().dropped(), 6u);
+  // The survivors are the newest events, in order.
+  const auto events = sink.trace().events();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < events.size(); ++i)
+    EXPECT_EQ(events[i].index, 6 + i);
+  // The drop count is exported as a counter in the JSON snapshot.
+  const std::string doc = sink.to_json();
+  EXPECT_NE(doc.find("\"trace.dropped\":6"), std::string::npos);
+}
+
+TEST(obs_chrome_trace, emits_valid_complete_events_with_hierarchy) {
+  obs::sink sink;
+  {
+    obs::scoped_span outer{&sink, "engine", "run"};
+    obs::scoped_span inner{&sink, "engine", "iteration", 0, 2.0};
+  }
+  const std::string trace = sink.to_chrome_trace();
+  EXPECT_TRUE(obs::json_is_valid(trace));
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(trace.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(trace.find("\"tid\":"), std::string::npos);
+  EXPECT_NE(trace.find("\"span_id\":"), std::string::npos);
+  EXPECT_NE(trace.find("\"parent_id\":"), std::string::npos);
+  // The iteration span names its parent (the run span) in args.
+  const auto events = sink.trace().events_of("engine", "iteration");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_NE(trace.find("\"parent_id\":" +
+                       obs::json_number(static_cast<double>(events[0].parent_id))),
+            std::string::npos);
+}
+
+// ------------------------------------------------------------- journeys
+
+TEST(obs_journeys, sampling_is_deterministic_and_rate_faithful) {
+  obs::journey_tracer a, b;
+  a.configure(0.5, 123);
+  b.configure(0.5, 123);
+  std::size_t sampled = 0;
+  for (std::uint64_t pid = 0; pid < 10'000; ++pid) {
+    EXPECT_EQ(a.sampled(pid), b.sampled(pid));
+    if (a.sampled(pid)) ++sampled;
+  }
+  EXPECT_GT(sampled, 4'500u);
+  EXPECT_LT(sampled, 5'500u);
+
+  obs::journey_tracer all, none;
+  all.configure(1.0);
+  none.configure(0.0);
+  EXPECT_TRUE(all.enabled());
+  EXPECT_FALSE(none.enabled());
+  for (std::uint64_t pid = 0; pid < 1'000; ++pid) {
+    EXPECT_TRUE(all.sampled(pid));
+    EXPECT_FALSE(none.sampled(pid));
+  }
+}
+
+TEST(obs_journeys, record_hop_upserts_by_device_and_sorts_output) {
+  obs::journey_tracer tracer;
+  tracer.configure(1.0);
+  tracer.record_send(7, 2, 0.001);
+  // Second hop arrives first in time but is recorded first: journeys() must
+  // sort hops by arrival. The device-3 hop is then re-recorded (IRSA
+  // re-processing) with updated values — the last write wins.
+  tracer.record_hop(7, {5, 1, 0.004, 1e-5, 2e-5, 0.00402});
+  tracer.record_hop(7, {3, 0, 0.002, 9e-6, 9e-6, 0.002009});
+  tracer.record_hop(7, {3, 0, 0.002, 1e-5, 1.5e-5, 0.002015});
+  tracer.record_delivery(7, 0.005);
+
+  const auto journeys = tracer.journeys();
+  ASSERT_EQ(journeys.size(), 1u);
+  const auto& journey = journeys[0];
+  EXPECT_EQ(journey.pid, 7u);
+  EXPECT_EQ(journey.flow, 2u);
+  EXPECT_DOUBLE_EQ(journey.send_time, 0.001);
+  EXPECT_DOUBLE_EQ(journey.delivery_time, 0.005);
+  ASSERT_EQ(journey.hops.size(), 2u);
+  EXPECT_EQ(journey.hops[0].device, 3);
+  EXPECT_DOUBLE_EQ(journey.hops[0].corrected_delay, 1.5e-5);  // upserted
+  EXPECT_EQ(journey.hops[1].device, 5);
+}
+
+// One fixture-style trained PTM for the end-to-end engine tests.
+std::shared_ptr<const core::ptm_model> shared_ptm() {
+  static const core::device_model_bundle bundle = [] {
+    core::dutil_config cfg;
+    cfg.ports = 4;
+    cfg.streams = 30;
+    cfg.packets_per_stream = 600;
+    cfg.ptm.time_steps = 8;
+    cfg.ptm.mlp_hidden = {48, 24};
+    cfg.ptm.epochs = 10;
+    cfg.seed = 99;
+    return core::train_device_model(cfg);
+  }();
+  return std::shared_ptr<const core::ptm_model>{&bundle.model,
+                                                [](const core::ptm_model*) {}};
+}
+
+std::vector<traffic::packet_stream> make_streams(std::size_t hosts, double rate,
+                                                 double horizon,
+                                                 std::uint64_t seed) {
+  util::rng rng{seed};
+  auto flows = traffic::make_uniform_flows(hosts, 1, rng);
+  traffic::tg_util_config tg;
+  tg.per_flow_rate = rate;
+  tg.seed = seed;
+  auto generators = traffic::make_generators(flows, tg);
+  return traffic::per_host_streams(generators, hosts, horizon, rng);
+}
+
+TEST(obs_journeys, engine_run_at_rate_one_matches_hop_records) {
+  const auto topo = topo::make_line(3);
+  const topo::routing routes{topo};
+  const double horizon = 0.01;
+  const auto streams = make_streams(3, 40'000.0, horizon, 12);
+
+  obs::sink sink;
+  sink.journeys().configure(1.0);
+  core::engine_config cfg;
+  cfg.partitions = 2;
+  cfg.record_hops = true;
+  cfg.sink = &sink;
+  core::dqn_network net{topo, routes, shared_ptm(), {}, cfg};
+  const auto result = net.run(streams, horizon);
+  ASSERT_FALSE(result.deliveries.empty());
+  ASSERT_FALSE(result.hops.empty());
+
+  const auto journeys = sink.journeys().journeys();
+  ASSERT_FALSE(journeys.empty());
+
+  // Index the engine's own per-packet hop records (the ground truth the
+  // journeys must agree with) by pid, in arrival order.
+  std::map<std::uint64_t, std::vector<des::hop_record>> hops_by_pid;
+  for (const auto& hop : result.hops) hops_by_pid[hop.pid].push_back(hop);
+  for (auto& [pid, hops] : hops_by_pid)
+    std::sort(hops.begin(), hops.end(),
+              [](const des::hop_record& a, const des::hop_record& b) {
+                return a.arrival < b.arrival;
+              });
+
+  std::size_t delivered_journeys = 0;
+  for (const auto& journey : journeys) {
+    const auto it = hops_by_pid.find(journey.pid);
+    ASSERT_NE(it, hops_by_pid.end()) << "pid " << journey.pid;
+    const auto& truth = it->second;
+    ASSERT_EQ(journey.hops.size(), truth.size()) << "pid " << journey.pid;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      EXPECT_EQ(journey.hops[i].device, truth[i].device);
+      EXPECT_EQ(journey.hops[i].queue, truth[i].out_port);
+      EXPECT_DOUBLE_EQ(journey.hops[i].arrival, truth[i].arrival);
+      EXPECT_DOUBLE_EQ(journey.hops[i].departure, truth[i].departure);
+      // corrected = departure - arrival by construction; raw is the pre-SEC
+      // sojourn and must be a finite non-negative prediction.
+      EXPECT_DOUBLE_EQ(journey.hops[i].corrected_delay,
+                       truth[i].departure - truth[i].arrival);
+      EXPECT_GE(journey.hops[i].raw_delay, 0.0);
+      EXPECT_TRUE(std::isfinite(journey.hops[i].raw_delay));
+    }
+    if (journey.delivery_time >= 0) ++delivered_journeys;
+  }
+  // Every delivered packet's journey closes with its delivery time.
+  EXPECT_EQ(delivered_journeys, result.deliveries.size());
+  for (const auto& d : result.deliveries) {
+    const auto it = std::find_if(
+        journeys.begin(), journeys.end(),
+        [&d](const obs::packet_journey& j) { return j.pid == d.pid; });
+    ASSERT_NE(it, journeys.end());
+    EXPECT_DOUBLE_EQ(it->send_time, d.send_time);
+    EXPECT_DOUBLE_EQ(it->delivery_time, d.delivery_time);
+  }
+
+  // The snapshot carries the journeys and the quantile keys, and stays valid.
+  const std::string doc = sink.to_json();
+  EXPECT_TRUE(obs::json_is_valid(doc));
+  EXPECT_NE(doc.find("\"journeys\":["), std::string::npos);
+  EXPECT_NE(doc.find("\"raw_delay\""), std::string::npos);
+  EXPECT_NE(doc.find("\"p50\""), std::string::npos);
+  EXPECT_NE(doc.find("\"p999\""), std::string::npos);
+}
+
+TEST(obs_journeys, disabled_tracer_records_nothing_in_engine_run) {
+  const auto topo = topo::make_line(3);
+  const topo::routing routes{topo};
+  const double horizon = 0.005;
+  const auto streams = make_streams(3, 40'000.0, horizon, 12);
+
+  obs::sink sink;  // journeys not configured: rate 0
+  core::engine_config cfg;
+  cfg.sink = &sink;
+  core::dqn_network net{topo, routes, shared_ptm(), {}, cfg};
+  (void)net.run(streams, horizon);
+  EXPECT_EQ(sink.journeys().size(), 0u);
+}
+
+}  // namespace
