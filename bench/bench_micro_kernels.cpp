@@ -11,11 +11,20 @@
 // is dumped at exit — CI uploads it as the perf-trajectory artifact.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <iterator>
+#include <string>
+
 #include "bench/common.hpp"
 #include "core/pfm.hpp"
 #include "des/simulator.hpp"
 #include "des/traffic_manager.hpp"
+#include "nn/kernels/gemm.hpp"
 #include "nn/matrix.hpp"
+#include "nn/mlp.hpp"
+#include "nn/seq.hpp"
+#include "nn/seq_regressor.hpp"
+#include "nn/workspace.hpp"
 #include "obs/handles.hpp"
 #include "obs/scoped_timer.hpp"
 #include "obs/sink.hpp"
@@ -47,6 +56,97 @@ void bm_matmul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(bm_matmul)->Arg(32)->Arg(64)->Arg(128);
+
+// --- GEMM backend pairs -----------------------------------------------------
+// Naive vs blocked vs SIMD at PTM-typical shapes. The CI perf-smoke job runs
+// bm_gemm_backend and gates on dispatched-vs-naive; the ≥4x acceptance number
+// in docs/PERFORMANCE.md comes from the (256, 64, 357) row — the MLP PTM's
+// first layer over a batch of 256 flattened 21x17 windows.
+struct gemm_bench_shape {
+  std::size_t m, n, k;
+};
+constexpr gemm_bench_shape kGemmShapes[] = {
+    {256, 64, 357},  // MLP PTM layer 1: batch 256 x flattened window
+    {256, 32, 64},   // MLP PTM layer 2
+    {256, 128, 17},  // LSTM x_t·Wx: batch x 4H, k = feature_count
+    {21, 21, 16},    // attention scores: T x T over key_dim
+};
+
+void bm_gemm_backend(benchmark::State& state) {
+  const auto be = static_cast<nn::kernels::backend>(state.range(0));
+  const auto& shape = kGemmShapes[static_cast<std::size_t>(state.range(1))];
+  if (!nn::kernels::backend_supported(be)) {
+    state.SkipWithError("backend not compiled in or unsupported on this CPU");
+    return;
+  }
+  util::rng rng{7};
+  const auto a = nn::matrix::randn(shape.m, shape.k, rng, 1.0);
+  const auto b = nn::matrix::randn(shape.k, shape.n, rng, 1.0);
+  nn::matrix c{shape.m, shape.n};
+  for (auto _ : state) {
+    nn::kernels::gemm_nn(be, a.data().data(), b.data().data(), c.data().data(),
+                         shape.m, shape.n, shape.k, /*accumulate=*/false);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * shape.m * shape.n * shape.k);
+  state.SetLabel(std::string{nn::kernels::to_string(be)} + " " +
+                 std::to_string(shape.m) + "x" + std::to_string(shape.n) +
+                 "x" + std::to_string(shape.k));
+}
+void register_gemm_backend_benches() {
+  using nn::kernels::backend;
+  for (const auto be :
+       {backend::naive, backend::blocked, backend::avx2, backend::avx512})
+    for (std::size_t s = 0; s < std::size(kGemmShapes); ++s)
+      if (nn::kernels::backend_supported(be))
+        benchmark::RegisterBenchmark("bm_gemm_backend", bm_gemm_backend)
+            ->Args({static_cast<std::int64_t>(be), static_cast<std::int64_t>(s)});
+}
+
+// --- Forward-pass pairs: allocating vs workspace ---------------------------
+// Arg 0: legacy forward_const (allocates every intermediate). Arg 1: the
+// workspace overload (zero steady-state allocations). The delta is what the
+// engine's per-worker workspaces buy on the inference hot path.
+void bm_seq_regressor_forward(benchmark::State& state) {
+  util::rng rng{8};
+  nn::seq_regressor_config cfg;  // defaults = CPU-scaled Table 1 widths
+  nn::seq_regressor net{cfg, rng};
+  nn::seq_batch x{64, 21, cfg.input_dim};
+  for (auto& v : x.data()) v = rng.uniform(-1.0, 1.0);
+  nn::workspace ws;
+  for (auto _ : state) {
+    if (state.range(0) == 0) {
+      auto y = net.forward_const(x);
+      benchmark::DoNotOptimize(y.data().data());
+    } else {
+      ws.reset();
+      const nn::matrix& y = net.forward(x, ws);
+      benchmark::DoNotOptimize(y.data().data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * x.batch());
+}
+BENCHMARK(bm_seq_regressor_forward)->Arg(0)->Arg(1);
+
+void bm_mlp_forward(benchmark::State& state) {
+  util::rng rng{9};
+  nn::mlp net{{357, 64, 32, 1}, nn::activation::relu, rng};
+  nn::matrix x{256, 357};
+  for (auto& v : x.data()) v = rng.uniform(-1.0, 1.0);
+  nn::workspace ws;
+  for (auto _ : state) {
+    if (state.range(0) == 0) {
+      auto y = net.forward_const(x);
+      benchmark::DoNotOptimize(y.data().data());
+    } else {
+      ws.reset();
+      const nn::matrix& y = net.forward(x, ws);
+      benchmark::DoNotOptimize(y.data().data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * x.rows());
+}
+BENCHMARK(bm_mlp_forward)->Arg(0)->Arg(1);
 
 void bm_traffic_manager(benchmark::State& state) {
   const auto kind = static_cast<des::scheduler_kind>(state.range(0));
@@ -192,6 +292,7 @@ BENCHMARK(bm_obs_histogram_handle)->Arg(0)->Arg(1);
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  register_gemm_backend_benches();
   {
     obs::scoped_timer run_timer{bench::bench_sink(), "bench", "micro_kernels"};
     benchmark::RunSpecifiedBenchmarks();

@@ -21,7 +21,7 @@ std::vector<traffic::packet_stream> device_model::process(
     bool apply_sec, std::vector<predicted_hop>* hops,
     std::vector<traffic::packet>* dropped,
     std::span<const double> port_bandwidths, const journey_capture* journeys,
-    obs::sink* sink) const {
+    obs::sink* sink, nn::workspace* workspace) const {
   const std::size_t ports = ingress.size();
   // PFM: exact forwarding into per-egress-queue arrival series.
   std::vector<traffic::packet_stream> queues =
@@ -103,8 +103,10 @@ std::vector<traffic::packet_stream> device_model::process(
     const auto rows = compute_features(queue, port_ctx);
     const auto windows = make_windows(rows, ptm_->config().time_steps);
     std::vector<double> raw_sojourns;
-    auto sojourns = ptm_->predict(windows, apply_sec,
-                                  tracer != nullptr ? &raw_sojourns : nullptr);
+    std::vector<double>* const raw = tracer != nullptr ? &raw_sojourns : nullptr;
+    auto sojourns = workspace != nullptr
+                        ? ptm_->predict(windows, *workspace, apply_sec, raw)
+                        : ptm_->predict(windows, apply_sec, raw);
 
     // Scheduler-theoretic bound (prior knowledge, like the PFM): under
     // non-preemptive strict priority, the highest class waits exactly its

@@ -54,13 +54,18 @@ class device_model {
   // feasibility projection. `journeys` opts sampled packets into per-hop
   // journey tracing (see journey_capture); `sink` records PFM/drop counters
   // through lock-free handles — both default to off and cost one branch.
+  // `workspace`, if non-null, is the caller-owned inference arena handed to
+  // every PTM predict call (one per worker thread; the engine reuses it
+  // across devices and IRSA iterations so steady state allocates nothing).
+  // Null falls back to the PTM's thread_local workspace.
   [[nodiscard]] std::vector<traffic::packet_stream> process(
       const std::vector<traffic::packet_stream>& ingress, const forward_fn& forward,
       bool apply_sec = true, std::vector<predicted_hop>* hops = nullptr,
       std::vector<traffic::packet>* dropped = nullptr,
       std::span<const double> port_bandwidths = {},
       const journey_capture* journeys = nullptr,
-      obs::sink* sink = nullptr) const;
+      obs::sink* sink = nullptr,
+      nn::workspace* workspace = nullptr) const;
 
   [[nodiscard]] const scheduler_context& context() const noexcept { return ctx_; }
 

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "nn/kernels/gemm.hpp"
+#include "nn/workspace.hpp"
 #include "obs/journey.hpp"
 #include "obs/scoped_timer.hpp"
 #include "obs/sink.hpp"
@@ -108,6 +110,9 @@ des::run_result dqn_network::run(
     device_seconds_handle =
         sink->histogram_handle_for("engine.device_infer_seconds");
     if (sink->journeys().enabled()) tracer = &sink->journeys();
+    // Which GEMM backend this run's inference rides on (selected once at
+    // startup; see nn/kernels/gemm.hpp).
+    nn::kernels::report_dispatch(*sink);
   }
 
   // SInit: place the injected streams as the hosts' (fixed) egress streams,
@@ -117,6 +122,8 @@ des::run_result dqn_network::run(
   for (std::size_t i = 0; i < topo_->node_count(); ++i)
     egress[i].resize(topo_->port_count(static_cast<topo::node_id>(i)));
   std::unordered_map<std::uint64_t, double> send_times;
+  // The host-NIC loop runs on this thread; one workspace serves every host.
+  nn::workspace host_nic_workspace;
   for (std::size_t i = 0; i < hosts.size(); ++i) {
     auto& out = egress[static_cast<std::size_t>(hosts[i])][0];
     for (const auto& ev : host_streams[i]) {
@@ -142,7 +149,8 @@ des::run_result dqn_network::run(
       const double bandwidths[1] = {nic_bps};
       auto egress_streams = host_nic_.process(
           {out}, [](std::uint32_t, std::size_t) { return std::size_t{0}; },
-          config_.apply_sec, nullptr, nullptr, bandwidths, nullptr, sink);
+          config_.apply_sec, nullptr, nullptr, bandwidths, nullptr, sink,
+          &host_nic_workspace);
       out = std::move(egress_streams[0]);
     }
   }
@@ -169,6 +177,11 @@ des::run_result dqn_network::run(
   std::vector<std::uint8_t> changed(devices.size(), 0);
   std::vector<std::size_t> inferences(ranges.size(), 0);
   std::vector<std::size_t> skips(ranges.size(), 0);
+  // One inference workspace per partition worker, alive across devices and
+  // IRSA iterations: after the first pass over a partition's devices the
+  // arenas have grown to their high-water shapes and the PTM forward path
+  // stops allocating entirely.
+  std::vector<nn::workspace> partition_workspaces(ranges.size());
   for (std::size_t iteration = 0; iteration < max_iterations; ++iteration) {
     obs::scoped_timer iteration_timer{sink, "engine", "iteration", iteration};
     // Double buffer: every device reads iteration t-1 state (Algorithm 1
@@ -233,7 +246,8 @@ des::run_result dqn_network::run(
         const journey_capture capture{tracer, static_cast<std::int64_t>(node)};
         next[n] = model->process(ingress, forward_by_flow, config_.apply_sec, hops,
                                  &device_drops[n], port_bandwidths,
-                                 tracer != nullptr ? &capture : nullptr, sink);
+                                 tracer != nullptr ? &capture : nullptr, sink,
+                                 &partition_workspaces[r]);
         device_span.set_value(1.0);  // 1 = inferred (skips end with value 0)
         device_seconds_handle.observe(device_span.stop());
         ++inferences[r];

@@ -62,7 +62,7 @@ ptm_model::ptm_model(const ptm_config& config) : config_{config} {
 namespace {
 
 // x -> log1p(x / scale) for the heavy-tailed features (features.hpp).
-void apply_feature_log(std::vector<double>& flat_windows) {
+void apply_feature_log(std::span<double> flat_windows) {
   for (std::size_t i = 0; i < flat_windows.size(); ++i) {
     const double scale = feature_log_scale[i % feature_count];
     if (scale > 0) flat_windows[i] = std::log1p(flat_windows[i] / scale);
@@ -109,6 +109,20 @@ nn::seq_batch ptm_model::scale_windows(std::span<const double> windows) const {
             " not a multiple of window ", window_size);
   const std::size_t n = windows.size() / window_size;
   nn::seq_batch batch{n, config_.time_steps, feature_count};
+  std::copy(windows.begin(), windows.end(), batch.data().begin());
+  apply_feature_log(batch.data());
+  feature_scaler_.transform(batch);
+  return batch;
+}
+
+nn::seq_batch& ptm_model::scale_windows_into(std::span<const double> windows,
+                                             nn::workspace& ws) const {
+  const std::size_t window_size = config_.time_steps * feature_count;
+  DQN_CHECK(windows.size() % window_size == 0,
+            "ptm_model: windows size ", windows.size(),
+            " not a multiple of window ", window_size);
+  const std::size_t n = windows.size() / window_size;
+  nn::seq_batch& batch = ws.take_seq(n, config_.time_steps, feature_count);
   std::copy(windows.begin(), windows.end(), batch.data().begin());
   apply_feature_log(batch.data());
   feature_scaler_.transform(batch);
@@ -162,6 +176,12 @@ training_report ptm_model::train(
     batch_mse_handle = config_.sink->histogram_handle_for("ptm.batch_mse");
   }
   const std::size_t batch_size = std::min(config_.batch_size, n);
+  // Batch staging buffers hoisted out of the loops: every iteration reuses
+  // the same allocations instead of constructing fresh tensors per batch.
+  nn::seq_batch batch{batch_size, config_.time_steps, feature_count};
+  nn::matrix targets{batch_size, 1};
+  nn::matrix flat{batch_size, config_.time_steps * feature_count};
+  nn::matrix sample_row{config_.time_steps, feature_count};
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
     obs::scoped_timer epoch_timer{config_.sink, "ptm", "epoch", epoch};
     shuffle_rng.shuffle(order);
@@ -169,11 +189,10 @@ training_report ptm_model::train(
     double grad_norm = 0;
     std::size_t batches = 0;
     for (std::size_t begin = 0; begin + batch_size <= n; begin += batch_size) {
-      nn::seq_batch batch{batch_size, config_.time_steps, feature_count};
-      nn::matrix targets{batch_size, 1};
       for (std::size_t b = 0; b < batch_size; ++b) {
         const std::size_t src = order[begin + b];
-        batch.set_sample(b, all.sample(src));
+        all.sample_into(src, sample_row);
+        batch.set_sample(b, sample_row);
         targets(b, 0) = target_scaler_.transform(residual_to_net(
             data.targets[src],
             window_prior_bound(data.windows, src, config_.time_steps)));
@@ -183,10 +202,9 @@ training_report ptm_model::train(
         const nn::matrix pred = attention_net_.forward(batch);
         loss = attention_net_.backward_mse(pred, targets);
       } else {
-        nn::matrix flat{batch_size, config_.time_steps * feature_count};
         std::copy(batch.data().begin(), batch.data().end(), flat.data().begin());
         const nn::matrix pred = mlp_net_.forward(flat);
-        nn::matrix grad{batch_size, 1};
+        nn::matrix grad{batch_size, 1};  // backward consumes it; cheap next to the GEMMs
         for (std::size_t b = 0; b < batch_size; ++b) {
           const double diff = pred(b, 0) - targets(b, 0);
           loss += diff * diff;
@@ -229,18 +247,34 @@ training_report ptm_model::train(
 std::vector<double> ptm_model::predict(std::span<const double> windows,
                                        bool apply_sec,
                                        std::vector<double>* raw_out) const {
+  // One workspace per thread keeps this overload thread-safe (the documented
+  // contract) while still running the zero-allocation forward path.
+  thread_local nn::workspace ws;
+  return predict(windows, ws, apply_sec, raw_out);
+}
+
+std::vector<double> ptm_model::predict(std::span<const double> windows,
+                                       nn::workspace& ws, bool apply_sec,
+                                       std::vector<double>* raw_out) const {
   if (!trained_) throw std::logic_error{"ptm_model::predict: model not trained"};
-  const nn::seq_batch batch = scale_windows(windows);
+  ws.reset();
+  const nn::seq_batch& batch = scale_windows_into(windows, ws);
   const std::size_t n = batch.batch();
   std::vector<double> out(n);
   if (config_.arch == ptm_arch::attention) {
-    const nn::matrix pred = attention_net_.forward_const(batch);
+    const nn::matrix& pred = attention_net_.forward(batch, ws);
     for (std::size_t i = 0; i < n; ++i) out[i] = pred(i, 0);
   } else {
-    nn::matrix flat{n, config_.time_steps * feature_count};
+    nn::matrix& flat = ws.take(n, config_.time_steps * feature_count);
     std::copy(batch.data().begin(), batch.data().end(), flat.data().begin());
-    const nn::matrix pred = mlp_net_.forward_const(flat);
+    const nn::matrix& pred = mlp_net_.forward(flat, ws);
     for (std::size_t i = 0; i < n; ++i) out[i] = pred(i, 0);
+  }
+  if (config_.sink != nullptr) {
+    // Pre-resolved handle, same idiom as the SEC metrics below: one name
+    // lookup per call, lock-free store.
+    obs::gauge_handle ws_bytes = config_.sink->gauge_handle_for("nn.workspace_bytes");
+    ws_bytes.set(static_cast<double>(ws.bytes()));
   }
   if (raw_out != nullptr) {
     raw_out->clear();

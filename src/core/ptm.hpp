@@ -24,6 +24,7 @@
 #include "nn/mlp.hpp"
 #include "nn/scaler.hpp"
 #include "nn/seq_regressor.hpp"
+#include "nn/workspace.hpp"
 
 namespace dqn::core {
 
@@ -94,6 +95,17 @@ class ptm_model {
       std::span<const double> windows, bool apply_sec = true,
       std::vector<double>* raw_out = nullptr) const;
 
+  // Workspace-taking predict: the entire forward pass (scaled windows, layer
+  // activations) runs out of `ws`, so the steady state allocates nothing.
+  // The engine hands each partition worker its own workspace; callers that
+  // share one across threads get data races. Resets `ws` on entry. When
+  // config().sink is set, records the "nn.workspace_bytes" gauge through a
+  // pre-resolved handle. The signature-compatible overload above uses a
+  // thread_local workspace, keeping predict thread-safe for existing callers.
+  [[nodiscard]] std::vector<double> predict(
+      std::span<const double> windows, nn::workspace& ws, bool apply_sec = true,
+      std::vector<double>* raw_out = nullptr) const;
+
   [[nodiscard]] const ptm_config& config() const noexcept { return config_; }
   [[nodiscard]] bool trained() const noexcept { return trained_; }
   // SEC is fit per scheduler kind: the residual structure differs between
@@ -114,6 +126,9 @@ class ptm_model {
 
  private:
   [[nodiscard]] nn::seq_batch scale_windows(std::span<const double> windows) const;
+  // Allocation-free variant: the scaled batch is a workspace slot.
+  [[nodiscard]] nn::seq_batch& scale_windows_into(std::span<const double> windows,
+                                                  nn::workspace& ws) const;
 
   ptm_config config_;
   nn::seq_regressor attention_net_;

@@ -1,0 +1,47 @@
+// 64-byte-aligned storage for the neural substrate. Every double buffer the
+// GEMM kernels touch (matrix, seq_batch, layer biases) allocates through
+// aligned_allocator so SIMD loads never straddle a cache line and the
+// kernels can assume natural vector alignment of row starts when the width
+// allows it. 64 bytes covers AVX-512 (the widest path in nn/kernels) and is
+// exactly one cache line, so adjacent buffers never false-share.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace dqn::nn {
+
+inline constexpr std::size_t kernel_alignment = 64;
+
+template <class T, std::size_t Align = kernel_alignment>
+struct aligned_allocator {
+  using value_type = T;
+
+  aligned_allocator() noexcept = default;
+  template <class U>
+  explicit aligned_allocator(const aligned_allocator<U, Align>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Align});
+  }
+
+  template <class U>
+  struct rebind {
+    using other = aligned_allocator<U, Align>;
+  };
+
+  friend bool operator==(const aligned_allocator&, const aligned_allocator&) noexcept {
+    return true;
+  }
+};
+
+// The storage type behind nn::matrix / nn::seq_batch and the optimizer's
+// parameter registry (nn/params.hpp).
+using aligned_vector = std::vector<double, aligned_allocator<double>>;
+
+}  // namespace dqn::nn

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "nn/kernels/gemm.hpp"
 #include "util/check.hpp"
 
 namespace dqn::nn {
@@ -83,6 +84,60 @@ seq_batch multi_head_attention::forward_const(const seq_batch& x) const {
   seq_batch out{x.batch(), x.time(), config_.out_dim};
   for (std::size_t b = 0; b < x.batch(); ++b)
     out.set_sample(b, forward_sample(x.sample(b), nullptr));
+  return out;
+}
+
+const seq_batch& multi_head_attention::forward(const seq_batch& x,
+                                               workspace& ws) const {
+  DQN_CHECK(x.features() == config_.model_dim, "attention::forward: got ",
+            x.features(), " features, want ", config_.model_dim);
+  const std::size_t batch = x.batch(), time = x.time();
+  const double scale = 1.0 / std::sqrt(static_cast<double>(config_.key_dim));
+  seq_batch& out = ws.take_seq(batch, time, config_.out_dim);
+  matrix& xs = ws.take(time, config_.model_dim);
+  matrix& q = ws.take(time, config_.key_dim);
+  matrix& k = ws.take(time, config_.key_dim);
+  matrix& v = ws.take(time, config_.value_dim);
+  matrix& scores = ws.take(time, time);
+  matrix& head_out = ws.take(time, config_.value_dim);
+  matrix& concat = ws.take(time, config_.heads * config_.value_dim);
+  matrix& proj = ws.take(time, config_.out_dim);
+  for (std::size_t b = 0; b < batch; ++b) {
+    x.sample_into(b, xs);
+    for (std::size_t h = 0; h < config_.heads; ++h) {
+      kernels::gemm_nn(xs.data().data(), wq_[h].data().data(), q.data().data(),
+                       time, config_.key_dim, config_.model_dim, false);
+      kernels::gemm_nn(xs.data().data(), wk_[h].data().data(), k.data().data(),
+                       time, config_.key_dim, config_.model_dim, false);
+      kernels::gemm_nn(xs.data().data(), wv_[h].data().data(), v.data().data(),
+                       time, config_.value_dim, config_.model_dim, false);
+      kernels::gemm_nt(q.data().data(), k.data().data(), scores.data().data(),
+                       time, time, config_.key_dim, false);
+      for (auto& s : scores.data()) s *= scale;
+      // Row-wise softmax with max-subtraction, same order as forward_sample.
+      for (std::size_t i = 0; i < time; ++i) {
+        auto row = scores.row(i);
+        double mx = row[0];
+        for (double s : row) mx = std::max(mx, s);
+        double total = 0;
+        for (auto& s : row) {
+          s = std::exp(s - mx);
+          total += s;
+        }
+        for (auto& s : row) s /= total;
+      }
+      kernels::gemm_nn(scores.data().data(), v.data().data(),
+                       head_out.data().data(), time, config_.value_dim, time,
+                       false);
+      for (std::size_t t = 0; t < time; ++t)
+        for (std::size_t f = 0; f < config_.value_dim; ++f)
+          concat(t, h * config_.value_dim + f) = head_out(t, f);
+    }
+    kernels::gemm_nn(concat.data().data(), wo_.data().data(),
+                     proj.data().data(), time, config_.out_dim,
+                     config_.heads * config_.value_dim, false);
+    out.set_sample(b, proj);
+  }
   return out;
 }
 

@@ -9,6 +9,7 @@
 #include "nn/matrix.hpp"
 #include "nn/params.hpp"
 #include "nn/seq.hpp"
+#include "nn/workspace.hpp"
 #include "util/rng.hpp"
 
 namespace dqn::nn {
@@ -29,6 +30,10 @@ class multi_head_attention {
   // x: (B, T, D) → (B, T, out_dim). Caches per-sample activations.
   [[nodiscard]] seq_batch forward(const seq_batch& x);
   [[nodiscard]] seq_batch forward_const(const seq_batch& x) const;
+  // Allocation-free inference forward: per-head scratch (q/k/v/scores) is
+  // hoisted out of the sample loop into `ws` slots and reused across the
+  // whole batch. Result valid until the next ws.reset().
+  [[nodiscard]] const seq_batch& forward(const seq_batch& x, workspace& ws) const;
 
   [[nodiscard]] seq_batch backward(const seq_batch& grad_out);
 

@@ -6,6 +6,9 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "nn/kernels/epilogue.hpp"
+#include "nn/kernels/gemm.hpp"
+
 namespace dqn::nn {
 
 double apply_activation(activation act, double x) noexcept {
@@ -46,6 +49,15 @@ matrix dense::forward_const(const matrix& x) const {
   add_row_vector(y, b_);
   if (act_ != activation::identity)
     for (auto& v : y.data()) v = apply_activation(act_, v);
+  return y;
+}
+
+const matrix& dense::forward(const matrix& x, workspace& ws) const {
+  matrix& y = ws.take(x.rows(), w_.cols());
+  kernels::gemm_nn(x.data().data(), w_.data().data(), y.data().data(),
+                   x.rows(), w_.cols(), w_.rows(), /*accumulate=*/false);
+  kernels::bias_act(y.data().data(), b_.data(), y.rows(), y.cols(),
+                    static_cast<kernels::unary>(act_));
   return y;
 }
 

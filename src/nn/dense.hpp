@@ -5,6 +5,7 @@
 
 #include "nn/matrix.hpp"
 #include "nn/params.hpp"
+#include "nn/workspace.hpp"
 #include "util/rng.hpp"
 
 namespace dqn::nn {
@@ -25,6 +26,9 @@ class dense {
   // Inference-only forward: no caches touched (usable concurrently from
   // multiple threads on a const layer).
   [[nodiscard]] matrix forward_const(const matrix& x) const;
+  // Allocation-free inference forward: result lives in `ws` until its next
+  // reset. GEMM + fused bias/activation epilogue, no intermediates.
+  [[nodiscard]] const matrix& forward(const matrix& x, workspace& ws) const;
 
   // grad_y: (batch, out_dim) → returns grad_x; accumulates weight grads.
   [[nodiscard]] matrix backward(const matrix& grad_y);
@@ -40,9 +44,9 @@ class dense {
 
  private:
   matrix w_;                     // (in, out)
-  std::vector<double> b_;        // (out)
+  aligned_vector b_;             // (out)
   matrix gw_;
-  std::vector<double> gb_;
+  aligned_vector gb_;
   activation act_ = activation::identity;
   matrix last_x_;
   matrix last_y_;

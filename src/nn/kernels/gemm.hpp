@@ -1,0 +1,83 @@
+// GEMM kernel layer: cache-blocked, SIMD-vectorized matrix multiply over
+// row-major double panels, with runtime backend dispatch.
+//
+// Three operand orders cover everything the layers need (nn/matrix.hpp keeps
+// the matrix-typed wrappers on top of these):
+//   gemm_nn : C (m×n) ?= A (m×k)  · B (k×n)
+//   gemm_tn : C (m×n) ?= Aᵀ(k×m)ᵀ · B (k×n)   (A stored k×m)
+//   gemm_nt : C (m×n) ?= A (m×k)  · Bᵀ(n×k)ᵀ  (B stored n×k)
+// `accumulate` selects += (true) vs = (false). Operands must be contiguous
+// row-major and must not alias C.
+//
+// Backends, weakest to strongest:
+//   naive   — the original triple loop, retained as the parity/bench
+//             reference (never auto-selected);
+//   blocked — portable cache-blocked scalar kernel, the fallback floor;
+//   avx2    — 4×8 register-tiled FMA micro-kernel (x86-64, AVX2+FMA);
+//   avx512  — 4×16 register-tiled micro-kernel (x86-64, AVX-512F).
+// The active backend is selected once, at first use: the strongest backend
+// both compiled in and supported by the running CPU, overridable with the
+// DQN_KERNEL_BACKEND environment variable (naive|blocked|avx2|avx512;
+// silently ignored when unsupported — startup cannot throw). Tests and
+// benches can pin a backend with force_backend().
+//
+// Numerics: all backends accumulate over k in ascending order per output
+// element, so they agree with the naive reference to FMA-rounding and
+// panel-partial-sum association — within 1e-10 relative of the reference
+// (tests/test_kernels.cpp holds every backend to that bound).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dqn::obs {
+class sink;
+}  // namespace dqn::obs
+
+namespace dqn::nn::kernels {
+
+enum class backend : std::uint8_t { naive = 0, blocked = 1, avx2 = 2, avx512 = 3 };
+
+[[nodiscard]] const char* to_string(backend be) noexcept;
+
+// Compiled in AND usable on the running CPU.
+[[nodiscard]] bool backend_supported(backend be) noexcept;
+// Strongest supported backend (never naive; blocked is the floor).
+[[nodiscard]] backend best_supported_backend() noexcept;
+// The backend dispatch currently routes through.
+[[nodiscard]] backend active_backend() noexcept;
+// Pin the dispatch (tests/benches). Throws std::invalid_argument when `be`
+// is not supported on this build/CPU.
+void force_backend(backend be);
+// Re-run startup selection (best supported + DQN_KERNEL_BACKEND override).
+void reset_backend() noexcept;
+
+// Record the dispatch decision on an obs sink: gauge "nn.kernel_backend"
+// (numeric enum value) plus one "nn"/"kernel_dispatch" trace event whose
+// value is the same id. Call once per sink; cheap either way.
+void report_dispatch(obs::sink& sink);
+
+// Dispatched entry points (the ones nn::matmul* ride on).
+void gemm_nn(const double* a, const double* b, double* c, std::size_t m,
+             std::size_t n, std::size_t k, bool accumulate);
+void gemm_tn(const double* a, const double* b, double* c, std::size_t m,
+             std::size_t n, std::size_t k, bool accumulate);
+void gemm_nt(const double* a, const double* b, double* c, std::size_t m,
+             std::size_t n, std::size_t k, bool accumulate);
+
+// Explicit-backend entry points (parity tests, naive-vs-X benches). Throws
+// std::invalid_argument for an unsupported backend.
+void gemm_nn(backend be, const double* a, const double* b, double* c,
+             std::size_t m, std::size_t n, std::size_t k, bool accumulate);
+void gemm_tn(backend be, const double* a, const double* b, double* c,
+             std::size_t m, std::size_t n, std::size_t k, bool accumulate);
+void gemm_nt(backend be, const double* a, const double* b, double* c,
+             std::size_t m, std::size_t n, std::size_t k, bool accumulate);
+
+// Cache-blocked transpose: out (cols×rows) = inᵀ for row-major in (rows×cols).
+// Blocked 32×32 so both streams stay tile-local instead of one of them
+// striding a full row per element.
+void transpose_blocked(const double* in, double* out, std::size_t rows,
+                       std::size_t cols);
+
+}  // namespace dqn::nn::kernels

@@ -5,6 +5,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "nn/kernels/epilogue.hpp"
+#include "nn/kernels/gemm.hpp"
 #include "util/check.hpp"
 
 namespace dqn::nn {
@@ -95,6 +97,30 @@ seq_batch lstm::forward_const(const seq_batch& x) const {
   for (std::size_t s = 0; s < time; ++s) {
     const std::size_t t = reverse_ ? time - 1 - s : s;
     step(x.time_slice(t), h, c, nullptr);
+    out.set_time_slice(t, h);
+  }
+  return out;
+}
+
+const seq_batch& lstm::forward(const seq_batch& x, workspace& ws) const {
+  DQN_CHECK(x.features() == input_dim(), "lstm::forward: got ", x.features(),
+            " features, want ", input_dim());
+  const std::size_t batch = x.batch(), time = x.time(), hidden = hidden_dim();
+  seq_batch& out = ws.take_seq(batch, time, hidden);
+  matrix& h = ws.take_zeroed(batch, hidden);
+  matrix& c = ws.take_zeroed(batch, hidden);
+  matrix& xt = ws.take(batch, input_dim());
+  matrix& z = ws.take(batch, 4 * hidden);
+  for (std::size_t s = 0; s < time; ++s) {
+    const std::size_t t = reverse_ ? time - 1 - s : s;
+    x.time_slice_into(t, xt);
+    kernels::gemm_nn(xt.data().data(), wx_.data().data(), z.data().data(),
+                     batch, 4 * hidden, input_dim(), /*accumulate=*/false);
+    kernels::gemm_nn(h.data().data(), wh_.data().data(), z.data().data(),
+                     batch, 4 * hidden, hidden, /*accumulate=*/true);
+    kernels::lstm_gates(z.data().data(), b_.data(), batch, hidden);
+    kernels::lstm_state(z.data().data(), c.data().data(), h.data().data(),
+                        batch, hidden);
     out.set_time_slice(t, h);
   }
   return out;
@@ -209,6 +235,20 @@ seq_batch bilstm::forward(const seq_batch& x) {
 
 seq_batch bilstm::forward_const(const seq_batch& x) const {
   return concat_features(fwd_.forward_const(x), bwd_.forward_const(x));
+}
+
+const seq_batch& bilstm::forward(const seq_batch& x, workspace& ws) const {
+  const seq_batch& a = fwd_.forward(x, ws);
+  const seq_batch& b = bwd_.forward(x, ws);
+  seq_batch& out = ws.take_seq(a.batch(), a.time(), a.features() + b.features());
+  for (std::size_t bi = 0; bi < a.batch(); ++bi)
+    for (std::size_t t = 0; t < a.time(); ++t) {
+      for (std::size_t f = 0; f < a.features(); ++f)
+        out.at(bi, t, f) = a.at(bi, t, f);
+      for (std::size_t f = 0; f < b.features(); ++f)
+        out.at(bi, t, a.features() + f) = b.at(bi, t, f);
+    }
+  return out;
 }
 
 seq_batch bilstm::backward(const seq_batch& grad_out) {

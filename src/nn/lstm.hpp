@@ -9,6 +9,7 @@
 #include "nn/matrix.hpp"
 #include "nn/params.hpp"
 #include "nn/seq.hpp"
+#include "nn/workspace.hpp"
 #include "util/rng.hpp"
 
 namespace dqn::nn {
@@ -23,6 +24,9 @@ class lstm {
   // x: (B, T, F) → hidden states (B, T, H). Caches activations for backward.
   [[nodiscard]] seq_batch forward(const seq_batch& x);
   [[nodiscard]] seq_batch forward_const(const seq_batch& x) const;
+  // Allocation-free inference forward: all state (h, c, per-step gate
+  // pre-activations) lives in `ws`; result valid until the next ws.reset().
+  [[nodiscard]] const seq_batch& forward(const seq_batch& x, workspace& ws) const;
 
   // grad_h: (B, T, H) → grad_x (B, T, F); accumulates weight grads.
   [[nodiscard]] seq_batch backward(const seq_batch& grad_h);
@@ -51,10 +55,10 @@ class lstm {
 
   matrix wx_;  // (F, 4H)
   matrix wh_;  // (H, 4H)
-  std::vector<double> b_;  // (4H)
+  aligned_vector b_;  // (4H)
   matrix gwx_;
   matrix gwh_;
-  std::vector<double> gb_;
+  aligned_vector gb_;
   bool reverse_ = false;
   std::vector<step_cache> caches_;  // indexed by processing step
   std::size_t cached_time_ = 0;
@@ -69,6 +73,8 @@ class bilstm {
 
   [[nodiscard]] seq_batch forward(const seq_batch& x);
   [[nodiscard]] seq_batch forward_const(const seq_batch& x) const;
+  // Allocation-free inference forward (see lstm::forward overload).
+  [[nodiscard]] const seq_batch& forward(const seq_batch& x, workspace& ws) const;
   [[nodiscard]] seq_batch backward(const seq_batch& grad_out);
 
   void collect_params(param_list& out);

@@ -5,28 +5,21 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "nn/kernels/gemm.hpp"
 #include "util/check.hpp"
 
 namespace dqn::nn {
 
-// i-k-j loop order: the inner loop walks both b and out contiguously, which
-// keeps the naive kernel within a small factor of a tuned BLAS for the sizes
-// these models use.
+// The matrix-typed matmul entry points are shape-checking shims over the
+// kernel layer (nn/kernels/gemm.hpp), which picks the strongest compiled-in
+// backend for the running CPU once at startup.
 void matmul_acc(const matrix& a, const matrix& b, matrix& out) {
   DQN_CHECK(a.cols() == b.rows(), "matmul: inner dimensions differ: ", a.rows(),
             "x", a.cols(), " * ", b.rows(), "x", b.cols());
   DQN_CHECK(out.rows() == a.rows() && out.cols() == b.cols(),
             "matmul: bad out shape ", out.rows(), "x", out.cols());
-  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-  for (std::size_t i = 0; i < m; ++i) {
-    double* out_row = out.data().data() + i * n;
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const double aik = a(i, kk);
-      if (aik == 0.0) continue;
-      const double* b_row = b.data().data() + kk * n;
-      for (std::size_t j = 0; j < n; ++j) out_row[j] += aik * b_row[j];
-    }
-  }
+  kernels::gemm_nn(a.data().data(), b.data().data(), out.data().data(),
+                   a.rows(), b.cols(), a.cols(), /*accumulate=*/true);
 }
 
 matrix matmul(const matrix& a, const matrix& b) {
@@ -40,17 +33,8 @@ void matmul_tn_acc(const matrix& a, const matrix& b, matrix& out) {
             a.rows(), "x", a.cols(), " vs ", b.rows(), "x", b.cols());
   DQN_CHECK(out.rows() == a.cols() && out.cols() == b.cols(),
             "matmul_tn: bad out shape ", out.rows(), "x", out.cols());
-  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
-  for (std::size_t kk = 0; kk < k; ++kk) {
-    const double* a_row = a.data().data() + kk * m;
-    const double* b_row = b.data().data() + kk * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const double aki = a_row[i];
-      if (aki == 0.0) continue;
-      double* out_row = out.data().data() + i * n;
-      for (std::size_t j = 0; j < n; ++j) out_row[j] += aki * b_row[j];
-    }
-  }
+  kernels::gemm_tn(a.data().data(), b.data().data(), out.data().data(),
+                   a.cols(), b.cols(), a.rows(), /*accumulate=*/true);
 }
 
 matrix matmul_tn(const matrix& a, const matrix& b) {
@@ -64,17 +48,8 @@ void matmul_nt_acc(const matrix& a, const matrix& b, matrix& out) {
             a.rows(), "x", a.cols(), " vs ", b.rows(), "x", b.cols());
   DQN_CHECK(out.rows() == a.rows() && out.cols() == b.rows(),
             "matmul_nt: bad out shape ", out.rows(), "x", out.cols());
-  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
-  for (std::size_t i = 0; i < m; ++i) {
-    const double* a_row = a.data().data() + i * k;
-    double* out_row = out.data().data() + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const double* b_row = b.data().data() + j * k;
-      double acc = 0;
-      for (std::size_t kk = 0; kk < k; ++kk) acc += a_row[kk] * b_row[kk];
-      out_row[j] += acc;
-    }
-  }
+  kernels::gemm_nt(a.data().data(), b.data().data(), out.data().data(),
+                   a.rows(), b.rows(), a.cols(), /*accumulate=*/true);
 }
 
 matrix matmul_nt(const matrix& a, const matrix& b) {
@@ -111,8 +86,8 @@ matrix hadamard(const matrix& a, const matrix& b) {
 
 matrix transpose(const matrix& m) {
   matrix out{m.cols(), m.rows()};
-  for (std::size_t r = 0; r < m.rows(); ++r)
-    for (std::size_t c = 0; c < m.cols(); ++c) out(c, r) = m(r, c);
+  kernels::transpose_blocked(m.data().data(), out.data().data(), m.rows(),
+                             m.cols());
   return out;
 }
 

@@ -8,8 +8,8 @@
 #include <iosfwd>
 #include <span>
 #include <stdexcept>
-#include <vector>
 
+#include "nn/aligned.hpp"
 #include "util/rng.hpp"
 
 namespace dqn::nn {
@@ -19,7 +19,7 @@ class matrix {
   matrix() = default;
   matrix(std::size_t rows, std::size_t cols)
       : rows_{rows}, cols_{cols}, data_(rows * cols, 0.0) {}
-  matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
+  matrix(std::size_t rows, std::size_t cols, aligned_vector data)
       : rows_{rows}, cols_{cols}, data_{std::move(data)} {
     if (data_.size() != rows * cols)
       throw std::invalid_argument{"matrix: data size does not match shape"};
@@ -44,12 +44,25 @@ class matrix {
     return {data_.data() + r * cols_, cols_};
   }
 
-  [[nodiscard]] std::vector<double>& data() noexcept { return data_; }
-  [[nodiscard]] const std::vector<double>& data() const noexcept { return data_; }
+  [[nodiscard]] aligned_vector& data() noexcept { return data_; }
+  [[nodiscard]] const aligned_vector& data() const noexcept { return data_; }
 
   void fill(double value) noexcept {
     for (auto& x : data_) x = value;
   }
+
+  // Reshape without shrinking the underlying allocation: once the buffer has
+  // grown to the largest shape a call site uses, later resizes are free.
+  // Contents after resize are unspecified (workspace users overwrite).
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
+  // Doubles currently reserved by the backing allocation (for the
+  // nn.workspace_bytes gauge and the zero-allocation tests).
+  [[nodiscard]] std::size_t capacity() const noexcept { return data_.capacity(); }
 
   // Gaussian init with the given standard deviation.
   static matrix randn(std::size_t rows, std::size_t cols, util::rng& rng,
@@ -70,7 +83,7 @@ class matrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  aligned_vector data_;
 };
 
 // out = a * b            (m×k · k×n → m×n)

@@ -29,6 +29,13 @@ matrix mlp::forward_const(const matrix& x) const {
   return h;
 }
 
+const matrix& mlp::forward(const matrix& x, workspace& ws) const {
+  if (layers_.empty()) throw std::logic_error{"mlp: not initialized"};
+  const matrix* h = &x;
+  for (const auto& layer : layers_) h = &layer.forward(*h, ws);
+  return *h;
+}
+
 matrix mlp::backward(const matrix& grad_y) {
   matrix g = grad_y;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = it->backward(g);

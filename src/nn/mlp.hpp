@@ -21,6 +21,9 @@ class mlp {
 
   [[nodiscard]] matrix forward(const matrix& x);
   [[nodiscard]] matrix forward_const(const matrix& x) const;
+  // Allocation-free inference forward: layer outputs ping-pong through `ws`
+  // slots. Result valid until the next ws.reset().
+  [[nodiscard]] const matrix& forward(const matrix& x, workspace& ws) const;
   [[nodiscard]] matrix backward(const matrix& grad_y);
 
   void collect_params(param_list& out);

@@ -4,11 +4,13 @@
 
 #include <vector>
 
+#include "nn/aligned.hpp"
+
 namespace dqn::nn {
 
 struct param_ref {
-  std::vector<double>* value = nullptr;
-  std::vector<double>* grad = nullptr;
+  aligned_vector* value = nullptr;
+  aligned_vector* grad = nullptr;
 };
 
 using param_list = std::vector<param_ref>;

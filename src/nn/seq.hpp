@@ -4,8 +4,8 @@
 #pragma once
 
 #include <cstddef>
-#include <vector>
 
+#include "nn/aligned.hpp"
 #include "nn/matrix.hpp"
 #include "util/check.hpp"
 
@@ -31,8 +31,19 @@ class seq_batch {
     return data_[(b * time_ + t) * features_ + f];
   }
 
-  [[nodiscard]] std::vector<double>& data() noexcept { return data_; }
-  [[nodiscard]] const std::vector<double>& data() const noexcept { return data_; }
+  [[nodiscard]] aligned_vector& data() noexcept { return data_; }
+  [[nodiscard]] const aligned_vector& data() const noexcept { return data_; }
+
+  // Reshape without shrinking the backing allocation (see matrix::resize).
+  // Contents after resize are unspecified.
+  void resize(std::size_t batch, std::size_t time, std::size_t features) {
+    batch_ = batch;
+    time_ = time;
+    features_ = features;
+    data_.resize(batch * time * features);
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return data_.capacity(); }
 
   // Copy of the cross-batch slice at time t, shaped (batch, features).
   [[nodiscard]] matrix time_slice(std::size_t t) const {
@@ -41,6 +52,17 @@ class seq_batch {
     for (std::size_t b = 0; b < batch_; ++b)
       for (std::size_t f = 0; f < features_; ++f) m(b, f) = at(b, t, f);
     return m;
+  }
+
+  // Allocation-free variant: writes the slice into `m`, which must already
+  // have shape (batch, features) (workspace slots are pre-sized).
+  void time_slice_into(std::size_t t, matrix& m) const {
+    DQN_CHECK_RANGE(t, time_);
+    DQN_CHECK(m.rows() == batch_ && m.cols() == features_,
+              "seq_batch::time_slice_into: got ", m.rows(), "x", m.cols(),
+              ", want ", batch_, "x", features_);
+    for (std::size_t b = 0; b < batch_; ++b)
+      for (std::size_t f = 0; f < features_; ++f) m(b, f) = at(b, t, f);
   }
 
   void set_time_slice(std::size_t t, const matrix& m) {
@@ -70,6 +92,16 @@ class seq_batch {
     return m;
   }
 
+  // Allocation-free variant of sample(): writes into pre-shaped `m`.
+  void sample_into(std::size_t b, matrix& m) const {
+    DQN_CHECK_RANGE(b, batch_);
+    DQN_CHECK(m.rows() == time_ && m.cols() == features_,
+              "seq_batch::sample_into: got ", m.rows(), "x", m.cols(),
+              ", want ", time_, "x", features_);
+    for (std::size_t t = 0; t < time_; ++t)
+      for (std::size_t f = 0; f < features_; ++f) m(t, f) = at(b, t, f);
+  }
+
   void set_sample(std::size_t b, const matrix& m) {
     DQN_CHECK_RANGE(b, batch_);
     DQN_CHECK(m.rows() == time_ && m.cols() == features_,
@@ -83,7 +115,7 @@ class seq_batch {
   std::size_t batch_ = 0;
   std::size_t time_ = 0;
   std::size_t features_ = 0;
-  std::vector<double> data_;
+  aligned_vector data_;
 };
 
 }  // namespace dqn::nn

@@ -44,6 +44,15 @@ matrix seq_regressor::forward_const(const seq_batch& x) const {
   return head_out_.forward_const(head_hidden_.forward_const(final_step));
 }
 
+const matrix& seq_regressor::forward(const seq_batch& x, workspace& ws) const {
+  const seq_batch* h = &x;
+  for (const auto& layer : encoder_) h = &layer.forward(*h, ws);
+  const seq_batch& attended = attention_.forward(*h, ws);
+  matrix& final_step = ws.take(x.batch(), config_.attention_out);
+  attended.time_slice_into(x.time() - 1, final_step);
+  return head_out_.forward(head_hidden_.forward(final_step, ws), ws);
+}
+
 double seq_regressor::backward_mse(const matrix& predictions, const matrix& targets) {
   if (predictions.rows() != targets.rows() || predictions.cols() != 1 ||
       targets.cols() != 1)

@@ -37,6 +37,11 @@ class seq_regressor {
   // packet in each window.
   [[nodiscard]] matrix forward(const seq_batch& x);
   [[nodiscard]] matrix forward_const(const seq_batch& x) const;
+  // Allocation-free inference forward: the whole chain (encoder, attention,
+  // head) runs out of `ws`. The CALLER owns the workspace lifecycle — this
+  // method only takes slots and never resets, so `x` may itself live in `ws`.
+  // Result valid until the next ws.reset().
+  [[nodiscard]] const matrix& forward(const seq_batch& x, workspace& ws) const;
 
   // MSE loss against targets (B, 1): runs backward, accumulates grads, and
   // returns the batch loss.

@@ -1,0 +1,506 @@
+// Kernel-layer tests: GEMM backend parity against the retained naive
+// reference (1e-10 relative, randomized shapes including odd sizes), fused
+// epilogue parity, blocked transpose, workspace arena semantics, and the
+// zero-allocation guarantee for steady-state inference (asserted with a
+// global operator-new counting hook).
+#include <gtest/gtest.h>
+
+// This TU replaces the global allocation functions with malloc/free-backed
+// counting versions (below). GCC pairs the *declared* ::operator new with
+// std::free at inlined call sites and warns, even though the replacement
+// really does allocate with malloc — a known false positive for replaced
+// global news that forward to malloc.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <new>
+#include <stdexcept>
+#include <vector>
+
+#include "core/features.hpp"
+#include "core/ptm.hpp"
+#include "nn/aligned.hpp"
+#include "nn/dense.hpp"
+#include "nn/kernels/epilogue.hpp"
+#include "nn/kernels/gemm.hpp"
+#include "nn/kernels/gemm_tables.hpp"
+#include "nn/lstm.hpp"
+#include "nn/matrix.hpp"
+#include "nn/mlp.hpp"
+#include "nn/seq.hpp"
+#include "nn/seq_regressor.hpp"
+#include "nn/workspace.hpp"
+#include "obs/sink.hpp"
+#include "util/rng.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation hook: counts every path into the heap so the tests can
+// assert that a steady-state forward pass performs zero allocations. The
+// overrides forward to malloc/free, which keeps them sanitizer-compatible.
+
+namespace {
+std::atomic<std::size_t> g_heap_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) { return operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  const auto alignment = static_cast<std::size_t>(align);
+  const std::size_t rounded = (size + alignment - 1) / alignment * alignment;
+  if (void* p = std::aligned_alloc(alignment, rounded == 0 ? alignment : rounded))
+    return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace dqn;
+using nn::kernels::backend;
+
+struct gemm_shape {
+  std::size_t m, n, k;
+};
+
+// Odd sizes on purpose: they exercise every SIMD tail path (row tails < 4,
+// column tails < 8/16, k tails).
+constexpr gemm_shape kShapes[] = {
+    {1, 1, 1},   {2, 3, 4},    {5, 7, 3},    {7, 5, 11},  {13, 17, 9},
+    {16, 16, 16}, {21, 21, 16}, {33, 9, 17},  {4, 64, 8},  {64, 3, 5},
+    {3, 31, 29},  {64, 64, 21}, {19, 128, 2}, {1, 40, 40}, {40, 1, 40},
+};
+
+void fill_random(std::vector<double>& v, util::rng& rng) {
+  for (auto& x : v) x = rng.uniform(-2.0, 2.0);
+}
+
+double max_abs(const std::vector<double>& v) {
+  double m = 0;
+  for (double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+std::vector<backend> compiled_backends() {
+  std::vector<backend> out{backend::blocked};
+  if (nn::kernels::backend_supported(backend::avx2)) out.push_back(backend::avx2);
+  if (nn::kernels::backend_supported(backend::avx512))
+    out.push_back(backend::avx512);
+  return out;
+}
+
+using gemm_call = void (*)(backend, const double*, const double*, double*,
+                           std::size_t, std::size_t, std::size_t, bool);
+
+void check_parity(gemm_call call, const gemm_shape& s) {
+  util::rng rng{s.m * 1000003 + s.n * 1009 + s.k};
+  // A holds m*k elements in every operand order (m×k or k×m), B holds k*n
+  // (k×n or n×k), so one sizing covers nn/tn/nt alike.
+  std::vector<double> a(s.m * s.k), b(s.k * s.n), c_init(s.m * s.n);
+  fill_random(a, rng);
+  fill_random(b, rng);
+  fill_random(c_init, rng);
+  for (const bool accumulate : {false, true}) {
+    std::vector<double> ref = c_init;
+    call(backend::naive, a.data(), b.data(), ref.data(), s.m, s.n, s.k,
+         accumulate);
+    const double tol = 1e-10 * std::max(1.0, max_abs(ref));
+    for (const backend be : compiled_backends()) {
+      std::vector<double> got = c_init;
+      call(be, a.data(), b.data(), got.data(), s.m, s.n, s.k, accumulate);
+      for (std::size_t i = 0; i < ref.size(); ++i)
+        ASSERT_NEAR(ref[i], got[i], tol)
+            << nn::kernels::to_string(be) << " m=" << s.m << " n=" << s.n
+            << " k=" << s.k << " acc=" << accumulate << " at " << i;
+    }
+  }
+}
+
+TEST(gemm_kernels, nn_matches_naive_reference) {
+  for (const auto& s : kShapes)
+    check_parity(
+        [](backend be, const double* a, const double* b, double* c,
+           std::size_t m, std::size_t n, std::size_t k, bool acc) {
+          nn::kernels::gemm_nn(be, a, b, c, m, n, k, acc);
+        },
+        s);
+}
+
+TEST(gemm_kernels, tn_matches_naive_reference) {
+  for (const auto& s : kShapes)
+    check_parity(
+        [](backend be, const double* a, const double* b, double* c,
+           std::size_t m, std::size_t n, std::size_t k, bool acc) {
+          nn::kernels::gemm_tn(be, a, b, c, m, n, k, acc);
+        },
+        s);
+}
+
+TEST(gemm_kernels, nt_matches_naive_reference) {
+  for (const auto& s : kShapes)
+    check_parity(
+        [](backend be, const double* a, const double* b, double* c,
+           std::size_t m, std::size_t n, std::size_t k, bool acc) {
+          nn::kernels::gemm_nt(be, a, b, c, m, n, k, acc);
+        },
+        s);
+}
+
+TEST(gemm_kernels, backend_tables_expose_compiled_backends) {
+  // The scalar tables are always compiled in.
+  EXPECT_TRUE(nn::kernels::detail::naive_table().complete());
+  EXPECT_TRUE(nn::kernels::detail::blocked_table().complete());
+  // A backend is only "supported" when its table was compiled in.
+  if (!nn::kernels::detail::avx2_table().complete()) {
+    EXPECT_FALSE(nn::kernels::backend_supported(backend::avx2));
+  }
+  if (!nn::kernels::detail::avx512_table().complete()) {
+    EXPECT_FALSE(nn::kernels::backend_supported(backend::avx512));
+  }
+}
+
+TEST(gemm_kernels, dispatch_force_and_reset) {
+  const backend before = nn::kernels::active_backend();
+  nn::kernels::force_backend(backend::naive);
+  EXPECT_EQ(nn::kernels::active_backend(), backend::naive);
+  nn::kernels::force_backend(backend::blocked);
+  EXPECT_EQ(nn::kernels::active_backend(), backend::blocked);
+  nn::kernels::reset_backend();
+  // Without DQN_KERNEL_BACKEND, reset lands on the strongest supported
+  // backend; naive is never auto-selected.
+  EXPECT_EQ(nn::kernels::active_backend(),
+            nn::kernels::best_supported_backend());
+  EXPECT_NE(nn::kernels::active_backend(), backend::naive);
+  nn::kernels::force_backend(before);
+}
+
+TEST(gemm_kernels, force_unsupported_backend_throws) {
+  EXPECT_THROW(nn::kernels::force_backend(static_cast<backend>(250)),
+               std::invalid_argument);
+}
+
+TEST(gemm_kernels, report_dispatch_records_gauge_and_event) {
+  obs::sink sink;
+  nn::kernels::report_dispatch(sink);
+  EXPECT_EQ(sink.metrics().gauge("nn.kernel_backend"),
+            static_cast<double>(nn::kernels::active_backend()));
+}
+
+TEST(gemm_kernels, transpose_blocked_matches_scalar) {
+  util::rng rng{11};
+  for (const auto& s : kShapes) {
+    nn::matrix m{s.m, s.n};
+    for (auto& x : m.data()) x = rng.uniform(-3.0, 3.0);
+    const nn::matrix t = nn::transpose(m);
+    ASSERT_EQ(t.rows(), s.n);
+    ASSERT_EQ(t.cols(), s.m);
+    for (std::size_t r = 0; r < s.m; ++r)
+      for (std::size_t c = 0; c < s.n; ++c)
+        ASSERT_EQ(m(r, c), t(c, r)) << s.m << "x" << s.n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fused epilogues: bit-identical to the unfused bias + activation sequence.
+
+TEST(epilogue, bias_act_matches_unfused_for_all_activations) {
+  util::rng rng{5};
+  const std::size_t rows = 7, cols = 13;
+  for (const auto act :
+       {nn::activation::identity, nn::activation::relu, nn::activation::tanh,
+        nn::activation::sigmoid}) {
+    nn::matrix y{rows, cols};
+    for (auto& v : y.data()) v = rng.uniform(-2.0, 2.0);
+    nn::aligned_vector bias(cols);
+    for (auto& v : bias) v = rng.uniform(-1.0, 1.0);
+
+    nn::matrix ref = y;
+    nn::add_row_vector(ref, bias);
+    for (auto& v : ref.data()) v = nn::apply_activation(act, v);
+
+    nn::kernels::bias_act(y.data().data(), bias.data(), rows, cols,
+                          static_cast<nn::kernels::unary>(act));
+    for (std::size_t i = 0; i < y.size(); ++i)
+      ASSERT_EQ(ref.data()[i], y.data()[i]) << "act " << static_cast<int>(act);
+  }
+}
+
+TEST(epilogue, lstm_gates_and_state_match_scalar_formulas) {
+  util::rng rng{6};
+  const std::size_t batch = 5, hidden = 9;
+  nn::matrix z{batch, 4 * hidden};
+  for (auto& v : z.data()) v = rng.uniform(-2.0, 2.0);
+  nn::aligned_vector bias(4 * hidden);
+  for (auto& v : bias) v = rng.uniform(-1.0, 1.0);
+  nn::matrix c{batch, hidden};
+  for (auto& v : c.data()) v = rng.uniform(-1.0, 1.0);
+  nn::matrix h{batch, hidden};
+
+  // Scalar reference, the exact formulas lstm::step uses.
+  const auto sigmoid = [](double x) { return 1.0 / (1.0 + std::exp(-x)); };
+  nn::matrix c_ref{batch, hidden}, h_ref{batch, hidden};
+  nn::matrix gates_ref{batch, 4 * hidden};
+  for (std::size_t bi = 0; bi < batch; ++bi)
+    for (std::size_t j = 0; j < hidden; ++j) {
+      const double gi = sigmoid(z(bi, j) + bias[j]);
+      const double gf = sigmoid(z(bi, hidden + j) + bias[hidden + j]);
+      const double gg = std::tanh(z(bi, 2 * hidden + j) + bias[2 * hidden + j]);
+      const double go = sigmoid(z(bi, 3 * hidden + j) + bias[3 * hidden + j]);
+      gates_ref(bi, j) = gi;
+      gates_ref(bi, hidden + j) = gf;
+      gates_ref(bi, 2 * hidden + j) = gg;
+      gates_ref(bi, 3 * hidden + j) = go;
+      const double cn = gf * c(bi, j) + gi * gg;
+      c_ref(bi, j) = cn;
+      h_ref(bi, j) = go * std::tanh(cn);
+    }
+
+  nn::kernels::lstm_gates(z.data().data(), bias.data(), batch, hidden);
+  for (std::size_t i = 0; i < z.size(); ++i)
+    ASSERT_EQ(gates_ref.data()[i], z.data()[i]);
+  nn::kernels::lstm_state(z.data().data(), c.data().data(), h.data().data(),
+                          batch, hidden);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    ASSERT_EQ(c_ref.data()[i], c.data()[i]);
+    ASSERT_EQ(h_ref.data()[i], h.data()[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Workspace arena semantics.
+
+TEST(workspace, reset_reuses_slots_without_growing) {
+  nn::workspace ws;
+  nn::matrix& a = ws.take(8, 16);
+  nn::seq_batch& s = ws.take_seq(4, 7, 3);
+  const std::size_t grown = ws.grow_count();
+  EXPECT_GT(grown, 0u);
+  EXPECT_GT(ws.bytes(), 0u);
+  double* const a_ptr = a.data().data();
+  double* const s_ptr = s.data().data();
+  for (int pass = 0; pass < 5; ++pass) {
+    ws.reset();
+    nn::matrix& a2 = ws.take(8, 16);
+    nn::seq_batch& s2 = ws.take_seq(4, 7, 3);
+    EXPECT_EQ(a2.data().data(), a_ptr);
+    EXPECT_EQ(s2.data().data(), s_ptr);
+  }
+  EXPECT_EQ(ws.grow_count(), grown);
+}
+
+TEST(workspace, shrinking_shapes_do_not_grow) {
+  nn::workspace ws;
+  (void)ws.take(32, 32);
+  const std::size_t grown = ws.grow_count();
+  ws.reset();
+  nn::matrix& small = ws.take(4, 4);
+  EXPECT_EQ(small.rows(), 4u);
+  EXPECT_EQ(small.cols(), 4u);
+  EXPECT_EQ(ws.grow_count(), grown);  // capacity retained, no new allocation
+}
+
+TEST(workspace, slot_references_stay_stable_as_arena_grows) {
+  nn::workspace ws;
+  nn::matrix& first = ws.take(3, 3);
+  first.fill(42.0);
+  for (int i = 0; i < 100; ++i) (void)ws.take(5, 5);
+  EXPECT_EQ(first(0, 0), 42.0);  // deque-backed: no reallocation moved it
+  EXPECT_EQ(ws.slots_in_use(), 101u);
+}
+
+TEST(workspace, take_zeroed_clears_previous_contents) {
+  nn::workspace ws;
+  ws.take(4, 4).fill(9.0);
+  ws.reset();
+  nn::matrix& z = ws.take_zeroed(4, 4);
+  for (double v : z.data()) EXPECT_EQ(v, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Workspace forward paths agree with forward_const bit-for-bit, and the
+// steady state allocates nothing.
+
+nn::seq_batch random_batch(std::size_t batch, std::size_t time,
+                           std::size_t features, util::rng& rng) {
+  nn::seq_batch x{batch, time, features};
+  for (auto& v : x.data()) v = rng.uniform(-1.0, 1.0);
+  return x;
+}
+
+TEST(workspace_forward, seq_regressor_matches_forward_const_exactly) {
+  util::rng rng{21};
+  nn::seq_regressor_config cfg;
+  cfg.input_dim = 6;
+  cfg.lstm_hidden = {8, 4};
+  cfg.heads = 2;
+  cfg.key_dim = 4;
+  cfg.value_dim = 4;
+  cfg.attention_out = 8;
+  cfg.head_hidden = 8;
+  nn::seq_regressor net{cfg, rng};
+  const nn::seq_batch x = random_batch(5, 9, 6, rng);
+  const nn::matrix ref = net.forward_const(x);
+  nn::workspace ws;
+  ws.reset();
+  const nn::matrix& got = net.forward(x, ws);
+  ASSERT_EQ(got.rows(), ref.rows());
+  ASSERT_EQ(got.cols(), ref.cols());
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    EXPECT_DOUBLE_EQ(ref.data()[i], got.data()[i]);
+}
+
+TEST(workspace_forward, mlp_and_dense_match_forward_const_exactly) {
+  util::rng rng{22};
+  nn::mlp net{{7, 11, 5, 1}, nn::activation::tanh, rng};
+  nn::matrix x{9, 7};
+  for (auto& v : x.data()) v = rng.uniform(-1.0, 1.0);
+  const nn::matrix ref = net.forward_const(x);
+  nn::workspace ws;
+  const nn::matrix& got = net.forward(x, ws);
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    EXPECT_DOUBLE_EQ(ref.data()[i], got.data()[i]);
+
+  nn::dense layer{7, 3, nn::activation::sigmoid, rng};
+  const nn::matrix dref = layer.forward_const(x);
+  ws.reset();
+  const nn::matrix& dgot = layer.forward(x, ws);
+  for (std::size_t i = 0; i < dref.size(); ++i)
+    EXPECT_DOUBLE_EQ(dref.data()[i], dgot.data()[i]);
+}
+
+TEST(workspace_forward, bilstm_matches_forward_const_exactly) {
+  util::rng rng{23};
+  nn::bilstm layer{5, 6, rng};
+  const nn::seq_batch x = random_batch(4, 7, 5, rng);
+  const nn::seq_batch ref = layer.forward_const(x);
+  nn::workspace ws;
+  const nn::seq_batch& got = layer.forward(x, ws);
+  ASSERT_EQ(got.data().size(), ref.data().size());
+  for (std::size_t i = 0; i < ref.data().size(); ++i)
+    EXPECT_DOUBLE_EQ(ref.data()[i], got.data()[i]);
+}
+
+TEST(workspace_forward, steady_state_seq_regressor_is_allocation_free) {
+  util::rng rng{24};
+  nn::seq_regressor_config cfg;
+  cfg.input_dim = 6;
+  cfg.lstm_hidden = {8, 4};
+  cfg.heads = 2;
+  cfg.key_dim = 4;
+  cfg.value_dim = 4;
+  cfg.attention_out = 8;
+  cfg.head_hidden = 8;
+  nn::seq_regressor net{cfg, rng};
+  const nn::seq_batch x = random_batch(5, 9, 6, rng);
+  nn::workspace ws;
+  // Warm up: the first pass grows the arena to its high-water shapes.
+  for (int i = 0; i < 2; ++i) {
+    ws.reset();
+    (void)net.forward(x, ws);
+  }
+  const std::size_t grown = ws.grow_count();
+  ws.reset();
+  const std::size_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  const nn::matrix& out = net.forward(x, ws);
+  const std::size_t after = g_heap_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u) << "steady-state forward allocated";
+  EXPECT_EQ(ws.grow_count(), grown);
+  EXPECT_EQ(out.rows(), 5u);
+}
+
+TEST(workspace_forward, steady_state_mlp_is_allocation_free) {
+  util::rng rng{25};
+  nn::mlp net{{14, 16, 8, 1}, nn::activation::tanh, rng};
+  nn::matrix x{21, 14};
+  for (auto& v : x.data()) v = rng.uniform(-1.0, 1.0);
+  nn::workspace ws;
+  for (int i = 0; i < 2; ++i) {
+    ws.reset();
+    (void)net.forward(x, ws);
+  }
+  ws.reset();
+  const std::size_t before = g_heap_allocs.load(std::memory_order_relaxed);
+  const nn::matrix& out = net.forward(x, ws);
+  const std::size_t after = g_heap_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+  EXPECT_EQ(out.rows(), 21u);
+}
+
+// ---------------------------------------------------------------------------
+// PTM integration: the workspace predict overload agrees with the legacy
+// signature and exports the nn.workspace_bytes gauge.
+
+core::ptm_model tiny_trained_ptm(obs::sink* sink = nullptr) {
+  core::ptm_config cfg;
+  cfg.arch = core::ptm_arch::mlp;
+  cfg.time_steps = 4;
+  cfg.mlp_hidden = {8};
+  cfg.epochs = 2;
+  cfg.batch_size = 8;
+  cfg.sink = sink;
+  core::ptm_model model{cfg};
+  util::rng rng{31};
+  core::ptm_dataset data;
+  data.time_steps = cfg.time_steps;
+  const std::size_t count = 32;
+  data.windows.resize(count * cfg.time_steps * core::feature_count);
+  for (auto& v : data.windows) v = rng.uniform(0.0, 1.0);
+  data.targets.resize(count);
+  for (auto& v : data.targets) v = rng.uniform(1e-6, 1e-3);
+  (void)model.train(data);
+  return model;
+}
+
+TEST(ptm_workspace, predict_overloads_agree_and_reuse_arena) {
+  obs::sink sink;
+  const core::ptm_model model = tiny_trained_ptm(&sink);
+  util::rng rng{32};
+  std::vector<double> windows(6 * 4 * core::feature_count);
+  for (auto& v : windows) v = rng.uniform(0.0, 1.0);
+
+  const auto legacy = model.predict(windows);
+  nn::workspace ws;
+  const auto with_ws = model.predict(windows, ws);
+  ASSERT_EQ(legacy.size(), with_ws.size());
+  for (std::size_t i = 0; i < legacy.size(); ++i)
+    EXPECT_DOUBLE_EQ(legacy[i], with_ws[i]);
+
+  // Arena stops growing after the first pass over this shape.
+  const std::size_t grown = ws.grow_count();
+  for (int i = 0; i < 3; ++i) (void)model.predict(windows, ws);
+  EXPECT_EQ(ws.grow_count(), grown);
+
+  // The gauge reflects the arena's footprint.
+  EXPECT_EQ(sink.metrics().gauge("nn.workspace_bytes"),
+            static_cast<double>(ws.bytes()));
+}
+
+}  // namespace

@@ -53,8 +53,8 @@ TEST(adam, first_step_equals_learning_rate) {
   // With bias correction, the first update magnitude is ~lr regardless of
   // gradient scale.
   for (const double gradient : {1e-6, 1.0, 100.0}) {
-    std::vector<double> w{0.0};
-    std::vector<double> g{gradient};
+    nn::aligned_vector w{0.0};
+    nn::aligned_vector g{gradient};
     nn::adam_config cfg;
     cfg.learning_rate = 0.01;
     cfg.grad_clip = 0;  // disable clipping for this check

@@ -90,7 +90,8 @@ void check_gradients(param_list& params, Forward&& forward, Backward&& backward,
   zero_grads(params);
   backward();
   std::vector<std::vector<double>> analytic;
-  for (auto& p : params) analytic.push_back(*p.grad);
+  for (auto& p : params)
+    analytic.emplace_back(p.grad->begin(), p.grad->end());
 
   const double eps = 1e-5;
   for (std::size_t pi = 0; pi < params.size(); ++pi) {
@@ -295,8 +296,8 @@ TEST(forward_const, matches_training_forward) {
 
 TEST(adam, minimizes_quadratic) {
   // Minimize (w - 3)^2 elementwise.
-  std::vector<double> w(8, 0.0);
-  std::vector<double> g(8, 0.0);
+  aligned_vector w(8, 0.0);
+  aligned_vector g(8, 0.0);
   param_list params{{&w, &g}};
   adam_config cfg;
   cfg.learning_rate = 0.05;
@@ -309,8 +310,8 @@ TEST(adam, minimizes_quadratic) {
 }
 
 TEST(adam, grad_clip_bounds_update) {
-  std::vector<double> w{0.0};
-  std::vector<double> g{1e9};
+  aligned_vector w{0.0};
+  aligned_vector g{1e9};
   adam_config cfg;
   cfg.grad_clip = 1.0;
   cfg.learning_rate = 0.1;
