@@ -6,6 +6,9 @@
 #include "bench/common.hpp"
 
 #include <cstdio>
+#include <memory>
+
+#include "core/delay_provider.hpp"
 
 using namespace dqn;
 
@@ -40,9 +43,13 @@ int main() {
     const auto bundle = core::train_device_model(cfg);
     const double w1 = core::evaluate_w1(bundle.model, exogenous);
 
-    // Inference throughput on the exogenous windows.
+    // Inference throughput on the exogenous windows, timed through the
+    // delay-provider layer the engine itself dispatches through (the
+    // non-owning alias keeps bundle.model in place).
+    core::ptm_delay_provider provider{std::shared_ptr<const core::ptm_model>{
+        &bundle.model, [](const core::ptm_model*) {}}};
     util::stopwatch watch;
-    const auto predictions = bundle.model.predict(exogenous.windows);
+    const auto predictions = provider.predict_windows(exogenous.windows);
     const double us_per_window =
         watch.elapsed_seconds() * 1e6 / static_cast<double>(predictions.size());
 

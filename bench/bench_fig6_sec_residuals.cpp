@@ -9,6 +9,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "core/delay_provider.hpp"
+
 using namespace dqn;
 
 int main() {
@@ -25,7 +27,10 @@ int main() {
       const auto sample = core::generate_stream_sample(cfg, rng, &sched);
       eval.append(sample.data);
     }
-    const auto raw = model->predict(eval.windows, /*apply_sec=*/false);
+    // Window-level inference goes through the delay-provider layer
+    // (scripts/lint.sh keeps ptm_model::predict private to src/core).
+    core::ptm_delay_provider provider{model};
+    const auto raw = provider.predict_windows(eval.windows, /*apply_sec=*/false);
 
     // Bin by predicted sojourn (log-spaced) and report mean relative error.
     std::printf("--- scheduler: %s ---\n", des::to_string(sched));

@@ -15,6 +15,7 @@
 #include <functional>
 
 #include "baselines/mimicnet.hpp"
+#include "core/delay_provider.hpp"
 #include "util/stopwatch.hpp"
 
 using namespace dqn;
@@ -121,6 +122,52 @@ int main() {
                   sc.name, partitions, util::format_duration(seconds).c_str(),
                   util::format_duration(net.stats().wall_seconds).c_str(),
                   net.stats().iterations);
+    }
+
+    // Tiered delay backend (core/delay_provider.hpp): pure-PTM versus the
+    // tiered analytical/PTM policy on the identical scenario and engine
+    // configuration. These rows report MEASURED wall time — the tiered win
+    // is devices skipping DNN inference entirely, which shows up on any
+    // machine regardless of core count.
+    {
+      auto context = bench::compare_context(s, ptm, fifo_tm,
+                                            /*apply_sec=*/true,
+                                            /*partitions=*/4);
+      const auto measured_wall = [&](des::delay_backend backend,
+                                     double* fraction) {
+        context.engine.delay.backend = backend;
+        const auto net = des::make_estimator("deepqueuenet", context);
+        des::run_request request;
+        request.host_streams = &s.streams;
+        request.horizon = sc.horizon;
+        const auto result = net->run(request);
+        (void)result;
+        const auto& engine = dynamic_cast<const core::dqn_network&>(*net);
+        if (fraction != nullptr) {
+          const auto* tiered = dynamic_cast<const core::tiered_delay_provider*>(
+              &engine.provider());
+          *fraction =
+              tiered != nullptr ? tiered->stats().analytical_fraction() : 0.0;
+        }
+        return engine.stats().wall_seconds;
+      };
+      const double ptm_wall = measured_wall(des::delay_backend::ptm, nullptr);
+      double fraction = 0;
+      const double tiered_wall =
+          measured_wall(des::delay_backend::tiered, &fraction);
+      table.add_row({sc.name, "DQN-tiered", "4", pkts,
+                     util::format_duration(tiered_wall),
+                     util::fmt(ptm_wall / tiered_wall, 2) + "-fold vs ptm"});
+      std::printf("[tiered] %-11s measured: ptm %s, tiered %s (%.2fx), "
+                  "analytical fraction %.3f\n",
+                  sc.name, util::format_duration(ptm_wall).c_str(),
+                  util::format_duration(tiered_wall).c_str(),
+                  ptm_wall / tiered_wall, fraction);
+      if (obs::sink* sink = bench::bench_sink(); sink != nullptr) {
+        sink->gauge("table7.tiered_speedup", ptm_wall / tiered_wall);
+        sink->gauge("table7.ptm_wall_seconds", ptm_wall);
+        sink->gauge("table7.tiered_wall_seconds", tiered_wall);
+      }
     }
   }
 

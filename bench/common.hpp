@@ -24,6 +24,7 @@
 #include "core/dutil.hpp"
 #include "core/engine.hpp"
 #include "core/metrics.hpp"
+#include "des/estimator_factory.hpp"
 #include "des/network.hpp"
 #include "obs/sink.hpp"
 #include "topo/builders.hpp"
@@ -231,29 +232,51 @@ struct scenario_result {
   core::engine_stats engine_stats;
 };
 
+// The estimator_context both estimators of run_and_compare are built from —
+// exposed so benches that need extra estimators (fluid rows, per-backend DQN
+// runs) assemble them through the same factory path.
+inline des::estimator_context compare_context(
+    const scenario& s, std::shared_ptr<const core::ptm_model> ptm,
+    const des::tm_config& tm, bool apply_sec = true, std::size_t partitions = 4,
+    bool record_truth_hops = false) {
+  des::estimator_context context;
+  context.topo = &s.topo();
+  context.routes = s.routes.get();
+  context.des.tm = tm;
+  context.des.record_hops = record_truth_hops;
+  context.des.sink = bench_sink();
+  context.ptm = std::move(ptm);
+  context.scheduler.kind = tm.kind;
+  context.scheduler.class_weights = tm.class_weights;
+  context.scheduler.bandwidth_bps = bench_link_bps;
+  context.engine.partitions = partitions;
+  context.engine.apply_sec = apply_sec;
+  context.engine.sink = bench_sink();
+  context.flows = &s.flows;
+  context.flow_rates_pps = &s.flow_rates;
+  return context;
+}
+
 inline scenario_result run_and_compare(
     const scenario& s, std::shared_ptr<const core::ptm_model> ptm,
     const des::tm_config& tm, double bucket_seconds, bool apply_sec = true,
-    std::size_t partitions = 4, bool record_truth_hops = false) {
-  des::network_config oracle_cfg;
-  oracle_cfg.tm = tm;
-  oracle_cfg.record_hops = record_truth_hops;
-  oracle_cfg.sink = bench_sink();
-  des::network oracle{s.topo(), *s.routes, oracle_cfg};
-  scenario_result result;
-  result.truth = oracle.run(s.streams, s.horizon);
+    std::size_t partitions = 4, bool record_truth_hops = false,
+    const des::delay_policy* delay = nullptr) {
+  const auto context = compare_context(s, std::move(ptm), tm, apply_sec,
+                                       partitions, record_truth_hops);
+  const auto oracle = des::make_estimator("des", context);
+  const auto net = des::make_estimator("deepqueuenet", context);
 
-  core::scheduler_context ctx;
-  ctx.kind = tm.kind;
-  ctx.class_weights = tm.class_weights;
-  ctx.bandwidth_bps = bench_link_bps;
-  core::engine_config engine_cfg;
-  engine_cfg.partitions = partitions;
-  engine_cfg.apply_sec = apply_sec;
-  engine_cfg.sink = bench_sink();
-  core::dqn_network net{s.topo(), *s.routes, std::move(ptm), ctx, engine_cfg};
-  result.prediction = net.run(s.streams, s.horizon);
-  result.engine_stats = net.stats();
+  des::run_request request;
+  request.host_streams = &s.streams;
+  request.horizon = s.horizon;
+  scenario_result result;
+  result.truth = oracle->run(request);
+  if (delay != nullptr) request.delay = *delay;
+  result.prediction = net->run(request);
+  // The engine_stats live on the concrete engine behind the contract; the
+  // shared bench sink accumulates across runs, so read them directly.
+  result.engine_stats = dynamic_cast<const core::dqn_network&>(*net).stats();
   result.comparison =
       core::compare_runs(result.truth, result.prediction, bucket_seconds, 6);
   return result;

@@ -6,7 +6,9 @@
 #include "examples/example_util.hpp"
 
 #include <algorithm>
+#include <memory>
 
+#include "core/delay_provider.hpp"
 #include "core/features.hpp"
 #include "nn/attention.hpp"
 
@@ -51,7 +53,11 @@ int main() {
   // Take the last window (predicting packet 10's sojourn).
   const std::size_t window_values = cfg.ptm.time_steps * core::feature_count;
   std::vector<double> last(windows.end() - window_values, windows.end());
-  const auto sojourn = bundle.model.predict(last);
+  // Inference through the delay-provider layer (ptm_model::predict stays
+  // private to src/core); the no-op deleter aliases the in-place model.
+  const core::ptm_delay_provider provider{std::shared_ptr<const core::ptm_model>{
+      &bundle.model, [](const core::ptm_model*) {}}};
+  const auto sojourn = provider.predict_windows(last);
   std::printf("predicted sojourn of the window's final packet: %.2f us\n\n",
               sojourn.back() * 1e6);
 

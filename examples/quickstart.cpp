@@ -15,11 +15,23 @@
 // Chrome trace-event JSON (load in chrome://tracing or ui.perfetto.dev),
 // and `--journeys N` samples every packet's per-hop journey and prints the
 // first N of them.
+//
+// Estimator selection (des/estimator_factory.hpp):
+//   --estimator NAME       run the prediction through "des", "deepqueuenet",
+//                          or "fluid" instead of the default engine;
+//   --delay-backend NAME   sojourn backend for DeepQueueNet runs: "ptm"
+//                          (default), "analytical", or "tiered"
+//                          (core/delay_provider.hpp);
+//   --tiered-smoke         self-contained tiered-vs-PTM timing check: trains
+//                          a tiny model, runs the same scenario on both
+//                          backends, prints a one-line JSON summary.
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <string>
 #include <string_view>
 
+#include "des/estimator_factory.hpp"
 #include "des/run_api.hpp"
 #include "examples/example_util.hpp"
 #include "obs/json.hpp"
@@ -37,6 +49,94 @@ struct profile_options {
     return json || !chrome_trace.empty() || journeys > 0;
   }
 };
+
+struct estimator_options {
+  std::string estimator = "deepqueuenet";
+  std::string delay_backend;  // empty = the engine default (ptm)
+  bool tiered_smoke = false;
+};
+
+bool parse_backend(std::string_view name, des::delay_backend* out) {
+  if (name == "ptm") *out = des::delay_backend::ptm;
+  else if (name == "analytical") *out = des::delay_backend::analytical;
+  else if (name == "tiered") *out = des::delay_backend::tiered;
+  else return false;
+  return true;
+}
+
+// --tiered-smoke: train a tiny model, run one scenario through the pure-PTM
+// and the tiered backend (best of two runs each, same engine, same sink),
+// and print a machine-readable one-line JSON summary. CI's perf-smoke job
+// gates on analytical_fraction > 0 and tiered_wall <= ptm_wall * 1.10.
+int run_tiered_smoke() {
+  core::dutil_config dutil_cfg;
+  dutil_cfg.ports = 4;
+  dutil_cfg.bandwidth_bps = examples::link_bps;
+  dutil_cfg.streams = 30;
+  dutil_cfg.packets_per_stream = 200;
+  dutil_cfg.ptm.time_steps = 8;
+  dutil_cfg.ptm.mlp_hidden = {24, 12};
+  dutil_cfg.ptm.epochs = 8;
+  dutil_cfg.seed = 7;
+  std::fprintf(stderr, "[tiered-smoke] training a tiny device model...\n");
+  auto bundle = core::train_device_model(dutil_cfg);
+  auto ptm = std::make_shared<const core::ptm_model>(std::move(bundle.model));
+
+  // A 20-device fat-tree at 30% max-link load: most egress queues sit under
+  // the default 0.35 utilization threshold, so the tiered run serves them
+  // analytically and skips their DNN inference.
+  const auto topo = topo::make_fattree16(examples::links());
+  const topo::routing routes{topo};
+  const double horizon = 0.02;
+  const auto traffic_setup = examples::make_traffic_load(
+      topo, routes, traffic::traffic_model::poisson, /*max link load=*/0.3,
+      horizon, 7);
+
+  des::estimator_context context;
+  context.topo = &topo;
+  context.routes = &routes;
+  context.ptm = ptm;
+  context.engine.partitions = 2;
+  const auto net = des::make_estimator("deepqueuenet", context);
+
+  obs::sink sink;
+  des::run_request request;
+  request.host_streams = &traffic_setup.streams;
+  request.horizon = horizon;
+  request.sink = &sink;
+
+  std::size_t ptm_deliveries = 0;
+  std::size_t tiered_deliveries = 0;
+  const auto best_wall = [&](des::delay_backend backend,
+                             std::size_t* deliveries) {
+    des::delay_policy policy;
+    policy.backend = backend;
+    request.delay = policy;
+    double best = 0;
+    for (int rep = 0; rep < 2; ++rep) {
+      const auto result = net->run(request);
+      *deliveries = result.deliveries.size();
+      best = rep == 0 ? result.wall_seconds
+                      : std::min(best, result.wall_seconds);
+    }
+    return best;
+  };
+  std::fprintf(stderr, "[tiered-smoke] running the pure-PTM backend...\n");
+  const double ptm_wall = best_wall(des::delay_backend::ptm, &ptm_deliveries);
+  std::fprintf(stderr, "[tiered-smoke] running the tiered backend...\n");
+  const double tiered_wall =
+      best_wall(des::delay_backend::tiered, &tiered_deliveries);
+  const double fraction =
+      sink.metrics().gauge("tiered.analytical_fraction");
+
+  std::printf("{\"ptm_wall_seconds\": %.6f, \"tiered_wall_seconds\": %.6f, "
+              "\"analytical_fraction\": %.4f, \"speedup\": %.3f, "
+              "\"ptm_deliveries\": %zu, \"tiered_deliveries\": %zu}\n",
+              ptm_wall, tiered_wall, fraction,
+              tiered_wall > 0 ? ptm_wall / tiered_wall : 0.0, ptm_deliveries,
+              tiered_deliveries);
+  return 0;
+}
 
 // The profile mode (--json / --chrome-trace / --journeys). Deliberately
 // trains a fresh tiny device model (no DLib cache) so the ptm.* per-epoch
@@ -74,16 +174,18 @@ int run_profiled(const profile_options& options) {
   request.sink = &sink;
 
   std::fprintf(stderr, "[profile] running DeepQueueNet inference...\n");
-  core::engine_config engine_cfg;
-  engine_cfg.with_partitions(2).with_sink(&sink);
-  core::dqn_network net{topo, routes, ptm, core::scheduler_context{}, engine_cfg};
-  (void)net.run(request);
+  des::estimator_context context;
+  context.topo = &topo;
+  context.routes = &routes;
+  context.ptm = ptm;
+  context.engine.with_partitions(2).with_sink(&sink);
+  context.des.sink = &sink;
+  const auto net = des::make_estimator("deepqueuenet", context);
+  (void)net->run(request);
 
   std::fprintf(stderr, "[profile] running the DES oracle...\n");
-  des::network_config oracle_cfg;
-  oracle_cfg.sink = &sink;
-  des::network oracle{topo, routes, oracle_cfg};
-  (void)oracle.run(request);
+  const auto oracle = des::make_estimator("des", context);
+  (void)oracle->run(request);
 
   if (options.json) {
     const std::string doc = sink.to_json();
@@ -139,6 +241,7 @@ int run_profiled(const profile_options& options) {
 
 int main(int argc, char** argv) {
   profile_options options;
+  estimator_options est_options;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg{argv[i]};
     if (arg == "--json") {
@@ -148,13 +251,43 @@ int main(int argc, char** argv) {
     } else if (arg == "--journeys" && i + 1 < argc) {
       options.journeys = static_cast<std::size_t>(std::strtoull(
           argv[++i], nullptr, 10));
+    } else if (arg == "--estimator" && i + 1 < argc) {
+      est_options.estimator = argv[++i];
+    } else if (arg == "--delay-backend" && i + 1 < argc) {
+      est_options.delay_backend = argv[++i];
+    } else if (arg == "--tiered-smoke") {
+      est_options.tiered_smoke = true;
     } else {
       std::fprintf(stderr,
                    "usage: quickstart [--json] [--chrome-trace <path>] "
-                   "[--journeys N]\n");
+                   "[--journeys N] [--estimator des|deepqueuenet|fluid] "
+                   "[--delay-backend ptm|analytical|tiered] [--tiered-smoke]\n");
       return 2;
     }
   }
+  des::delay_backend backend = des::delay_backend::ptm;
+  if (!est_options.delay_backend.empty() &&
+      !parse_backend(est_options.delay_backend, &backend)) {
+    std::fprintf(stderr, "unknown --delay-backend \"%s\" (ptm | analytical | "
+                 "tiered)\n", est_options.delay_backend.c_str());
+    return 2;
+  }
+  if (est_options.estimator != "dqn") {
+    // Reject unknown / needs-training estimator names before spending
+    // minutes training the device model; make_estimator's message names the
+    // alternatives (and the training entry points for routenet/mimicnet).
+    const auto known = des::estimator_names();
+    if (std::find(known.begin(), known.end(), est_options.estimator) ==
+        known.end()) {
+      try {
+        (void)des::make_estimator(est_options.estimator, {});
+      } catch (const std::invalid_argument& error) {
+        std::fprintf(stderr, "%s\n", error.what());
+        return 2;
+      }
+    }
+  }
+  if (est_options.tiered_smoke) return run_tiered_smoke();
   if (options.any()) return run_profiled(options);
 
   std::printf("=== DeepQueueNet quickstart ===\n\n");
@@ -170,20 +303,44 @@ int main(int argc, char** argv) {
       topo, routes, traffic::traffic_model::poisson, /*max link load=*/0.5,
       horizon, 7);
 
-  // 3. DeepQueueNet inference.
-  core::engine_config engine_cfg;
-  engine_cfg.partitions = 2;
-  engine_cfg.record_hops = true;
-  core::dqn_network net{topo, routes, ptm, core::scheduler_context{}, engine_cfg};
-  const auto prediction = net.run(traffic_setup.streams, horizon);
-  std::printf("DeepQueueNet: %zu packets delivered in %.2fs wall time "
-              "(%zu IRSA iterations; diameter bound %zu)\n",
-              prediction.deliveries.size(), prediction.wall_seconds,
-              net.stats().iterations, 1 + topo.diameter());
+  // 3. Estimation through the factory (des/estimator_factory.hpp): the
+  //    default is the DeepQueueNet engine, but --estimator swaps in the DES
+  //    or the fluid baseline behind the same run contract, and
+  //    --delay-backend selects the engine's sojourn backend.
+  const std::vector<double> flow_rates(traffic_setup.flows.size(),
+                                       traffic_setup.per_flow_rate);
+  des::estimator_context context;
+  context.topo = &topo;
+  context.routes = &routes;
+  context.ptm = ptm;
+  context.engine.partitions = 2;
+  context.engine.record_hops = true;
+  context.engine.delay.backend = backend;
+  context.flows = &traffic_setup.flows;
+  context.flow_rates_pps = &flow_rates;
+  context.mean_packet_size = 712.0;  // poisson traffic's mean packet size
+  const auto estimator = des::make_estimator(est_options.estimator, context);
+
+  des::run_request request;
+  request.host_streams = &traffic_setup.streams;
+  request.horizon = horizon;
+  const auto prediction = estimator->run(request);
+  const auto* net = dynamic_cast<const core::dqn_network*>(estimator.get());
+  if (net != nullptr) {
+    std::printf("DeepQueueNet (%s backend): %zu packets delivered in %.2fs "
+                "wall time (%zu IRSA iterations; diameter bound %zu)\n",
+                to_string(backend), prediction.deliveries.size(),
+                prediction.wall_seconds, net->stats().iterations,
+                1 + topo.diameter());
+  } else {
+    std::printf("%s: %zu packets delivered in %.2fs wall time\n",
+                estimator->estimator_name(), prediction.deliveries.size(),
+                prediction.wall_seconds);
+  }
 
   // 4. Ground truth from the DES and accuracy summary.
-  des::network oracle{topo, routes, {}};
-  const auto truth = oracle.run(traffic_setup.streams, horizon);
+  const auto oracle = des::make_estimator("des", context);
+  const auto truth = oracle->run(request);
   const auto cmp = core::compare_runs(truth, prediction, horizon / 10, 6);
   std::printf("DES oracle:   %zu packets delivered in %.2fs wall time\n\n",
               truth.deliveries.size(), truth.wall_seconds);
@@ -195,15 +352,17 @@ int main(int argc, char** argv) {
               cmp.rho_avg_rtt.rho, cmp.rho_avg_rtt.ci_low,
               cmp.rho_avg_rtt.ci_high);
 
-  // 5. Packet-level visibility: every device's egress stream is a packet
-  //    trace any metric can be applied to — here, per-switch mean sojourn.
-  std::printf("per-device predicted traffic (packet-level visibility):\n");
-  for (const auto node : topo.devices()) {
-    std::size_t packets = 0;
-    for (std::size_t port = 0; port < topo.port_count(node); ++port)
-      packets += net.egress_stream(node, port).size();
-    std::printf("  %-4s forwarded %zu packets\n", topo.at(node).name.c_str(),
-                packets);
+  // 5. Packet-level visibility (DeepQueueNet runs only): every device's
+  //    egress stream is a packet trace any metric can be applied to.
+  if (net != nullptr) {
+    std::printf("per-device predicted traffic (packet-level visibility):\n");
+    for (const auto node : topo.devices()) {
+      std::size_t packets = 0;
+      for (std::size_t port = 0; port < topo.port_count(node); ++port)
+        packets += net->egress_stream(node, port).size();
+      std::printf("  %-4s forwarded %zu packets\n", topo.at(node).name.c_str(),
+                  packets);
+    }
   }
   std::printf("\ndone. Try examples/quickstart --json for a profiled run, or "
               "examples/capacity_planning, scheduler_tuning, topology_design "

@@ -47,7 +47,21 @@ if out=$(grep -rnE '(^|[^_[:alnum:]])(new|delete)[[:space:]]+[A-Za-z_(]' src/ \
 fi
 
 # ---------------------------------------------------------------------------
-# Rule 3: every src/ header is referenced by at least one test. Modules whose
+# Rule 3: ptm_model::predict is private to src/core — everything else goes
+# through the delay-provider API (core/delay_provider.hpp), so backend policy
+# (ptm/analytical/tiered) stays swappable at one seam. The receiver pattern
+# catches the PTM spellings used in this tree (model/ptm/bundle.model/...);
+# baseline estimators with their own predict() (mn./rn.) are unrelated, and
+# tests/ may reach the model directly to pin its numerics.
+# ---------------------------------------------------------------------------
+if out=$(grep -rnE '(ptm[A-Za-z_0-9]*|model)(\.|->)predict\(' \
+         src/ bench/ examples/ 2>/dev/null | grep -v '^src/core/'); then
+  fail "ptm_model::predict outside src/core (route through core/delay_provider.hpp):"
+  echo "$out" >&2
+fi
+
+# ---------------------------------------------------------------------------
+# Rule 4: every src/ header is referenced by at least one test. Modules whose
 # coverage is intentionally transitive are allow-listed with a reason.
 # ---------------------------------------------------------------------------
 allow_untested=(
@@ -70,7 +84,7 @@ while IFS= read -r header; do
 done < <(find src -name "*.hpp" | sort)
 
 # ---------------------------------------------------------------------------
-# Rule 4: header self-containment — every header must compile on its own
+# Rule 5: header self-containment — every header must compile on its own
 # (catches headers that lean on includer-provided includes).
 # ---------------------------------------------------------------------------
 cxx="${CXX:-g++}"

@@ -47,13 +47,22 @@ sha = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
 counters = snap.get("counters", {})
 keys = ["engine.iterations", "engine.device_inferences", "engine.deliveries",
         "des.events", "des.deliveries", "ptm.epochs", "ptm.batches",
-        "sec.corrections", "trace.dropped"]
-print(json.dumps({
+        "sec.corrections", "trace.dropped",
+        "tiered.analytical_packets", "tiered.ptm_packets",
+        "tiered.promotions", "tiered.demotions", "tiered.budget_promotions"]
+gauges = snap.get("gauges", {})
+gauge_keys = ["tiered.analytical_fraction", "table7.tiered_speedup",
+              "table7.ptm_wall_seconds", "table7.tiered_wall_seconds"]
+entry = {
     "bench": bench,
     "wall_seconds": wall,
     "git_sha": sha,
     "counters": {k: counters[k] for k in keys if k in counters},
-}, sort_keys=True))
+}
+picked_gauges = {k: gauges[k] for k in gauge_keys if k in gauges}
+if picked_gauges:
+    entry["gauges"] = picked_gauges
+print(json.dumps(entry, sort_keys=True))
 PY
 }
 

@@ -7,21 +7,20 @@
 
 #include "obs/journey.hpp"
 #include "obs/sink.hpp"
+#include "util/check.hpp"
 
 namespace dqn::core {
 
 device_model::device_model(std::shared_ptr<const ptm_model> ptm, scheduler_context ctx)
-    : ptm_{std::move(ptm)}, ctx_{std::move(ctx)} {
-  if (!ptm_ || !ptm_->trained())
-    throw std::invalid_argument{"device_model: needs a trained PTM"};
-}
+    : fallback_{std::move(ptm)}, ctx_{std::move(ctx)} {}
 
 std::vector<traffic::packet_stream> device_model::process(
     const std::vector<traffic::packet_stream>& ingress, const forward_fn& forward,
     bool apply_sec, std::vector<predicted_hop>* hops,
     std::vector<traffic::packet>* dropped,
     std::span<const double> port_bandwidths, const journey_capture* journeys,
-    obs::sink* sink, nn::workspace* workspace) const {
+    obs::sink* sink, nn::workspace* workspace, delay_provider* delay,
+    std::int64_t device_id, std::size_t iteration) const {
   const std::size_t ports = ingress.size();
   // PFM: exact forwarding into per-egress-queue arrival series.
   std::vector<traffic::packet_stream> queues =
@@ -97,16 +96,42 @@ std::vector<traffic::packet_stream> device_model::process(
       queue = std::move(kept);
       if (queue.empty()) continue;
     }
-    // PTM: batched sojourn prediction over the arrival series.
+    // Sojourn prediction over the arrival series, dispatched through the
+    // delay-provider API (delay_provider.hpp): the engine-selected backend
+    // (PTM / analytical / tiered) sees the full device state and returns one
+    // sojourn per queued packet.
     scheduler_context port_ctx = ctx_;
     port_ctx.bandwidth_bps = line_bps;
     const auto rows = compute_features(queue, port_ctx);
-    const auto windows = make_windows(rows, ptm_->config().time_steps);
     std::vector<double> raw_sojourns;
     std::vector<double>* const raw = tracer != nullptr ? &raw_sojourns : nullptr;
-    auto sojourns = workspace != nullptr
-                        ? ptm_->predict(windows, *workspace, apply_sec, raw)
-                        : ptm_->predict(windows, apply_sec, raw);
+    // Offered load of the egress line over the window: byte-work brought by
+    // the series divided by the span it arrived in (the tiered policy's
+    // routing signal; may exceed 1 under overload).
+    double busy_seconds = 0;
+    for (const auto& ev : queue)
+      busy_seconds += static_cast<double>(ev.pkt.size_bytes) * 8.0 / line_bps;
+    const double window_seconds = queue.back().time - queue.front().time;
+    const double utilization =
+        queue.size() < 2 ? 0.0
+                         : busy_seconds / std::max(window_seconds, 1e-12);
+
+    device_state dstate;
+    dstate.device = device_id;
+    dstate.port = out;
+    dstate.iteration = iteration;
+    dstate.arrivals = &queue;
+    dstate.feature_rows = rows;
+    dstate.ctx = &port_ctx;
+    dstate.utilization = utilization;
+    dstate.apply_sec = apply_sec;
+    dstate.workspace = workspace;
+    dstate.raw_out = raw;
+    delay_provider* const provider = delay != nullptr ? delay : &fallback_;
+    auto sojourns = provider->estimate_sojourn(dstate, window_seconds);
+    DQN_ENSURE(sojourns.size() == queue.size(), "device_model: provider '",
+               provider->name(), "' returned ", sojourns.size(),
+               " sojourns for ", queue.size(), " packets");
 
     // Scheduler-theoretic bound (prior knowledge, like the PFM): under
     // non-preemptive strict priority, the highest class waits exactly its

@@ -4,10 +4,12 @@
 // the "operators" the network model composes (§3.2.3).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
 
+#include "core/delay_provider.hpp"
 #include "core/features.hpp"
 #include "core/pfm.hpp"
 #include "core/ptm.hpp"
@@ -58,6 +60,11 @@ class device_model {
   // every PTM predict call (one per worker thread; the engine reuses it
   // across devices and IRSA iterations so steady state allocates nothing).
   // Null falls back to the PTM's thread_local workspace.
+  //
+  // `delay` selects the sojourn backend (delay_provider.hpp): the engine
+  // passes its configured provider; null falls back to this model's own PTM
+  // backend (the pre-redesign behaviour). `device_id`/`iteration` identify
+  // the call for the provider's per-device tiering state (-1 = host NIC).
   [[nodiscard]] std::vector<traffic::packet_stream> process(
       const std::vector<traffic::packet_stream>& ingress, const forward_fn& forward,
       bool apply_sec = true, std::vector<predicted_hop>* hops = nullptr,
@@ -65,12 +72,19 @@ class device_model {
       std::span<const double> port_bandwidths = {},
       const journey_capture* journeys = nullptr,
       obs::sink* sink = nullptr,
-      nn::workspace* workspace = nullptr) const;
+      nn::workspace* workspace = nullptr,
+      delay_provider* delay = nullptr,
+      std::int64_t device_id = -1,
+      std::size_t iteration = 0) const;
 
   [[nodiscard]] const scheduler_context& context() const noexcept { return ctx_; }
 
  private:
-  std::shared_ptr<const ptm_model> ptm_;
+  // Fallback backend when process() receives no provider: the shared PTM
+  // behind the classic interface. Providers carry per-call metric state, so
+  // the member is mutable; estimate_sojourn on the PTM backend is
+  // thread-safe (the handles record through relaxed atomics).
+  mutable ptm_delay_provider fallback_;
   scheduler_context ctx_;
 };
 

@@ -60,6 +60,7 @@ dqn_network::dqn_network(const topo::topology& topo, const topo::routing& routes
     : topo_{&topo},
       routes_{&routes},
       ptm_{ptm},
+      provider_{make_delay_provider(ptm, config.delay)},
       device_{ptm, std::move(ctx)},
       host_nic_{std::move(ptm),
                 scheduler_context{des::scheduler_kind::fifo, {},
@@ -114,6 +115,10 @@ des::run_result dqn_network::run(
     // startup; see nn/kernels/gemm.hpp).
     nn::kernels::report_dispatch(*sink);
   }
+  // Arm the sojourn backend for this run: resolve its metric handles and
+  // size its per-device tiering state (slot 0 = the host-NIC pseudo-device).
+  provider_->bind_sink(sink);
+  provider_->prepare(topo_->node_count() + 1);
 
   // SInit: place the injected streams as the hosts' (fixed) egress streams,
   // translating host indices to node ids.
@@ -150,7 +155,8 @@ des::run_result dqn_network::run(
       auto egress_streams = host_nic_.process(
           {out}, [](std::uint32_t, std::size_t) { return std::size_t{0}; },
           config_.apply_sec, nullptr, nullptr, bandwidths, nullptr, sink,
-          &host_nic_workspace);
+          &host_nic_workspace, provider_.get(), /*device_id=*/-1,
+          /*iteration=*/0);
       out = std::move(egress_streams[0]);
     }
   }
@@ -247,7 +253,8 @@ des::run_result dqn_network::run(
         next[n] = model->process(ingress, forward_by_flow, config_.apply_sec, hops,
                                  &device_drops[n], port_bandwidths,
                                  tracer != nullptr ? &capture : nullptr, sink,
-                                 &partition_workspaces[r]);
+                                 &partition_workspaces[r], provider_.get(),
+                                 static_cast<std::int64_t>(node), iteration);
         device_span.set_value(1.0);  // 1 = inferred (skips end with value 0)
         device_seconds_handle.observe(device_span.stop());
         ++inferences[r];
@@ -342,6 +349,7 @@ des::run_result dqn_network::run(
   result.wall_seconds = stats_.wall_seconds;
   if (sink != nullptr) {
     stats_.publish(*sink);
+    provider_->publish(*sink);
     sink->count("engine.deliveries", static_cast<double>(result.deliveries.size()));
     sink->count("engine.drops", static_cast<double>(result.drops));
   }
@@ -353,12 +361,23 @@ des::run_result dqn_network::run(const des::run_request& request) {
              "dqn_network::run: request.host_streams is null");
   obs::sink* const saved = config_.sink;
   if (request.sink != nullptr) config_.sink = request.sink;
+  // A per-run delay policy swaps in a fresh provider for this run only,
+  // restored alongside the sink (the same save/swap/restore contract).
+  std::unique_ptr<delay_provider> saved_provider;
+  if (request.delay.has_value()) {
+    saved_provider = std::move(provider_);
+    provider_ = make_delay_provider(ptm_, *request.delay);
+  }
+  const auto restore = [&] {
+    config_.sink = saved;
+    if (saved_provider != nullptr) provider_ = std::move(saved_provider);
+  };
   try {
     des::run_result result = run(*request.host_streams, request.horizon);
-    config_.sink = saved;
+    restore();
     return result;
   } catch (...) {
-    config_.sink = saved;
+    restore();
     throw;
   }
 }

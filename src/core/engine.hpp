@@ -58,6 +58,11 @@ struct engine_config {
   // convergence deltas, per-partition busy time, skip counts, and the full
   // engine_stats re-expressed as registry metrics. Null = zero-overhead.
   obs::sink* sink = nullptr;
+  // Which sojourn backend the run rides on (core/delay_provider.hpp): the
+  // paper's PTM (default), the queueing-theoretic closed forms, or the
+  // tiered policy that routes each device by utilization. A run_request may
+  // override this per run (des::run_request::delay).
+  des::delay_policy delay;
 
   // Number of parallel inference partitions ("GPUs"); must be >= 1.
   engine_config& with_partitions(std::size_t n) noexcept {
@@ -97,6 +102,16 @@ struct engine_config {
   // Attach an observability sink (nullptr detaches).
   engine_config& with_sink(obs::sink* s) noexcept {
     sink = s;
+    return *this;
+  }
+  // Install a full delay policy (backend + tiering knobs).
+  engine_config& with_delay_policy(des::delay_policy policy) noexcept {
+    delay = policy;
+    return *this;
+  }
+  // Select the sojourn backend, keeping the policy's other knobs.
+  engine_config& with_delay_backend(des::delay_backend backend) noexcept {
+    delay.backend = backend;
     return *this;
   }
 };
@@ -161,6 +176,12 @@ class dqn_network : public des::estimator {
 
   [[nodiscard]] const engine_stats& stats() const noexcept { return stats_; }
 
+  // The sojourn backend the next run() will dispatch through (selected by
+  // engine_config::delay, or per run by run_request::delay_policy).
+  [[nodiscard]] const delay_provider& provider() const noexcept {
+    return *provider_;
+  }
+
   // Packet-level visibility: the final egress stream of any device port.
   // Valid only after run(); out-of-range (node, port) throws.
   [[nodiscard]] const traffic::packet_stream& egress_stream(topo::node_id node,
@@ -174,6 +195,7 @@ class dqn_network : public des::estimator {
   const topo::topology* topo_;
   const topo::routing* routes_;
   std::shared_ptr<const ptm_model> ptm_;
+  std::unique_ptr<delay_provider> provider_;
   device_model device_;
   device_model host_nic_;  // FIFO NIC model for host uplinks
   std::unordered_map<topo::node_id, device_model> device_overrides_;

@@ -11,6 +11,8 @@
 // estimator's own config carries for the duration of the run.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "des/records.hpp"
@@ -22,10 +24,65 @@ class sink;
 
 namespace dqn::des {
 
+// Which sojourn-estimation backend a DeepQueueNet run rides on (see
+// core/delay_provider.hpp). `ptm` is the paper's per-device DNN; `analytical`
+// the queueing-theoretic closed forms; `tiered` routes each device by the
+// runtime policy below. Estimators without a learned device model (the DES
+// oracle, the baselines) ignore the whole policy — the one-contract promise
+// of this header is that every estimator accepts the same run_request.
+enum class delay_backend : std::uint8_t { ptm, analytical, tiered };
+
+[[nodiscard]] inline const char* to_string(delay_backend backend) noexcept {
+  switch (backend) {
+    case delay_backend::ptm: return "ptm";
+    case delay_backend::analytical: return "analytical";
+    case delay_backend::tiered: return "tiered";
+  }
+  return "unknown";
+}
+
+// Runtime policy of the tiered backend, re-evaluated per device per IRSA
+// iteration. A device starts on the analytical tier iff its egress-queue
+// utilization is strictly below `utilization_threshold` (so threshold 0
+// reproduces the pure PTM backend exactly); it is promoted to the
+// PTM when utilization exceeds threshold + hysteresis and demoted back when
+// it falls below threshold - hysteresis (the band prevents tier flapping
+// across iterations). `error_budget` is the relative mean-sojourn deviation
+// the analytical tier is allowed: on a device's first analytical window both
+// backends run once, and a gap beyond the budget promotes the device to the
+// PTM for the rest of the run (<= 0 disables the check).
+struct delay_policy {
+  delay_backend backend = delay_backend::ptm;
+  double utilization_threshold = 0.35;
+  double hysteresis = 0.05;
+  double error_budget = 0.25;
+
+  delay_policy& with_backend(delay_backend b) noexcept {
+    backend = b;
+    return *this;
+  }
+  delay_policy& with_threshold(double t) noexcept {
+    utilization_threshold = t;
+    return *this;
+  }
+  delay_policy& with_hysteresis(double h) noexcept {
+    hysteresis = h;
+    return *this;
+  }
+  delay_policy& with_error_budget(double budget) noexcept {
+    error_budget = budget;
+    return *this;
+  }
+};
+
 struct run_request {
   const std::vector<traffic::packet_stream>* host_streams = nullptr;
   double horizon = 0;
   obs::sink* sink = nullptr;
+  // Optional per-run delay-backend override, honored by core::dqn_network
+  // (replacing its configured policy for this run only) and ignored
+  // gracefully by the DES and the baselines.
+  std::optional<delay_policy> delay;
 };
 
 // Polymorphic face of the contract for code that selects estimators at

@@ -5,6 +5,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace dqn::queueing {
 
 ldqbd_scheduler_model::ldqbd_scheduler_model(map_process arrivals,
@@ -251,9 +253,21 @@ double ldqbd_scheduler_model::mean_queue_length(std::size_t class_index) const {
 }
 
 double ldqbd_scheduler_model::mean_sojourn(std::size_t class_index) const {
+  // Little's law over the class marginal: W_k = L_k / lambda_k with
+  // lambda_k = p_k * lambda. Guard the inputs before touching class_probs —
+  // mean_queue_length's own range check would fire too late to stop the
+  // indexed read below.
+  DQN_ENSURE(solved(), "ldqbd::mean_sojourn: query before solve()");
+  DQN_CHECK_RANGE(class_index, classes());
   const double lambda_k =
       config_.class_probs[class_index] * arrivals_.mean_rate();
-  return mean_queue_length(class_index) / lambda_k;
+  DQN_ENSURE(lambda_k > 0, "ldqbd::mean_sojourn: class ", class_index,
+             " has zero arrival rate (p_k * lambda = ", lambda_k, ")");
+  const double sojourn = mean_queue_length(class_index) / lambda_k;
+  DQN_INVARIANT(sojourn >= 0 && std::isfinite(sojourn),
+                "ldqbd::mean_sojourn: non-finite or negative sojourn ", sojourn,
+                " for class ", class_index);
+  return sojourn;
 }
 
 std::size_t ldqbd_scheduler_model::state_count() const {

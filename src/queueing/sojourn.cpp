@@ -1,0 +1,48 @@
+#include "queueing/sojourn.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace dqn::queueing {
+
+double mm1_mean_wait(double lambda, double mu) {
+  DQN_ENSURE(mu > 0, "mm1_mean_wait: service rate must be > 0 (got ", mu, ")");
+  DQN_ENSURE(lambda >= 0, "mm1_mean_wait: arrival rate must be >= 0 (got ",
+             lambda, ")");
+  if (lambda >= mu) return std::numeric_limits<double>::infinity();
+  const double rho = lambda / mu;
+  return rho / (mu - lambda);
+}
+
+double mm1_mean_sojourn(double lambda, double mu) {
+  DQN_ENSURE(mu > 0, "mm1_mean_sojourn: service rate must be > 0 (got ", mu,
+             ")");
+  DQN_ENSURE(lambda >= 0, "mm1_mean_sojourn: arrival rate must be >= 0 (got ",
+             lambda, ")");
+  if (lambda >= mu) return std::numeric_limits<double>::infinity();
+  return 1.0 / (mu - lambda);
+}
+
+std::vector<double> stationary_mean_sojourns(const ldqbd_scheduler_model& model) {
+  DQN_ENSURE(model.solved(),
+             "stationary_mean_sojourns: ldqbd model not solved; call solve()");
+  std::vector<double> sojourns(model.classes());
+  for (std::size_t k = 0; k < sojourns.size(); ++k)
+    sojourns[k] = model.mean_sojourn(k);
+  return sojourns;
+}
+
+std::vector<double> stationary_mean_waits(const ldqbd_scheduler_model& model,
+                                          double service_rate) {
+  DQN_ENSURE(service_rate > 0,
+             "stationary_mean_waits: service rate must be > 0 (got ",
+             service_rate, ")");
+  auto waits = stationary_mean_sojourns(model);
+  const double mean_service = 1.0 / service_rate;
+  for (double& w : waits) w = std::max(0.0, w - mean_service);
+  return waits;
+}
+
+}  // namespace dqn::queueing

@@ -15,8 +15,11 @@
 #include <thread>
 #include <vector>
 
+#include "core/delay_provider.hpp"
 #include "core/dutil.hpp"
 #include "core/engine.hpp"
+#include "core/features.hpp"
+#include "des/run_api.hpp"
 #include "obs/contracts.hpp"
 #include "obs/handles.hpp"
 #include "obs/sink.hpp"
@@ -150,8 +153,9 @@ TEST(concurrency, sharded_handles_are_exact_under_snapshotting_reader) {
     while (!done.load(std::memory_order_acquire)) {
       const auto snap = sink.metrics().snapshot();
       const auto it = snap.histograms.find("stress.hist");
-      if (it != snap.histograms.end())
+      if (it != snap.histograms.end()) {
         EXPECT_LE(it->second.count, writers * ops);
+      }
     }
   }};
   run_threads(writers, [&](std::size_t t) {
@@ -237,11 +241,10 @@ TEST(concurrency, contract_violations_count_exactly_across_threads) {
   util::reset_contract_violation_count();
 }
 
-TEST(concurrency, partitioned_engine_matches_single_partition_run) {
-  // The IRSA inference loop fans device partitions out over the thread pool;
-  // under TSan this is the test that drives that path. Determinism check:
-  // 4 partitions must produce byte-identical deliveries to 1 partition.
-  const core::device_model_bundle bundle = [] {
+// One tiny trained PTM shared by the engine/provider tests below (training
+// dominates their runtime).
+std::shared_ptr<const core::ptm_model> tiny_ptm() {
+  static const core::device_model_bundle bundle = [] {
     core::dutil_config cfg;
     cfg.ports = 4;
     cfg.streams = 20;
@@ -252,8 +255,14 @@ TEST(concurrency, partitioned_engine_matches_single_partition_run) {
     cfg.seed = 7;
     return core::train_device_model(cfg);
   }();
-  const auto ptm = std::shared_ptr<const core::ptm_model>{
-      &bundle.model, [](const core::ptm_model*) {}};
+  return {&bundle.model, [](const core::ptm_model*) {}};
+}
+
+TEST(concurrency, partitioned_engine_matches_single_partition_run) {
+  // The IRSA inference loop fans device partitions out over the thread pool;
+  // under TSan this is the test that drives that path. Determinism check:
+  // 4 partitions must produce byte-identical deliveries to 1 partition.
+  const auto ptm = tiny_ptm();
 
   const auto topo = topo::make_fattree16();
   const topo::routing routes{topo};
@@ -269,6 +278,99 @@ TEST(concurrency, partitioned_engine_matches_single_partition_run) {
   serial_cfg.partitions = 1;
   core::engine_config parallel_cfg;
   parallel_cfg.partitions = 4;
+  core::dqn_network serial{topo, routes, ptm, {}, serial_cfg};
+  core::dqn_network parallel{topo, routes, ptm, {}, parallel_cfg};
+
+  const auto serial_result = serial.run(streams, 0.005);
+  const auto parallel_result = parallel.run(streams, 0.005);
+
+  ASSERT_EQ(serial_result.deliveries.size(), parallel_result.deliveries.size());
+  for (std::size_t i = 0; i < serial_result.deliveries.size(); ++i) {
+    EXPECT_EQ(serial_result.deliveries[i].pid,
+              parallel_result.deliveries[i].pid);
+    EXPECT_DOUBLE_EQ(serial_result.deliveries[i].delivery_time,
+                     parallel_result.deliveries[i].delivery_time);
+  }
+}
+
+// The delay provider's threading contract: estimate_sojourn may run
+// concurrently for *different* devices. Each thread hammers its own device
+// id against one shared tiered provider; the relaxed tier counters must stay
+// exact and no thread may observe another's tier state. This is the TSan
+// workload for the tiered dispatch path.
+TEST(concurrency, tiered_provider_counts_exactly_across_devices) {
+  constexpr std::size_t workers = 8;
+  constexpr std::size_t calls_per_worker = 50;
+  constexpr std::size_t packets = 10;
+
+  des::delay_policy policy;
+  policy.backend = des::delay_backend::tiered;
+  policy.utilization_threshold = 1e9;  // everything analytical
+  policy.hysteresis = 0;
+  policy.error_budget = 0;
+  core::tiered_delay_provider provider{tiny_ptm(), policy};
+  provider.prepare(workers + 1);
+
+  traffic::packet_stream stream;
+  double t = 0;
+  for (std::size_t i = 0; i < packets; ++i) {
+    traffic::packet p;
+    p.pid = i;
+    p.size_bytes = 1000;
+    t += 5e-6;
+    stream.push_back({p, t});
+  }
+  const core::scheduler_context ctx;
+  const auto rows = core::compute_features(stream, ctx);
+
+  run_threads(workers, [&](std::size_t worker) {
+    core::device_state state;
+    state.device = static_cast<std::int64_t>(worker);
+    state.arrivals = &stream;
+    state.feature_rows = rows;
+    state.ctx = &ctx;
+    state.utilization = 0.1;
+    for (std::size_t i = 0; i < calls_per_worker; ++i) {
+      const auto sojourns = provider.estimate_sojourn(state, t);
+      EXPECT_EQ(sojourns.size(), packets);
+    }
+  });
+
+  const auto stats = provider.stats();
+  EXPECT_EQ(stats.analytical_calls, workers * calls_per_worker);
+  EXPECT_EQ(stats.analytical_packets, workers * calls_per_worker * packets);
+  EXPECT_EQ(stats.ptm_calls, 0u);
+  EXPECT_EQ(stats.promotions, 0u);
+  EXPECT_DOUBLE_EQ(stats.analytical_fraction(), 1.0);
+}
+
+// Same determinism bar as the pure-PTM partition test, with the tiered
+// policy's per-device hysteresis + error-budget state in the loop: tier
+// decisions depend only on a device's own utilization history, so partition
+// count must not change a single delivery.
+TEST(concurrency, partitioned_tiered_engine_matches_single_partition_run) {
+  const auto ptm = tiny_ptm();
+  const auto topo = topo::make_fattree16();
+  const topo::routing routes{topo};
+  util::rng rng{11};
+  auto flows = traffic::make_uniform_flows(16, 1, rng);
+  traffic::tg_util_config tg;
+  tg.per_flow_rate = 30'000.0;
+  tg.seed = 11;
+  auto generators = traffic::make_generators(flows, tg);
+  const auto streams = traffic::per_host_streams(generators, 16, 0.005, rng);
+
+  const auto policy = des::delay_policy{}
+                          .with_backend(des::delay_backend::tiered)
+                          .with_threshold(0.35)
+                          .with_hysteresis(0.05)
+                          .with_error_budget(0.25);
+  core::engine_config serial_cfg;
+  serial_cfg.partitions = 1;
+  serial_cfg.delay = policy;
+  core::engine_config parallel_cfg;
+  parallel_cfg.partitions = 4;
+  parallel_cfg.delay = policy;
   core::dqn_network serial{topo, routes, ptm, {}, serial_cfg};
   core::dqn_network parallel{topo, routes, ptm, {}, parallel_cfg};
 

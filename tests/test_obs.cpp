@@ -216,7 +216,8 @@ TEST(engine_config, builder_chain_equals_field_assignment) {
   EXPECT_EQ(built.sink, direct.sink);
   // Aggregate/designated initialization still compiles (the struct stayed an
   // aggregate despite the member setters).
-  const core::engine_config designated{.partitions = 2, .apply_sec = false};
+  const core::engine_config designated{
+      .partitions = 2, .apply_sec = false, .delay = {}};
   EXPECT_EQ(designated.partitions, 2u);
   EXPECT_FALSE(designated.apply_sec);
 }
