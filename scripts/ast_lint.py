@@ -1,0 +1,549 @@
+#!/usr/bin/env python3
+"""AST lint: hot-path and atomic memory-order invariants for the DQN tree.
+
+Three rules (docs/CONCURRENCY.md is the rationale; tests/lint_fixtures/ the
+executable spec — every bad fixture must be rejected, every good twin pass):
+
+  hot-path-alloc       Functions marked DQN_HOT_PATH (util/annotations.hpp)
+                       are steady-state per-packet kernels: no allocating
+                       constructs inside the body — operator new,
+                       make_unique/make_shared, std::string construction,
+                       std::to_string, stringstreams, container declarations,
+                       or container growth calls (push_back/emplace/insert/
+                       resize/reserve/append). Stage buffers outside, pass
+                       them in pre-sized (see core/device_model.cpp).
+
+  hot-path-string-obs  Inside DQN_HOT_PATH bodies, obs recording goes through
+                       pre-resolved handles only: no string-keyed sink calls
+                       (count("...")/gauge("...")/observe("...")/event("...")
+                       — each hashes the name under the registry meta mutex)
+                       and no handle resolution (counter_handle_for and
+                       friends: resolution locks; do it once at setup).
+
+  atomic-order         Every std::atomic load/store/RMW in first-party code
+                       names an explicit std::memory_order. Defaulted
+                       seq_cst hides the intended contract; where seq_cst is
+                       required, say so: .load(std::memory_order_seq_cst)
+                       plus a one-line comment.
+
+Engines:
+
+  builtin  Dependency-free single-pass lexer (comment/string masking + token
+           scan). The portable floor — runs anywhere python3 runs, including
+           containers with no clang at all. Hot functions are found by the
+           DQN_HOT_PATH macro name; rule application is textual over the
+           brace-matched body.
+
+  clang    libclang (python3-clang) over the real AST: hot functions are
+           found semantically via the annotate("dqn::hot_path") attribute the
+           macro expands to under clang, so aliasing or re-#defining the
+           macro cannot hide a function from the lint. Body rules then run
+           over the clang-reported body extent. Requires the libclang python
+           bindings; the CI static-analysis job pins and installs them.
+
+  auto     clang when the bindings import and the library loads, else
+           builtin (the default).
+
+Exit status: 0 clean, 1 findings, 2 usage/engine error. Findings print as
+`file:line: [rule] message`, one per line, machine-greppable (CI uploads the
+stream as the ast-lint artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+HOT_MACRO = "DQN_HOT_PATH"
+HOT_ANNOTATION = "dqn::hot_path"
+
+# ---------------------------------------------------------------------------
+# Shared body rules (both engines funnel hot-function bodies through these).
+# ---------------------------------------------------------------------------
+
+ALLOC_PATTERNS = [
+    (re.compile(r"(?<![\w:])new\s+[A-Za-z_(:]"), "operator new"),
+    (re.compile(r"\bmake_unique\s*<"), "std::make_unique"),
+    (re.compile(r"\bmake_shared\s*<"), "std::make_shared"),
+    (re.compile(r"\bstd::to_string\s*\("), "std::to_string"),
+    (re.compile(r"\bstd::o?stringstream\b"), "stringstream"),
+    (re.compile(r"\bstd::string\s*[\s\w]*[{(;=]"), "std::string construction"),
+    (
+        re.compile(
+            r"\bstd::(vector|deque|list|forward_list|map|multimap|set|multiset|"
+            r"unordered_map|unordered_set|unordered_multimap|unordered_multiset|"
+            r"queue|priority_queue|stack|function)\s*<"
+        ),
+        "container declaration",
+    ),
+    (
+        re.compile(
+            r"\.\s*(push_back|emplace_back|push_front|emplace_front|emplace|"
+            r"insert|insert_or_assign|try_emplace|resize|reserve|append)\s*\("
+        ),
+        "container growth",
+    ),
+]
+
+STRING_OBS_PATTERNS = [
+    (
+        re.compile(r"[.>]\s*(count|gauge|observe|event)\s*\(\s*\""),
+        "string-keyed obs call (pre-resolve a handle at setup)",
+    ),
+    (
+        re.compile(r"\b(counter|gauge|histogram)_handle_for\s*\("),
+        "handle resolution (resolve once at setup, not per packet)",
+    ),
+]
+
+ATOMIC_ONLY_METHODS = re.compile(
+    r"[.>]\s*(fetch_add|fetch_sub|fetch_and|fetch_or|fetch_xor|exchange|"
+    r"compare_exchange_weak|compare_exchange_strong|test_and_set)\s*\("
+)
+
+# `name.load(...)` / `name.store(...)` (optionally subscripted receiver);
+# only applied when `name` is a declared std::atomic in this file or its
+# paired header — .load() is too common (streams, nn models) to flag blindly.
+LOAD_STORE_CALL = re.compile(
+    r"(?<![\w.>])([A-Za-z_]\w*)\s*(?:\[[^][]*\])?\s*\.\s*(load|store)\s*\("
+)
+
+ATOMIC_DECL = re.compile(r"std::atomic\s*<[^;{()]*>\s*&?\s*([A-Za-z_]\w*)")
+
+
+class Finding:
+    __slots__ = ("path", "line", "rule", "message")
+
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def render(self) -> str:
+        rel = os.path.relpath(self.path, REPO)
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+def mask_source(text: str) -> str:
+    """Blank comments entirely and string/char *contents* (quotes survive so
+    string-keyed call sites stay detectable); newlines survive so offsets and
+    line numbers are unchanged. Handles //, /**/, "...", '...' and raw
+    string literals R"delim(...)delim"."""
+    out = list(text)
+    i, n = 0, len(text)
+
+    def blank(a: int, b: int) -> None:
+        for j in range(a, b):
+            if out[j] != "\n":
+                out[j] = " "
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            end = text.find("\n", i)
+            end = n if end == -1 else end
+            blank(i, end)
+            i = end
+        elif c == "/" and nxt == "*":
+            end = text.find("*/", i + 2)
+            end = n if end == -1 else end + 2
+            blank(i, end)
+            i = end
+        elif c == '"' and text[max(0, i - 1) : i + 1] in ('"', 'R"') and text[
+            max(0, i - 1)
+        ] == "R":
+            # raw string literal: R"delim( ... )delim"
+            open_paren = text.find("(", i)
+            if open_paren == -1:
+                i += 1
+                continue
+            delim = text[i + 1 : open_paren]
+            close = text.find(")" + delim + '"', open_paren)
+            close = n if close == -1 else close + len(delim) + 2
+            blank(i + 1, close - 1)
+            i = close
+        elif c == '"':
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 2 if text[j] == "\\" else 1
+            blank(i + 1, min(j, n))
+            i = min(j, n) + 1
+        elif c == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                j += 2 if text[j] == "\\" else 1
+            blank(i + 1, min(j, n))
+            i = min(j, n) + 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def check_hot_body(path: str, masked: str, start: int, end: int) -> list:
+    """Apply the hot-path body rules to masked[start:end]."""
+    findings = []
+    body = masked[start:end]
+    for pattern, what in ALLOC_PATTERNS:
+        for m in pattern.finditer(body):
+            findings.append(
+                Finding(
+                    path,
+                    line_of(masked, start + m.start()),
+                    "hot-path-alloc",
+                    f"{what} inside a {HOT_MACRO} body",
+                )
+            )
+    for pattern, what in STRING_OBS_PATTERNS:
+        for m in pattern.finditer(body):
+            findings.append(
+                Finding(
+                    path,
+                    line_of(masked, start + m.start()),
+                    "hot-path-string-obs",
+                    f"{what} inside a {HOT_MACRO} body",
+                )
+            )
+    return findings
+
+
+def balanced_args(masked: str, open_paren: int) -> str:
+    """Text between open_paren and its matching close (exclusive)."""
+    depth = 0
+    for j in range(open_paren, len(masked)):
+        if masked[j] == "(":
+            depth += 1
+        elif masked[j] == ")":
+            depth -= 1
+            if depth == 0:
+                return masked[open_paren + 1 : j]
+    return masked[open_paren + 1 :]
+
+
+def check_atomic_orders(path: str, masked: str, atomic_names: set) -> list:
+    findings = []
+    for m in ATOMIC_ONLY_METHODS.finditer(masked):
+        args = balanced_args(masked, masked.index("(", m.end() - 1))
+        if "memory_order" not in args:
+            findings.append(
+                Finding(
+                    path,
+                    line_of(masked, m.start()),
+                    "atomic-order",
+                    f".{m.group(1)}() without an explicit std::memory_order",
+                )
+            )
+    for m in LOAD_STORE_CALL.finditer(masked):
+        if m.group(1) not in atomic_names:
+            continue
+        args = balanced_args(masked, masked.index("(", m.end() - 1))
+        if "memory_order" not in args:
+            findings.append(
+                Finding(
+                    path,
+                    line_of(masked, m.start()),
+                    "atomic-order",
+                    f"{m.group(1)}.{m.group(2)}() without an explicit "
+                    "std::memory_order",
+                )
+            )
+    return findings
+
+
+def atomic_names_for(path: str, masked: str) -> set:
+    """Declared std::atomic variable names in this file plus, for a .cpp, its
+    paired header (members are declared in the .hpp, used in the .cpp)."""
+    names = {m.group(1) for m in ATOMIC_DECL.finditer(masked)}
+    root, ext = os.path.splitext(path)
+    if ext == ".cpp":
+        header = root + ".hpp"
+        if os.path.exists(header):
+            with open(header, encoding="utf-8") as fh:
+                names |= {
+                    m.group(1) for m in ATOMIC_DECL.finditer(mask_source(fh.read()))
+                }
+    return names
+
+
+# ---------------------------------------------------------------------------
+# builtin engine: find DQN_HOT_PATH bodies by macro token + brace matching.
+# ---------------------------------------------------------------------------
+
+HOT_TOKEN = re.compile(r"\b" + HOT_MACRO + r"\b")
+
+
+def builtin_hot_bodies(masked: str):
+    """Yield (body_start, body_end) offsets for every DQN_HOT_PATH function
+    *definition* (declarations — `;` before `{` at depth 0 — are skipped, as
+    are preprocessor lines such as the macro's own #define)."""
+    for m in HOT_TOKEN.finditer(masked):
+        line_start = masked.rfind("\n", 0, m.start()) + 1
+        if masked[line_start:m.start()].lstrip().startswith("#"):
+            continue  # the #define itself (or conditional around it)
+        depth = 0
+        i = m.end()
+        n = len(masked)
+        while i < n:
+            c = masked[i]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+            elif depth == 0 and c == ";":
+                break  # declaration only
+            elif depth == 0 and c == "{":
+                brace = 1
+                j = i + 1
+                while j < n and brace:
+                    if masked[j] == "{":
+                        brace += 1
+                    elif masked[j] == "}":
+                        brace -= 1
+                    j += 1
+                yield i + 1, j - 1
+                break
+            i += 1
+
+
+def run_builtin(paths):
+    findings = []
+    for path in paths:
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        masked = mask_source(text)
+        for start, end in builtin_hot_bodies(masked):
+            findings.extend(check_hot_body(path, masked, start, end))
+        findings.extend(
+            check_atomic_orders(path, masked, atomic_names_for(path, masked))
+        )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# clang engine: find hot functions via the annotate attribute in the AST.
+# ---------------------------------------------------------------------------
+
+
+_clang_configured = False
+
+
+def _configure_libclang(cindex) -> None:
+    """Point the bindings at a libclang shared object. Order: explicit
+    CLANG_LIBRARY_FILE env override, the bindings' own default search, then
+    distro-versioned locations (/usr/lib/llvm-N/lib/libclang-N.so...)."""
+    global _clang_configured
+    if _clang_configured:
+        return
+    _clang_configured = True
+    env = os.environ.get("CLANG_LIBRARY_FILE")
+    if env:
+        cindex.Config.set_library_file(env)
+        return
+    try:
+        cindex.Index.create()
+        return  # default search works; leave the config untouched
+    except Exception:
+        pass
+    import glob
+
+    candidates = sorted(
+        glob.glob("/usr/lib/llvm-*/lib/libclang-*.so*")
+        + glob.glob("/usr/lib/llvm-*/lib/libclang.so*")
+        + glob.glob("/usr/lib/*/libclang-*.so*"),
+        reverse=True,  # prefer the newest-versioned install
+    )
+    if candidates:
+        cindex.Config.set_library_file(candidates[0])
+
+
+def clang_available() -> bool:
+    try:
+        from clang import cindex
+
+        _configure_libclang(cindex)
+        cindex.Index.create()
+        return True
+    except Exception:
+        return False
+
+
+def clang_args_for(path: str, build_dir: str):
+    from clang import cindex
+
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if os.path.exists(db_path):
+        try:
+            db = cindex.CompilationDatabase.fromDirectory(build_dir)
+            cmds = db.getCompileCommands(os.path.abspath(path))
+            if cmds:
+                args = list(cmds[0].arguments)[1:]  # drop the compiler itself
+                # drop the source file and -o/-c plumbing; keep flags/includes
+                cleaned, skip = [], False
+                for a in args:
+                    if skip:
+                        skip = False
+                        continue
+                    if a in ("-o", "-c"):
+                        skip = a == "-o"
+                        continue
+                    if a == os.path.abspath(path) or a.endswith(
+                        os.path.basename(path)
+                    ):
+                        continue
+                    cleaned.append(a)
+                return cleaned
+        except Exception:
+            pass
+    return ["-xc++", "-std=c++20", "-I" + os.path.join(REPO, "src")]
+
+
+def run_clang(paths, build_dir):
+    from clang import cindex
+
+    index = cindex.Index.create()
+    findings = []
+    for path in paths:
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        masked = mask_source(text)
+        atomic_names = atomic_names_for(path, masked)
+        tu = index.parse(
+            path,
+            args=clang_args_for(path, build_dir),
+            options=cindex.TranslationUnit.PARSE_DETAILED_PROCESSING_RECORD,
+        )
+        fatal = [
+            d
+            for d in tu.diagnostics
+            if d.severity >= cindex.Diagnostic.Fatal
+        ]
+        if fatal:
+            print(
+                f"ast_lint: clang failed to parse {path}: {fatal[0].spelling}",
+                file=sys.stderr,
+            )
+            return None
+        abspath = os.path.abspath(path)
+
+        def walk(cursor):
+            for child in cursor.get_children():
+                loc = child.location
+                if loc.file is not None and os.path.abspath(loc.file.name) != abspath:
+                    continue
+                if child.kind in (
+                    cindex.CursorKind.FUNCTION_DECL,
+                    cindex.CursorKind.CXX_METHOD,
+                    cindex.CursorKind.CONSTRUCTOR,
+                    cindex.CursorKind.FUNCTION_TEMPLATE,
+                ) and child.is_definition():
+                    annotated = any(
+                        a.kind == cindex.CursorKind.ANNOTATE_ATTR
+                        and a.spelling == HOT_ANNOTATION
+                        for a in child.get_children()
+                    )
+                    if annotated:
+                        body = next(
+                            (
+                                c
+                                for c in child.get_children()
+                                if c.kind == cindex.CursorKind.COMPOUND_STMT
+                            ),
+                            None,
+                        )
+                        if body is not None:
+                            findings.extend(
+                                check_hot_body(
+                                    path,
+                                    masked,
+                                    body.extent.start.offset,
+                                    body.extent.end.offset,
+                                )
+                            )
+                walk(child)
+
+        walk(tu.cursor)
+        findings.extend(check_atomic_orders(path, masked, atomic_names))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+
+
+def default_paths():
+    paths = []
+    for dirpath, _dirnames, filenames in os.walk(os.path.join(REPO, "src")):
+        for name in sorted(filenames):
+            if name.endswith((".cpp", ".hpp")):
+                paths.append(os.path.join(dirpath, name))
+    return sorted(paths)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="hot-path and atomic memory-order lint (see module docstring)"
+    )
+    parser.add_argument(
+        "files",
+        nargs="*",
+        help="files to lint (default: every .cpp/.hpp under src/)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("auto", "clang", "builtin"),
+        default="auto",
+        help="auto = clang bindings if importable, else builtin (default)",
+    )
+    parser.add_argument(
+        "--build-dir",
+        default=os.path.join(REPO, "build"),
+        help="directory holding compile_commands.json for the clang engine",
+    )
+    args = parser.parse_args(argv)
+
+    paths = [os.path.abspath(f) for f in args.files] or default_paths()
+    for path in paths:
+        if not os.path.exists(path):
+            print(f"ast_lint: no such file: {path}", file=sys.stderr)
+            return 2
+
+    engine = args.engine
+    if engine == "auto":
+        engine = "clang" if clang_available() else "builtin"
+    if engine == "clang" and not clang_available():
+        print(
+            "ast_lint: --engine clang requested but the libclang python "
+            "bindings are unavailable (pip/apt: python3-clang + libclang)",
+            file=sys.stderr,
+        )
+        return 2
+
+    if engine == "clang":
+        findings = run_clang(paths, args.build_dir)
+        if findings is None:
+            return 2
+    else:
+        findings = run_builtin(paths)
+
+    for f in sorted(findings, key=lambda f: (f.path, f.line)):
+        print(f.render())
+    if findings:
+        print(
+            f"ast_lint: {len(findings)} finding(s) [{engine} engine]",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"ast_lint: OK [{engine} engine, {len(paths)} file(s)]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,16 +9,42 @@
 #                                   # (PR mode; default is the full tree)
 #   scripts/lint.sh --format        # additionally format-check changed files
 #   scripts/lint.sh --format-base R # diff base for --format (default origin/main)
+#   scripts/lint.sh --require-tools # missing tool = failure, not a skip (CI)
 #
 # clang-tidy needs the compilation database; configure first:
 #   cmake -B build -S .   (CMAKE_EXPORT_COMPILE_COMMANDS is on by default)
 #
-# Tools that are not installed are skipped with a notice (exit stays 0): the
-# custom rules below always run and are the portable floor; CI installs the
-# full toolchain so nothing is skipped there.
+# Tool binaries are overridable for version pinning: CLANG_TIDY and
+# CLANG_FORMAT name the executables (default clang-tidy / clang-format); the
+# CI static-analysis job sets them to the pinned major version.
+#
+# By default tools that are not installed are skipped with a notice (exit
+# stays 0): the custom rules below always run and are the portable floor.
+# With --require-tools a missing tool is a lint failure — CI passes it so an
+# image regression cannot silently disable a gate.
 set -u
 
 cd "$(dirname "$0")/.."
+
+clang_tidy="${CLANG_TIDY:-clang-tidy}"
+clang_format="${CLANG_FORMAT:-clang-format}"
+
+run_tidy=1
+tidy_base=""
+run_format=0
+format_base="origin/main"
+require_tools=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --no-tidy) run_tidy=0 ;;
+    --tidy-base) shift; tidy_base="$1" ;;
+    --format) run_format=1 ;;
+    --format-base) shift; format_base="$1" ;;
+    --require-tools) require_tools=1 ;;
+    *) echo "lint: unknown option $1" >&2; exit 2 ;;
+  esac
+  shift
+done
 
 failures=0
 fail() {
@@ -98,34 +124,51 @@ if command -v "$cxx" >/dev/null 2>&1; then
       head -5 "$tmp/self.err" >&2
     fi
   done < <(find src -name "*.hpp" | sort)
+elif [ "$require_tools" = 1 ]; then
+  fail "$cxx not found but --require-tools was given"
 else
   echo "lint: $cxx not found; skipping self-containment check" >&2
+fi
+
+# ---------------------------------------------------------------------------
+# Rule 6: AST lint — hot-path purity (no allocation / string-keyed obs inside
+# DQN_HOT_PATH bodies) and explicit std::memory_order on every atomic access.
+# scripts/ast_lint.py carries a dependency-free builtin engine, so this rule
+# always runs; with --require-tools the semantic libclang engine is demanded
+# (CI installs python3-clang), so macro tricks cannot hide a hot function.
+# ---------------------------------------------------------------------------
+if command -v python3 >/dev/null 2>&1; then
+  ast_engine="auto"
+  [ "$require_tools" = 1 ] && ast_engine="clang"
+  python3 scripts/ast_lint.py --engine "$ast_engine"
+  case $? in
+    0) ;;
+    1) fail "ast_lint.py reported findings (see above)" ;;
+    *) fail "ast_lint.py could not run (engine '$ast_engine' unavailable?)" ;;
+  esac
+elif [ "$require_tools" = 1 ]; then
+  fail "python3 not found but --require-tools was given"
+else
+  echo "lint: python3 not found; skipping ast_lint (CI runs it)" >&2
 fi
 
 # ---------------------------------------------------------------------------
 # clang-tidy over the compilation database (src/ only: tests and benches get
 # tidied in CI where the runtime cost is parallelized).
 # ---------------------------------------------------------------------------
-run_tidy=1
-tidy_base=""
-run_format=0
-format_base="origin/main"
-while [ $# -gt 0 ]; do
-  case "$1" in
-    --no-tidy) run_tidy=0 ;;
-    --tidy-base) shift; tidy_base="$1" ;;
-    --format) run_format=1 ;;
-    --format-base) shift; format_base="$1" ;;
-    *) echo "lint: unknown option $1" >&2; exit 2 ;;
-  esac
-  shift
-done
-
 if [ "$run_tidy" = 1 ]; then
-  if ! command -v clang-tidy >/dev/null 2>&1; then
-    echo "lint: clang-tidy not installed; skipping (CI runs it)" >&2
+  if ! command -v "$clang_tidy" >/dev/null 2>&1; then
+    if [ "$require_tools" = 1 ]; then
+      fail "$clang_tidy not found but --require-tools was given"
+    else
+      echo "lint: $clang_tidy not installed; skipping (CI runs it)" >&2
+    fi
   elif [ ! -f build/compile_commands.json ]; then
-    echo "lint: build/compile_commands.json missing; configure first (skipping tidy)" >&2
+    if [ "$require_tools" = 1 ]; then
+      fail "build/compile_commands.json missing but --require-tools was given (configure first)"
+    else
+      echo "lint: build/compile_commands.json missing; configure first (skipping tidy)" >&2
+    fi
   else
     # .clang-tidy sets WarningsAsErrors: '*', so any finding is a failure.
     if [ -n "$tidy_base" ]; then
@@ -138,7 +181,7 @@ if [ "$run_tidy" = 1 ]; then
     if [ -n "$tidy_files" ]; then
       # shellcheck disable=SC2086
       if ! printf '%s\n' $tidy_files \
-          | xargs -n 8 -P "$(nproc)" clang-tidy -p build --quiet; then
+          | xargs -n 8 -P "$(nproc)" "$clang_tidy" -p build --quiet; then
         fail "clang-tidy reported findings (see above)"
       fi
     fi
@@ -151,15 +194,19 @@ fi
 # reformat; the tree converges as files get touched.
 # ---------------------------------------------------------------------------
 if [ "$run_format" = 1 ]; then
-  if ! command -v clang-format >/dev/null 2>&1; then
-    echo "lint: clang-format not installed; skipping format gate (CI runs it)" >&2
+  if ! command -v "$clang_format" >/dev/null 2>&1; then
+    if [ "$require_tools" = 1 ]; then
+      fail "$clang_format not found but --require-tools was given"
+    else
+      echo "lint: $clang_format not installed; skipping format gate (CI runs it)" >&2
+    fi
   else
     changed=$(git diff --name-only --diff-filter=ACMR "$format_base"...HEAD -- \
               'src/*.cpp' 'src/*.hpp' 'tests/*.cpp' 'bench/*.cpp' 'bench/*.hpp' \
               'examples/*.cpp' 2>/dev/null || true)
     if [ -n "$changed" ]; then
       # shellcheck disable=SC2086
-      if ! clang-format --dry-run --Werror $changed; then
+      if ! "$clang_format" --dry-run --Werror $changed; then
         fail "clang-format: files above differ from .clang-format style"
       fi
     fi

@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Executable spec for the static-analysis gates: every bad fixture in
+# tests/lint_fixtures/ must be rejected by its gate, every good twin must
+# pass. Registered as the `lint_fixtures` ctest (SKIP_RETURN_CODE 77).
+#
+# Usage:
+#   scripts/test_lint_fixtures.sh                  # skip clang pair if absent
+#   scripts/test_lint_fixtures.sh --require-clang  # missing clang = failure
+#
+# The ast_lint fixtures run everywhere (the builtin engine has no
+# dependencies); the -Wthread-safety pair needs a clang++ (override with
+# CLANG_CXX), which only CI guarantees.
+set -u
+
+cd "$(dirname "$0")/.."
+
+require_clang=0
+[ "${1:-}" = "--require-clang" ] && require_clang=1
+
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "lint_fixtures: python3 not found; skipping" >&2
+  exit 77
+fi
+
+failures=0
+fail() {
+  echo "FIXTURE FAIL: $*" >&2
+  failures=$((failures + 1))
+}
+
+fixtures=tests/lint_fixtures
+
+# --- ast_lint rules: bad must exit 1 with the right tag, good must exit 0 ---
+expect_rule() { # <fixture> <rule-tag>
+  local out status
+  out=$(python3 scripts/ast_lint.py "$fixtures/$1" 2>&1)
+  status=$?
+  if [ "$status" -ne 1 ]; then
+    fail "$1: expected ast_lint exit 1 (findings), got $status"
+  elif ! printf '%s\n' "$out" | grep -q "\[$2\]"; then
+    fail "$1: expected a [$2] finding, got: $out"
+  fi
+}
+expect_clean() { # <fixture>
+  local out
+  if ! out=$(python3 scripts/ast_lint.py "$fixtures/$1" 2>&1); then
+    fail "$1: expected ast_lint to pass, got: $out"
+  fi
+}
+
+expect_rule bad_hot_path_alloc.cc hot-path-alloc
+expect_clean good_hot_path_alloc.cc
+expect_rule bad_hot_path_string_obs.cc hot-path-string-obs
+expect_clean good_hot_path_string_obs.cc
+expect_rule bad_atomic_order.cc atomic-order
+expect_clean good_atomic_order.cc
+
+# --- -Wthread-safety pair: needs a clang compiler --------------------------
+cxx="${CLANG_CXX:-clang++}"
+if command -v "$cxx" >/dev/null 2>&1; then
+  ts_flags=(-std=c++20 -fsyntax-only -Isrc -Wthread-safety -Werror=thread-safety)
+  if "$cxx" "${ts_flags[@]}" "$fixtures/bad_guarded_member.cc" 2>/dev/null; then
+    fail "bad_guarded_member.cc: expected -Werror=thread-safety to reject"
+  fi
+  if ! "$cxx" "${ts_flags[@]}" "$fixtures/good_guarded_member.cc"; then
+    fail "good_guarded_member.cc: expected a clean -Wthread-safety compile"
+  fi
+elif [ "$require_clang" = 1 ]; then
+  fail "$cxx not found but --require-clang was given"
+else
+  echo "lint_fixtures: $cxx not found; thread-safety pair skipped (CI runs it)" >&2
+fi
+
+if [ "$failures" -gt 0 ]; then
+  echo "lint_fixtures: $failures failure(s)" >&2
+  exit 1
+fi
+echo "lint_fixtures: OK"

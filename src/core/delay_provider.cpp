@@ -302,6 +302,7 @@ void tiered_delay_provider::publish(obs::sink& sink) {
   // sink shared across runs accumulates correctly. The fraction is the
   // lifetime ratio (a gauge: last write wins).
   const tier_stats now = stats();
+  const util::lock_guard lock{publish_mutex_};
   const auto delta = [](std::uint64_t current, std::uint64_t prior) {
     return static_cast<double>(current - prior);
   };

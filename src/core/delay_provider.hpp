@@ -36,6 +36,8 @@
 #include "des/run_api.hpp"
 #include "obs/handles.hpp"
 #include "traffic/packet.hpp"
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace dqn::obs {
 class sink;
@@ -225,7 +227,11 @@ class tiered_delay_provider final : public delay_provider {
   std::atomic<std::uint64_t> promotions_{0};
   std::atomic<std::uint64_t> demotions_{0};
   std::atomic<std::uint64_t> budget_promotions_{0};
-  tier_stats published_{};  // high-water marks of the last publish()
+  // publish() is documented single-thread (run boundary), but the guard makes
+  // the contract checkable: concurrent publish() calls would double-count
+  // deltas, so published_ is mutex-protected rather than trusted.
+  util::mutex publish_mutex_;
+  tier_stats published_ DQN_GUARDED_BY(publish_mutex_){};
 };
 
 }  // namespace dqn::core

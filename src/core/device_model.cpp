@@ -7,9 +7,53 @@
 
 #include "obs/journey.hpp"
 #include "obs/sink.hpp"
+#include "util/annotations.hpp"
 #include "util/check.hpp"
 
 namespace dqn::core {
+
+namespace {
+
+// Per-packet steady-state kernels of device_model::process. process() itself
+// stages buffers (feature rows, sojourn vectors, egress streams) and so
+// cannot be allocation-free; the per-packet arithmetic it runs over those
+// pre-sized buffers lives here, where DQN_HOT_PATH holds (ast_lint.py rule:
+// no allocation, no string-keyed obs inside marked bodies).
+
+// Strict-priority prior bound: clamp each class-0 sojourn into
+// [W_0, W_0 + max_packet * 8 / C] (rows is the flattened feature matrix).
+DQN_HOT_PATH void clamp_sp_waits(const traffic::packet_stream& queue,
+                                 const std::vector<double>& rows,
+                                 std::vector<double>& sojourns,
+                                 double line_bps) noexcept {
+  const double residual_service_bound = 1600.0 * 8.0 / line_bps;
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    if (queue[i].pkt.priority != 0) continue;
+    const double w0 = rows[i * feature_count + f_own_class_work];
+    sojourns[i] = std::clamp(sojourns[i], w0, w0 + residual_service_bound);
+  }
+}
+
+// Feasibility projection along the transmission order: successive starts are
+// at least one service time apart while the line is busy; predictions only
+// move later. departures is pre-sized to queue.size() by the caller.
+DQN_HOT_PATH void project_departures(const traffic::packet_stream& queue,
+                                     const std::vector<double>& sojourns,
+                                     const std::vector<std::size_t>& tx_order,
+                                     std::vector<double>& departures,
+                                     double line_bps) noexcept {
+  double line_free_at = 0;
+  for (const std::size_t i : tx_order) {
+    const double arrival = queue[i].time;
+    const double departure =
+        std::max(arrival + sojourns[i], std::max(arrival, line_free_at));
+    departures[i] = departure;
+    line_free_at = departure + static_cast<double>(queue[i].pkt.size_bytes) *
+                                   8.0 / line_bps;
+  }
+}
+
+}  // namespace
 
 device_model::device_model(std::shared_ptr<const ptm_model> ptm, scheduler_context ctx)
     : fallback_{std::move(ptm)}, ctx_{std::move(ctx)} {}
@@ -137,14 +181,8 @@ std::vector<traffic::packet_stream> device_model::process(
     // non-preemptive strict priority, the highest class waits exactly its
     // own-class backlog plus at most one residual lower-priority service:
     //   W_0 <= sojourn <= W_0 + max_packet * 8 / C.
-    if (ctx_.kind == des::scheduler_kind::sp) {
-      const double residual_service_bound = 1600.0 * 8.0 / line_bps;
-      for (std::size_t i = 0; i < queue.size(); ++i) {
-        if (queue[i].pkt.priority != 0) continue;
-        const double w0 = rows[i * feature_count + f_own_class_work];
-        sojourns[i] = std::clamp(sojourns[i], w0, w0 + residual_service_bound);
-      }
-    }
+    if (ctx_.kind == des::scheduler_kind::sp)
+      clamp_sp_waits(queue, rows, sojourns, line_bps);
 
     // Post-PTM feasibility projection: the egress line serialises packets,
     // so successive transmission starts are at least one service time apart
@@ -170,15 +208,7 @@ std::vector<traffic::packet_stream> device_model::process(
                 });
     }
     std::vector<double> departures(queue.size());
-    double line_free_at = 0;
-    for (const std::size_t i : tx_order) {
-      const double arrival = queue[i].time;
-      const double departure =
-          std::max(arrival + sojourns[i], std::max(arrival, line_free_at));
-      departures[i] = departure;
-      line_free_at = departure + static_cast<double>(queue[i].pkt.size_bytes) *
-                                     8.0 / line_bps;
-    }
+    project_departures(queue, sojourns, tx_order, departures, line_bps);
     traffic::packet_stream& out_stream = egress[out];
     out_stream.reserve(queue.size());
     for (std::size_t i = 0; i < queue.size(); ++i) {

@@ -106,10 +106,13 @@ des::run_result dqn_network::run(
   // Hot-path metrics go through pre-resolved handles (lock-free to record);
   // journey tracing is active only when the sink's tracer was configured.
   obs::histogram_handle device_seconds_handle;
+  obs::histogram_handle partition_busy_handle;
   obs::journey_tracer* tracer = nullptr;
   if (sink != nullptr) {
     device_seconds_handle =
         sink->histogram_handle_for("engine.device_infer_seconds");
+    partition_busy_handle =
+        sink->histogram_handle_for("engine.partition_busy_seconds");
     if (sink->journeys().enabled()) tracer = &sink->journeys();
     // Which GEMM backend this run's inference rides on (selected once at
     // startup; see nn/kernels/gemm.hpp).
@@ -280,7 +283,7 @@ des::run_result dqn_network::run(
         sink->event("engine", "partition_" + std::to_string(r), iteration,
                     sink->now() - busy, busy,
                     static_cast<double>(partition_inferences[r]));
-        sink->observe("engine.partition_busy_seconds", busy);
+        partition_busy_handle.observe(busy);
       }
     }
     stats_.critical_path_seconds += iteration_max;

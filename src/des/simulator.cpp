@@ -1,5 +1,6 @@
 #include "des/simulator.hpp"
 
+#include "util/annotations.hpp"
 #include "util/check.hpp"
 
 namespace dqn::des {
@@ -11,7 +12,9 @@ void simulator::schedule_at(double when, std::function<void()> action) {
   if (queue_.size() > max_depth_) max_depth_ = queue_.size();
 }
 
-void simulator::run(double until) {
+// Hot: the DES steady-state loop — pops, advances the clock, dispatches.
+// schedule_at (heap push, may reallocate) is deliberately NOT hot-marked.
+DQN_HOT_PATH void simulator::run(double until) {
   while (!queue_.empty()) {
     if (queue_.top().time > until) break;
     // priority_queue::top() is const; move out via const_cast-free copy of

@@ -9,6 +9,7 @@
 
 #include "nn/kernels/gemm_tables.hpp"
 #include "obs/sink.hpp"
+#include "util/annotations.hpp"
 
 namespace dqn::nn::kernels {
 
@@ -199,7 +200,7 @@ bool cpu_has_avx512f() noexcept {
 #endif
 }
 
-const detail::gemm_table& table_for(backend be) noexcept {
+DQN_HOT_PATH const detail::gemm_table& table_for(backend be) noexcept {
   switch (be) {
     case backend::naive: return detail::naive_table();
     case backend::blocked: return detail::blocked_table();
@@ -271,7 +272,7 @@ backend best_supported_backend() noexcept {
   return backend::blocked;
 }
 
-backend active_backend() noexcept {
+DQN_HOT_PATH backend active_backend() noexcept {
   return active_slot().load(std::memory_order_relaxed);
 }
 
@@ -294,18 +295,21 @@ void report_dispatch(obs::sink& sink) {
   sink.event("nn", "kernel_dispatch", 0, sink.now(), 0.0, id);
 }
 
-void gemm_nn(const double* a, const double* b, double* c, std::size_t m,
-             std::size_t n, std::size_t k, bool accumulate) {
+DQN_HOT_PATH void gemm_nn(const double* a, const double* b, double* c,
+                            std::size_t m, std::size_t n, std::size_t k,
+                            bool accumulate) {
   table_for(active_backend()).nn(a, b, c, m, n, k, accumulate);
 }
 
-void gemm_tn(const double* a, const double* b, double* c, std::size_t m,
-             std::size_t n, std::size_t k, bool accumulate) {
+DQN_HOT_PATH void gemm_tn(const double* a, const double* b, double* c,
+                            std::size_t m, std::size_t n, std::size_t k,
+                            bool accumulate) {
   table_for(active_backend()).tn(a, b, c, m, n, k, accumulate);
 }
 
-void gemm_nt(const double* a, const double* b, double* c, std::size_t m,
-             std::size_t n, std::size_t k, bool accumulate) {
+DQN_HOT_PATH void gemm_nt(const double* a, const double* b, double* c,
+                            std::size_t m, std::size_t n, std::size_t k,
+                            bool accumulate) {
   table_for(active_backend()).nt(a, b, c, m, n, k, accumulate);
 }
 

@@ -6,22 +6,22 @@
 
 namespace dqn::obs {
 
-std::uint32_t thread_ordinal() noexcept {
+DQN_HOT_PATH std::uint32_t thread_ordinal() noexcept {
   static std::atomic<std::uint32_t> next{0};
   thread_local const std::uint32_t ordinal =
       next.fetch_add(1, std::memory_order_relaxed);
   return ordinal;
 }
 
-void counter_handle::record(double delta) noexcept {
+DQN_HOT_PATH void counter_handle::record(double delta) noexcept {
   registry_->counter_add(id_, delta);
 }
 
-void gauge_handle::record(double value) noexcept {
+DQN_HOT_PATH void gauge_handle::record(double value) noexcept {
   registry_->gauge_set(id_, value);
 }
 
-void histogram_handle::record(double value) noexcept {
+DQN_HOT_PATH void histogram_handle::record(double value) noexcept {
   registry_->histogram_observe(id_, value);
 }
 

@@ -19,6 +19,8 @@
 
 #include <cstdint>
 
+#include "util/annotations.hpp"
+
 namespace dqn::obs {
 
 class metric_registry;
@@ -31,7 +33,7 @@ class counter_handle {
  public:
   counter_handle() = default;
 
-  void add(double delta = 1.0) noexcept {
+  DQN_HOT_PATH void add(double delta = 1.0) noexcept {
     if (registry_ != nullptr) record(delta);
   }
 
@@ -53,7 +55,7 @@ class gauge_handle {
  public:
   gauge_handle() = default;
 
-  void set(double value) noexcept {
+  DQN_HOT_PATH void set(double value) noexcept {
     if (registry_ != nullptr) record(value);
   }
 
@@ -75,7 +77,7 @@ class histogram_handle {
  public:
   histogram_handle() = default;
 
-  void observe(double value) noexcept {
+  DQN_HOT_PATH void observe(double value) noexcept {
     if (registry_ != nullptr) record(value);
   }
 

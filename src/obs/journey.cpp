@@ -37,7 +37,7 @@ bool journey_tracer::sampled(std::uint64_t pid) const noexcept {
 
 void journey_tracer::record_send(std::uint64_t pid, std::uint64_t flow,
                                  double time) {
-  const std::lock_guard lock{mutex_};
+  const util::lock_guard lock{mutex_};
   auto& journey = journeys_[pid];
   journey.pid = pid;
   journey.flow = flow;
@@ -45,7 +45,7 @@ void journey_tracer::record_send(std::uint64_t pid, std::uint64_t flow,
 }
 
 void journey_tracer::record_hop(std::uint64_t pid, const journey_hop& hop) {
-  const std::lock_guard lock{mutex_};
+  const util::lock_guard lock{mutex_};
   auto& journey = journeys_[pid];
   journey.pid = pid;
   for (auto& existing : journey.hops) {
@@ -58,14 +58,14 @@ void journey_tracer::record_hop(std::uint64_t pid, const journey_hop& hop) {
 }
 
 void journey_tracer::record_delivery(std::uint64_t pid, double time) {
-  const std::lock_guard lock{mutex_};
+  const util::lock_guard lock{mutex_};
   auto& journey = journeys_[pid];
   journey.pid = pid;
   journey.delivery_time = time;
 }
 
 std::vector<packet_journey> journey_tracer::journeys() const {
-  const std::lock_guard lock{mutex_};
+  const util::lock_guard lock{mutex_};
   std::vector<packet_journey> out;
   out.reserve(journeys_.size());
   for (const auto& [pid, journey] : journeys_) out.push_back(journey);
@@ -82,12 +82,12 @@ std::vector<packet_journey> journey_tracer::journeys() const {
 }
 
 std::size_t journey_tracer::size() const {
-  const std::lock_guard lock{mutex_};
+  const util::lock_guard lock{mutex_};
   return journeys_.size();
 }
 
 void journey_tracer::clear() {
-  const std::lock_guard lock{mutex_};
+  const util::lock_guard lock{mutex_};
   journeys_.clear();
 }
 

@@ -15,9 +15,11 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
+
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace dqn::obs {
 
@@ -62,11 +64,14 @@ class journey_tracer {
   void clear();
 
  private:
-  // Sampled iff hash(pid) < threshold_; UINT64_MAX means "all".
+  // Sampled iff hash(pid) < threshold_; UINT64_MAX means "all". Written only
+  // by configure(), which by contract happens-before any recording — not
+  // guarded (enabled()/sampled() are deliberately lock-free).
   std::uint64_t threshold_ = 0;
   std::uint64_t seed_ = default_seed;
-  mutable std::mutex mutex_;
-  std::unordered_map<std::uint64_t, packet_journey> journeys_;
+  mutable util::mutex mutex_;
+  std::unordered_map<std::uint64_t, packet_journey> journeys_
+      DQN_GUARDED_BY(mutex_);
 };
 
 }  // namespace dqn::obs

@@ -5,11 +5,12 @@
 #include <atomic>
 #include <cmath>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "util/annotations.hpp"
 #include "util/check.hpp"
+#include "util/mutex.hpp"
 
 namespace dqn::obs {
 
@@ -78,8 +79,9 @@ struct cell_table {
   static constexpr std::size_t capacity = BlockSize * BlockCount;
 
   std::array<std::atomic<block_type*>, BlockCount> blocks{};
-  std::array<std::unique_ptr<block_type>, BlockCount> storage;
-  std::mutex install_mutex;
+  util::mutex install_mutex;
+  std::array<std::unique_ptr<block_type>, BlockCount> storage
+      DQN_GUARDED_BY(install_mutex);
 
   cell_table() = default;
   cell_table(const cell_table&) = delete;
@@ -91,7 +93,7 @@ struct cell_table {
     auto& slot = blocks[id / BlockSize];
     block_type* block = slot.load(std::memory_order_acquire);
     if (block == nullptr) {
-      const std::lock_guard lock{install_mutex};
+      const util::lock_guard lock{install_mutex};
       block = slot.load(std::memory_order_relaxed);
       if (block == nullptr) {
         auto& owned = storage[id / BlockSize];
@@ -128,7 +130,7 @@ struct hist_cell {
   std::atomic<double> min_value{0};
   std::atomic<double> max_value{0};
 
-  void observe_exclusive(double value) noexcept {
+  DQN_HOT_PATH void observe_exclusive(double value) noexcept {
     auto& bucket = buckets[quantile_histogram::bucket_of(value)];
     bucket.store(bucket.load(std::memory_order_relaxed) + 1,
                  std::memory_order_relaxed);
@@ -185,7 +187,8 @@ struct metric_shard {
   cell_table<hist_cell, 8, 64> hists;                // up to 512 histograms
 };
 
-void counter_cell_add(std::atomic<double>& cell, double delta) noexcept {
+DQN_HOT_PATH void counter_cell_add(std::atomic<double>& cell,
+                                   double delta) noexcept {
   cell.store(cell.load(std::memory_order_relaxed) + delta,
              std::memory_order_relaxed);
 }
@@ -195,13 +198,16 @@ void counter_cell_add(std::atomic<double>& cell, double delta) noexcept {
 // ------------------------------------------------------------------- impl
 
 struct metric_registry::impl {
-  mutable std::mutex meta_mutex;
-  std::unordered_map<std::string, std::uint32_t> counter_ids;
-  std::unordered_map<std::string, std::uint32_t> gauge_ids;
-  std::unordered_map<std::string, std::uint32_t> hist_ids;
-  std::vector<std::string> counter_names;
-  std::vector<std::string> gauge_names;
-  std::vector<std::string> hist_names;
+  mutable util::mutex meta_mutex;
+  std::unordered_map<std::string, std::uint32_t> counter_ids
+      DQN_GUARDED_BY(meta_mutex);
+  std::unordered_map<std::string, std::uint32_t> gauge_ids
+      DQN_GUARDED_BY(meta_mutex);
+  std::unordered_map<std::string, std::uint32_t> hist_ids
+      DQN_GUARDED_BY(meta_mutex);
+  std::vector<std::string> counter_names DQN_GUARDED_BY(meta_mutex);
+  std::vector<std::string> gauge_names DQN_GUARDED_BY(meta_mutex);
+  std::vector<std::string> hist_names DQN_GUARDED_BY(meta_mutex);
 
   // Gauges are last-write-wins, so they need no sharding: shared cells.
   cell_table<std::atomic<double>, 64, 64> gauges;
@@ -210,8 +216,13 @@ struct metric_registry::impl {
   // Each storage entry is written once, by the slot's owning thread; the
   // atomic publishes the pointer to snapshot readers.
   std::array<std::unique_ptr<metric_shard>, kShardSlots> shard_storage;
+  // Lock order (clear() takes both): meta_mutex strictly before
+  // overflow_mutex. The overflow shard itself is deliberately NOT
+  // DQN_GUARDED_BY(overflow_mutex): its cells are atomics, the mutex only
+  // serializes *writers*; snapshot readers traverse it lock-free by design
+  // (single-writer relaxed cells — same contract as the per-thread shards).
   metric_shard overflow;
-  std::mutex overflow_mutex;
+  util::mutex overflow_mutex DQN_ACQUIRED_AFTER(meta_mutex);
 
   // This thread's exclusive shard, or nullptr when the thread ordinal is
   // past the slot table (caller then serializes on the overflow shard).
@@ -229,10 +240,12 @@ struct metric_registry::impl {
     return shard;
   }
 
-  static std::uint32_t resolve(std::unordered_map<std::string, std::uint32_t>& ids,
-                               std::vector<std::string>& names,
-                               std::string_view name, std::size_t capacity,
-                               const char* kind) {
+  // Callers hold meta_mutex: ids/names are the guarded maps above, passed by
+  // reference to share one body across the three metric kinds.
+  std::uint32_t resolve(std::unordered_map<std::string, std::uint32_t>& ids,
+                        std::vector<std::string>& names, std::string_view name,
+                        std::size_t capacity, const char* kind)
+      DQN_REQUIRES(meta_mutex) {
     std::string key{name};
     if (const auto it = ids.find(key); it != ids.end()) return it->second;
     DQN_ENSURE(names.size() < capacity, "metric_registry: too many ", kind,
@@ -274,24 +287,24 @@ metric_registry::metric_registry() : impl_{std::make_unique<impl>()} {}
 metric_registry::~metric_registry() = default;
 
 counter_handle metric_registry::counter_handle_for(std::string_view name) {
-  const std::lock_guard lock{impl_->meta_mutex};
+  const util::lock_guard lock{impl_->meta_mutex};
   const auto id =
-      impl::resolve(impl_->counter_ids, impl_->counter_names, name,
+      impl_->resolve(impl_->counter_ids, impl_->counter_names, name,
                     decltype(metric_shard::counters)::capacity, "counter");
   return counter_handle{this, id};
 }
 
 gauge_handle metric_registry::gauge_handle_for(std::string_view name) {
-  const std::lock_guard lock{impl_->meta_mutex};
-  const auto id = impl::resolve(impl_->gauge_ids, impl_->gauge_names, name,
+  const util::lock_guard lock{impl_->meta_mutex};
+  const auto id = impl_->resolve(impl_->gauge_ids, impl_->gauge_names, name,
                                 decltype(impl::gauges)::capacity, "gauge");
   return gauge_handle{this, id};
 }
 
 histogram_handle metric_registry::histogram_handle_for(std::string_view name) {
-  const std::lock_guard lock{impl_->meta_mutex};
+  const util::lock_guard lock{impl_->meta_mutex};
   const auto id =
-      impl::resolve(impl_->hist_ids, impl_->hist_names, name,
+      impl_->resolve(impl_->hist_ids, impl_->hist_names, name,
                     decltype(metric_shard::hists)::capacity, "histogram");
   return histogram_handle{this, id};
 }
@@ -308,27 +321,30 @@ void metric_registry::observe(std::string_view name, double value) {
   histogram_handle_for(name).observe(value);
 }
 
-void metric_registry::counter_add(std::uint32_t id, double delta) noexcept {
+DQN_HOT_PATH void metric_registry::counter_add(std::uint32_t id,
+                                               double delta) noexcept {
   impl& im = *impl_;
   if (metric_shard* shard = im.exclusive_shard()) {
     counter_cell_add(shard->counters.at(id), delta);
     return;
   }
-  const std::lock_guard lock{im.overflow_mutex};
+  const util::lock_guard lock{im.overflow_mutex};
   counter_cell_add(im.overflow.counters.at(id), delta);
 }
 
-void metric_registry::gauge_set(std::uint32_t id, double value) noexcept {
+DQN_HOT_PATH void metric_registry::gauge_set(std::uint32_t id,
+                                             double value) noexcept {
   impl_->gauges.at(id).store(value, std::memory_order_relaxed);
 }
 
-void metric_registry::histogram_observe(std::uint32_t id, double value) noexcept {
+DQN_HOT_PATH void metric_registry::histogram_observe(std::uint32_t id,
+                                                     double value) noexcept {
   impl& im = *impl_;
   if (metric_shard* shard = im.exclusive_shard()) {
     shard->hists.at(id).observe_exclusive(value);
     return;
   }
-  const std::lock_guard lock{im.overflow_mutex};
+  const util::lock_guard lock{im.overflow_mutex};
   im.overflow.hists.at(id).observe_exclusive(value);
 }
 
@@ -336,7 +352,7 @@ double metric_registry::counter(std::string_view name) const {
   impl& im = *impl_;
   std::uint32_t id = 0;
   {
-    const std::lock_guard lock{im.meta_mutex};
+    const util::lock_guard lock{im.meta_mutex};
     const auto it = im.counter_ids.find(std::string{name});
     if (it == im.counter_ids.end()) return 0.0;
     id = it->second;
@@ -348,7 +364,7 @@ double metric_registry::gauge(std::string_view name) const {
   impl& im = *impl_;
   std::uint32_t id = 0;
   {
-    const std::lock_guard lock{im.meta_mutex};
+    const util::lock_guard lock{im.meta_mutex};
     const auto it = im.gauge_ids.find(std::string{name});
     if (it == im.gauge_ids.end()) return 0.0;
     id = it->second;
@@ -361,7 +377,7 @@ histogram_stats metric_registry::histogram(std::string_view name) const {
   impl& im = *impl_;
   std::uint32_t id = 0;
   {
-    const std::lock_guard lock{im.meta_mutex};
+    const util::lock_guard lock{im.meta_mutex};
     const auto it = im.hist_ids.find(std::string{name});
     if (it == im.hist_ids.end()) return histogram_stats{};
     id = it->second;
@@ -373,7 +389,7 @@ registry_snapshot metric_registry::snapshot() const {
   impl& im = *impl_;
   std::vector<std::string> counter_names, gauge_names, hist_names;
   {
-    const std::lock_guard lock{im.meta_mutex};
+    const util::lock_guard lock{im.meta_mutex};
     counter_names = im.counter_names;
     gauge_names = im.gauge_names;
     hist_names = im.hist_names;
@@ -393,8 +409,8 @@ registry_snapshot metric_registry::snapshot() const {
 
 void metric_registry::clear() {
   impl& im = *impl_;
-  const std::lock_guard meta_lock{im.meta_mutex};
-  const std::lock_guard overflow_lock{im.overflow_mutex};
+  const util::lock_guard meta_lock{im.meta_mutex};
+  const util::lock_guard overflow_lock{im.overflow_mutex};
   const auto reset_shard = [&](metric_shard& shard) {
     for (std::uint32_t id = 0; id < im.counter_names.size(); ++id) {
       if (auto* cell = shard.counters.find(id))

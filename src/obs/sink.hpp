@@ -12,7 +12,10 @@
 //
 // Hot paths should pre-resolve metric handles (counter_handle_for and
 // friends) once and record through them lock-free; the string-keyed
-// count/gauge/observe calls below remain as the compatibility path.
+// count/gauge/observe calls below remain as the compatibility path. This is
+// enforced, not advisory: scripts/ast_lint.py rejects string-keyed sink
+// calls (and handle resolution) inside any DQN_HOT_PATH function — see
+// docs/CONCURRENCY.md §hot-path discipline.
 //
 // Exports: `to_json()` emits the full snapshot (counters, gauges,
 // histograms with quantiles, events, journeys) as a JSON document;

@@ -5,7 +5,7 @@
 namespace dqn::obs {
 
 void trace_log::record(trace_event event) {
-  const std::lock_guard lock{mutex_};
+  const util::lock_guard lock{mutex_};
   events_.push_back(std::move(event));
   while (events_.size() > capacity_) {
     events_.pop_front();
@@ -14,17 +14,17 @@ void trace_log::record(trace_event event) {
 }
 
 std::vector<trace_event> trace_log::events() const {
-  const std::lock_guard lock{mutex_};
+  const util::lock_guard lock{mutex_};
   return {events_.begin(), events_.end()};
 }
 
 std::size_t trace_log::size() const {
-  const std::lock_guard lock{mutex_};
+  const util::lock_guard lock{mutex_};
   return events_.size();
 }
 
 void trace_log::set_capacity(std::size_t capacity) {
-  const std::lock_guard lock{mutex_};
+  const util::lock_guard lock{mutex_};
   capacity_ = std::max<std::size_t>(capacity, 1);
   while (events_.size() > capacity_) {
     events_.pop_front();
@@ -33,18 +33,18 @@ void trace_log::set_capacity(std::size_t capacity) {
 }
 
 std::size_t trace_log::capacity() const {
-  const std::lock_guard lock{mutex_};
+  const util::lock_guard lock{mutex_};
   return capacity_;
 }
 
 std::uint64_t trace_log::dropped() const {
-  const std::lock_guard lock{mutex_};
+  const util::lock_guard lock{mutex_};
   return dropped_;
 }
 
 std::vector<trace_event> trace_log::events_of(std::string_view stage,
                                               std::string_view name) const {
-  const std::lock_guard lock{mutex_};
+  const util::lock_guard lock{mutex_};
   std::vector<trace_event> out;
   for (const auto& ev : events_)
     if (ev.stage == stage && ev.name == name) out.push_back(ev);
@@ -52,7 +52,7 @@ std::vector<trace_event> trace_log::events_of(std::string_view stage,
 }
 
 void trace_log::clear() {
-  const std::lock_guard lock{mutex_};
+  const util::lock_guard lock{mutex_};
   events_.clear();
   dropped_ = 0;
 }

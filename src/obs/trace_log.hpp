@@ -15,10 +15,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace dqn::obs {
 
@@ -59,10 +61,10 @@ class trace_log {
   void clear();
 
  private:
-  mutable std::mutex mutex_;
-  std::deque<trace_event> events_;
-  std::size_t capacity_ = default_capacity;
-  std::uint64_t dropped_ = 0;
+  mutable util::mutex mutex_;
+  std::deque<trace_event> events_ DQN_GUARDED_BY(mutex_);
+  std::size_t capacity_ DQN_GUARDED_BY(mutex_) = default_capacity;
+  std::uint64_t dropped_ DQN_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace dqn::obs

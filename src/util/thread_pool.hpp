@@ -4,17 +4,24 @@
 // substitute worker threads for GPUs (see DESIGN.md §2). The pool supports
 // submitting individual tasks and a blocking parallel_for over an index
 // range, which is what the partitioned inference loop needs.
+//
+// Locking (checked by -Wthread-safety; see docs/CONCURRENCY.md): mutex_ is a
+// leaf lock guarding the task queue and the stop flag; it is never held
+// while a task runs or while joining workers.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
+#include <memory>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 #include <vector>
+
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace dqn::util {
 
@@ -34,7 +41,7 @@ class thread_pool {
 
   ~thread_pool() {
     {
-      const std::lock_guard lock{mutex_};
+      const lock_guard lock{mutex_};
       stopping_ = true;
     }
     cv_.notify_all();
@@ -49,7 +56,7 @@ class thread_pool {
     auto task = std::make_shared<std::packaged_task<void()>>(std::forward<F>(f));
     auto future = task->get_future();
     {
-      const std::lock_guard lock{mutex_};
+      const lock_guard lock{mutex_};
       if (stopping_) throw std::runtime_error{"thread_pool: submit after shutdown"};
       queue_.emplace_back([task] { (*task)(); });
     }
@@ -83,8 +90,10 @@ class thread_pool {
     for (;;) {
       std::function<void()> task;
       {
-        std::unique_lock lock{mutex_};
-        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        unique_lock lock{mutex_};
+        // wait() returns with mutex_ re-held, so reading the guarded
+        // members in the loop condition is lock-correct.
+        while (!stopping_ && queue_.empty()) cv_.wait(lock);
         if (stopping_ && queue_.empty()) return;
         task = std::move(queue_.front());
         queue_.pop_front();
@@ -93,11 +102,11 @@ class thread_pool {
     }
   }
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  mutex mutex_;
+  condition_variable cv_;
+  std::deque<std::function<void()>> queue_ DQN_GUARDED_BY(mutex_);
   std::vector<std::thread> workers_;
-  bool stopping_ = false;
+  bool stopping_ DQN_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace dqn::util

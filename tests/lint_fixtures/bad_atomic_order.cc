@@ -1,0 +1,18 @@
+// BAD fixture: atomic accesses with the defaulted (seq_cst) memory order.
+// scripts/ast_lint.py must report [atomic-order] findings here; the good
+// twin (good_atomic_order.cc) names every order — including seq_cst, with
+// the required one-line justification.
+#include <atomic>
+
+namespace fixture {
+
+inline std::atomic<long> events{0};
+
+inline long drain() {
+  events.fetch_add(1);                 // VIOLATION: implicit order
+  const long seen = events.load();     // VIOLATION: implicit order
+  events.store(0);                     // VIOLATION: implicit order
+  return seen;
+}
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// BAD fixture: writes a DQN_GUARDED_BY member without holding its mutex.
+// clang -Werror=thread-safety must refuse to compile this file; the good
+// twin (good_guarded_member.cc) locks first. Never built into a target —
+// scripts/test_lint_fixtures.sh compiles it with -fsyntax-only only.
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
+
+namespace fixture {
+
+class counter {
+ public:
+  // VIOLATION: value_ is guarded by mutex_, which is not held here.
+  void bump() { ++value_; }
+
+  [[nodiscard]] long read() {
+    const dqn::util::lock_guard lock{mutex_};
+    return value_;
+  }
+
+ private:
+  dqn::util::mutex mutex_;
+  long value_ DQN_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// BAD fixture: allocating constructs inside a DQN_HOT_PATH body.
+// scripts/ast_lint.py must report [hot-path-alloc] findings here; the good
+// twin (good_hot_path_alloc.cc) runs over caller-provided pre-sized buffers.
+#include <string>
+#include <vector>
+
+#include "util/annotations.hpp"
+
+namespace fixture {
+
+DQN_HOT_PATH inline double sum_sizes(const std::vector<double>& sizes) {
+  std::vector<double> copy = sizes;  // VIOLATION: container declaration
+  copy.push_back(0.0);               // VIOLATION: container growth
+  std::string label = std::to_string(copy.size());  // VIOLATION: string alloc
+  double total = 0;
+  for (const double s : copy) total += s;
+  return total + static_cast<double>(label.size());
+}
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// BAD fixture: string-keyed obs calls inside a DQN_HOT_PATH body.
+// scripts/ast_lint.py must report [hot-path-string-obs] findings here; the
+// good twin (good_hot_path_string_obs.cc) records through a pre-resolved
+// handle. (The sink stand-in mirrors obs::sink's compat API shape.)
+#include <string_view>
+
+#include "util/annotations.hpp"
+
+namespace fixture {
+
+struct sink {
+  void count(std::string_view name, double delta) {
+    (void)name;
+    (void)delta;
+  }
+  [[nodiscard]] int counter_handle_for(std::string_view name) {
+    (void)name;
+    return 0;
+  }
+};
+
+DQN_HOT_PATH inline void on_packet(sink& s) {
+  s.count("pkts", 1.0);                      // VIOLATION: string-keyed call
+  (void)s.counter_handle_for("pkts.bytes");  // VIOLATION: handle resolution
+}
+
+}  // namespace fixture

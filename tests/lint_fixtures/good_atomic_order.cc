@@ -1,0 +1,20 @@
+// GOOD twin of bad_atomic_order.cc: every atomic access names its order.
+// Where seq_cst is genuinely required the repo convention is to spell it out
+// and justify it in one line (exactly as done for `seen` below) — the rule
+// bans *implicit* orders, not strong ones. ast_lint.py passes this file.
+#include <atomic>
+
+namespace fixture {
+
+inline std::atomic<long> events{0};
+
+inline long drain() {
+  events.fetch_add(1, std::memory_order_relaxed);
+  // seq_cst required: drain points must be totally ordered across threads so
+  // two concurrent drains cannot both observe the same pre-reset count.
+  const long seen = events.load(std::memory_order_seq_cst);
+  events.store(0, std::memory_order_release);
+  return seen;
+}
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// GOOD twin of bad_guarded_member.cc: every access to the guarded member
+// holds the mutex, so clang -Werror=thread-safety compiles this file clean.
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
+
+namespace fixture {
+
+class counter {
+ public:
+  void bump() {
+    const dqn::util::lock_guard lock{mutex_};
+    ++value_;
+  }
+
+  [[nodiscard]] long read() {
+    const dqn::util::lock_guard lock{mutex_};
+    return value_;
+  }
+
+ private:
+  dqn::util::mutex mutex_;
+  long value_ DQN_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// GOOD twin of bad_hot_path_alloc.cc: the kernel only reads and writes
+// caller-provided buffers — container types in the *parameter list* are
+// fine; the hot-path rules apply to the body. ast_lint.py passes this file.
+#include <vector>
+
+#include "util/annotations.hpp"
+
+namespace fixture {
+
+DQN_HOT_PATH inline double sum_sizes(const std::vector<double>& sizes) {
+  double total = 0;
+  for (const double s : sizes) total += s;
+  return total;
+}
+
+// Staging (allocation) belongs in unmarked setup code like this.
+inline std::vector<double> make_sizes(std::size_t n) {
+  return std::vector<double>(n, 1.0);
+}
+
+}  // namespace fixture

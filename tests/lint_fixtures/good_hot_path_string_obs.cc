@@ -1,0 +1,14 @@
+// GOOD twin of bad_hot_path_string_obs.cc: the handle was resolved once at
+// setup (outside any hot function); the hot body records through it with no
+// string in sight. ast_lint.py passes this file.
+#include "util/annotations.hpp"
+
+namespace fixture {
+
+struct counter_handle {
+  void add(double delta) { (void)delta; }
+};
+
+DQN_HOT_PATH inline void on_packet(counter_handle& pkts) { pkts.add(1.0); }
+
+}  // namespace fixture
