@@ -27,6 +27,7 @@
 #include "des/estimator_factory.hpp"
 #include "des/network.hpp"
 #include "obs/sink.hpp"
+#include "obs/telemetry/resource_stats.hpp"
 #include "topo/builders.hpp"
 #include "topo/routing.hpp"
 #include "traffic/traffic_gen.hpp"
@@ -54,6 +55,11 @@ inline obs::sink* bench_sink() {
     static obs::sink sink;
     static std::string destination{env};
     std::atexit([] {
+      // Stamp end-of-process resource usage (peak RSS, CPU split, context
+      // switches) into the snapshot so every profiled bench records what it
+      // cost — run_all_benches.sh lifts peak_rss_bytes into
+      // BENCH_results.json from these gauges.
+      obs::telemetry::publish_resource_gauges(sink);
       const std::string doc = sink.to_json();
       if (destination == "1" || destination == "-") {
         std::printf("%s\n", doc.c_str());

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text exposition scraped from the /metrics endpoint.
+
+Usage:
+  check_metrics_exposition.py SCRAPE [--require-family PREFIX]...
+  check_metrics_exposition.py SCRAPE1 SCRAPE2 [--require-family PREFIX]...
+
+With one file: checks the document is well-formed exposition text (every
+line is a `# TYPE` comment or a `name[{labels}] value` sample, names match
+the Prometheus grammar, values parse, each family has exactly one TYPE line,
+histogram `_bucket` series are cumulative-monotone with `+Inf` == `_count`),
+and that at least one family starts with every --require-family prefix.
+
+With two files (scrapes of the SAME process, second taken later): also
+checks every counter present in both is monotone non-decreasing.
+
+Exit 0 = all checks pass; 1 = a check failed (details on stderr). This is
+the CI gate behind the telemetry endpoint smoke (.github/workflows/ci.yml);
+tests/test_telemetry.cpp holds the in-process twin of the format checks.
+"""
+
+import argparse
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$")
+SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$")
+
+errors = []
+
+
+def fail(message):
+    errors.append(message)
+
+
+def parse_value(text):
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    return float(text)  # raises ValueError on garbage
+
+
+def parse_exposition(path):
+    """Return (types, samples): family -> type, and (name, labels) -> value."""
+    types = {}
+    samples = {}
+    with open(path, encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle.read().split("\n"), start=1):
+            if raw == "" :
+                continue  # trailing newline; interior blanks are tolerated
+            where = f"{path}:{lineno}"
+            match = TYPE_RE.match(raw)
+            if match:
+                family, kind = match.groups()
+                if family in types:
+                    fail(f"{where}: duplicate TYPE line for family {family}")
+                types[family] = kind
+                continue
+            if raw.startswith("#"):
+                continue  # HELP or free comment: legal, uninteresting
+            match = SAMPLE_RE.match(raw)
+            if not match:
+                fail(f"{where}: unparseable sample line: {raw!r}")
+                continue
+            name, labels, value_text = match.groups()
+            try:
+                value = parse_value(value_text)
+            except ValueError:
+                fail(f"{where}: bad sample value {value_text!r}")
+                continue
+            key = (name, labels or "")
+            if key in samples:
+                fail(f"{where}: duplicate sample {name}{labels or ''}")
+            samples[key] = value
+    return types, samples
+
+
+def family_of(name, types):
+    """Histogram child series (_bucket/_sum/_count) belong to their parent."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return name
+
+
+def check_document(path):
+    types, samples = parse_exposition(path)
+    for (name, labels), _ in samples.items():
+        family = family_of(name, types)
+        if family not in types:
+            fail(f"{path}: sample {name}{labels} has no TYPE line")
+    # Histogram invariants: buckets monotone in le order, +Inf == _count.
+    for family, kind in types.items():
+        if kind != "histogram":
+            continue
+        buckets = []
+        for (name, labels), value in samples.items():
+            if name != family + "_bucket":
+                continue
+            le_match = re.search(r'le="([^"]*)"', labels)
+            if not le_match:
+                fail(f"{path}: {name}{labels} lacks an le label")
+                continue
+            buckets.append((parse_value(le_match.group(1)), value))
+        if not buckets:
+            fail(f"{path}: histogram {family} has no _bucket series")
+            continue
+        buckets.sort(key=lambda pair: pair[0])
+        counts = [count for _, count in buckets]
+        if counts != sorted(counts):
+            fail(f"{path}: histogram {family} buckets are not cumulative")
+        if buckets[-1][0] != float("inf"):
+            fail(f"{path}: histogram {family} is missing the +Inf bucket")
+        total = samples.get((family + "_count", ""))
+        if total is None:
+            fail(f"{path}: histogram {family} is missing _count")
+        elif buckets[-1][1] != total:
+            fail(
+                f"{path}: histogram {family} +Inf bucket {buckets[-1][1]} "
+                f"!= _count {total}"
+            )
+    return types, samples
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("scrapes", nargs="+", help="one or two scrape files")
+    parser.add_argument(
+        "--require-family",
+        action="append",
+        default=[],
+        metavar="PREFIX",
+        help="require at least one family starting with PREFIX",
+    )
+    args = parser.parse_args()
+    if len(args.scrapes) > 2:
+        parser.error("expected one or two scrape files")
+
+    first_types, first_samples = check_document(args.scrapes[0])
+    for prefix in args.require_family:
+        if not any(f.startswith(prefix) for f in first_types):
+            fail(f"{args.scrapes[0]}: no metric family starts with {prefix!r}")
+
+    if len(args.scrapes) == 2:
+        second_types, second_samples = check_document(args.scrapes[1])
+        for family, kind in first_types.items():
+            if kind == "counter" and second_types.get(family) != "counter":
+                fail(f"{args.scrapes[1]}: counter family {family} disappeared")
+        for (name, labels), before in first_samples.items():
+            if first_types.get(name) != "counter":
+                continue
+            after = second_samples.get((name, labels))
+            if after is None:
+                fail(f"{args.scrapes[1]}: counter sample {name} disappeared")
+            elif after < before:
+                fail(
+                    f"counter {name} went backwards between scrapes: "
+                    f"{before} -> {after}"
+                )
+
+    if errors:
+        for message in errors:
+            print(f"[exposition] FAIL: {message}", file=sys.stderr)
+        return 1
+    families = len(first_types)
+    print(f"[exposition] OK: {args.scrapes[0]} ({families} families)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,7 +32,9 @@ append_summary() {
   fi
   python3 - "$bench_name" "$snapshot" "$wall" >> BENCH_results.json <<'PY' \
     || echo "[bench-json] failed to summarize $snapshot"
+import datetime
 import json
+import socket
 import subprocess
 import sys
 
@@ -52,13 +54,23 @@ keys = ["engine.iterations", "engine.device_inferences", "engine.deliveries",
         "tiered.promotions", "tiered.demotions", "tiered.budget_promotions"]
 gauges = snap.get("gauges", {})
 gauge_keys = ["tiered.analytical_fraction", "table7.tiered_speedup",
-              "table7.ptm_wall_seconds", "table7.tiered_wall_seconds"]
+              "table7.ptm_wall_seconds", "table7.tiered_wall_seconds",
+              "table7.telemetry_overhead_fraction"]
 entry = {
     "bench": bench,
     "wall_seconds": wall,
     "git_sha": sha,
+    "timestamp": datetime.datetime.now(datetime.timezone.utc)
+        .isoformat(timespec="seconds"),
+    "hostname": socket.gethostname(),
     "counters": {k: counters[k] for k in keys if k in counters},
 }
+# End-of-process resource gauges published by bench_sink()'s atexit hook
+# (obs/telemetry/resource_stats.hpp): peak RSS is the headline number for
+# tracking bench memory across commits.
+rss = gauges.get("process.max_rss_bytes")
+if rss is not None:
+    entry["peak_rss_bytes"] = int(rss)
 picked_gauges = {k: gauges[k] for k in gauge_keys if k in gauges}
 if picked_gauges:
     entry["gauges"] = picked_gauges

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "des/run_recorder.hpp"
 #include "nn/kernels/gemm.hpp"
 #include "nn/workspace.hpp"
 #include "obs/journey.hpp"
@@ -102,17 +103,23 @@ des::run_result dqn_network::run(
   stats_ = {};
   ran_ = true;
   obs::sink* const sink = config_.sink;
+  // Opt-in live telemetry: idempotent, so repeated runs against the same
+  // sink reuse the already-running sampler/endpoint.
+  if (sink != nullptr && config_.telemetry.enabled)
+    sink->start_telemetry(config_.telemetry);
   obs::scoped_timer run_timer{sink, "engine", "run"};
   // Hot-path metrics go through pre-resolved handles (lock-free to record);
   // journey tracing is active only when the sink's tracer was configured.
   obs::histogram_handle device_seconds_handle;
   obs::histogram_handle partition_busy_handle;
+  obs::gauge_handle pool_depth_handle;
   obs::journey_tracer* tracer = nullptr;
   if (sink != nullptr) {
     device_seconds_handle =
         sink->histogram_handle_for("engine.device_infer_seconds");
     partition_busy_handle =
         sink->histogram_handle_for("engine.partition_busy_seconds");
+    pool_depth_handle = sink->gauge_handle_for("engine.pool_queue_depth");
     if (sink->journeys().enabled()) tracer = &sink->journeys();
     // Which GEMM backend this run's inference rides on (selected once at
     // startup; see nn/kernels/gemm.hpp).
@@ -204,6 +211,9 @@ des::run_result dqn_network::run(
     // iteration span's id is passed in as the explicit parent.
     const std::uint64_t iteration_span = iteration_timer.id();
     pool.parallel_for(ranges.size(), [&](std::size_t r) {
+      // Sampled from inside the workers so the background telemetry
+      // sampler sees mid-iteration depth, not the post-barrier zero.
+      pool_depth_handle.set(static_cast<double>(pool.pending()));
       const double cpu_start = util::thread_cpu_seconds();
       for (const std::size_t d : ranges[r]) {
         const topo::node_id node = devices[d];
@@ -364,6 +374,11 @@ des::run_result dqn_network::run(const des::run_request& request) {
              "dqn_network::run: request.host_streams is null");
   obs::sink* const saved = config_.sink;
   if (request.sink != nullptr) config_.sink = request.sink;
+  const des::delay_backend backend =
+      request.delay.has_value() ? request.delay->backend
+                                : config_.delay.backend;
+  des::run_recorder recorder{config_.sink, estimator_name(),
+                             des::to_string(backend)};
   // A per-run delay policy swaps in a fresh provider for this run only,
   // restored alongside the sink (the same save/swap/restore contract).
   std::unique_ptr<delay_provider> saved_provider;
@@ -377,6 +392,7 @@ des::run_result dqn_network::run(const des::run_request& request) {
   };
   try {
     des::run_result result = run(*request.host_streams, request.horizon);
+    recorder.complete(result);
     restore();
     return result;
   } catch (...) {

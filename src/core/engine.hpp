@@ -15,11 +15,13 @@
 
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/device_model.hpp"
 #include "des/records.hpp"
 #include "des/run_api.hpp"
+#include "obs/telemetry/telemetry_config.hpp"
 #include "topo/graph.hpp"
 #include "topo/routing.hpp"
 
@@ -63,6 +65,11 @@ struct engine_config {
   // tiered policy that routes each device by utilization. A run_request may
   // override this per run (des::run_request::delay).
   des::delay_policy delay;
+  // Opt-in live telemetry (obs/telemetry/): with enabled == true and a
+  // non-null sink, run() idempotently starts the sink's background sampler
+  // (and, when telemetry.metrics_port >= 0, the /metrics endpoint) before
+  // the first IRSA iteration. Default-off: zero threads, zero overhead.
+  obs::telemetry::telemetry_config telemetry;
 
   // Number of parallel inference partitions ("GPUs"); must be >= 1.
   engine_config& with_partitions(std::size_t n) noexcept {
@@ -102,6 +109,11 @@ struct engine_config {
   // Attach an observability sink (nullptr detaches).
   engine_config& with_sink(obs::sink* s) noexcept {
     sink = s;
+    return *this;
+  }
+  // Enable the live telemetry plane on the configured sink.
+  engine_config& with_telemetry(obs::telemetry::telemetry_config t) {
+    telemetry = std::move(t);
     return *this;
   }
   // Install a full delay policy (backend + tiering knobs).

@@ -1,0 +1,43 @@
+#include "des/run_recorder.hpp"
+
+#include <utility>
+
+#include "obs/sink.hpp"
+#include "obs/telemetry/run_ledger.hpp"
+
+namespace dqn::des {
+
+run_recorder::run_recorder(obs::sink* s, std::string estimator,
+                           std::string backend)
+    : sink_{s},
+      estimator_{std::move(estimator)},
+      backend_{std::move(backend)} {
+  if (sink_ != nullptr) start_seconds_ = sink_->now();
+}
+
+run_recorder::~run_recorder() {
+  if (sink_ == nullptr || done_) return;
+  obs::telemetry::run_record record;
+  record.estimator = std::move(estimator_);
+  record.backend = std::move(backend_);
+  record.start_seconds = start_seconds_;
+  record.wall_seconds = watch_.elapsed_seconds();
+  record.deliveries = 0;
+  record.status = "error";
+  sink_->runs().record(std::move(record));
+}
+
+void run_recorder::complete(const run_result& result) {
+  done_ = true;
+  if (sink_ == nullptr) return;
+  obs::telemetry::run_record record;
+  record.estimator = std::move(estimator_);
+  record.backend = std::move(backend_);
+  record.start_seconds = start_seconds_;
+  record.wall_seconds = result.wall_seconds;
+  record.deliveries = result.deliveries.size();
+  record.status = "ok";
+  sink_->runs().record(std::move(record));
+}
+
+}  // namespace dqn::des

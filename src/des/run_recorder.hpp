@@ -1,0 +1,46 @@
+// RAII run-ledger recorder for the unified run API: every estimator's
+// run(run_request) override constructs one against the run's effective sink
+// and calls complete(result) on the success path. If the run throws, the
+// destructor records the execution with status "error" instead — the ledger
+// sees every run_request exactly once, crash or not.
+//
+// Lives in des (not obs) because it speaks run_result; the ledger itself is
+// obs::telemetry::run_ledger, owned unconditionally by the sink, so
+// recording works with or without a live telemetry plane.
+#pragma once
+
+#include <string>
+
+#include "des/run_api.hpp"
+#include "util/stopwatch.hpp"
+
+namespace dqn::obs {
+class sink;
+}  // namespace dqn::obs
+
+namespace dqn::des {
+
+class run_recorder {
+ public:
+  // Null sink = every call is a no-op (the repo-wide obs convention).
+  // `backend` names the delay backend for DQN runs; pass "-" where the
+  // notion does not apply (DES ground truth, baselines).
+  run_recorder(obs::sink* s, std::string estimator, std::string backend);
+  ~run_recorder();
+
+  run_recorder(const run_recorder&) = delete;
+  run_recorder& operator=(const run_recorder&) = delete;
+
+  // Record a successful execution (wall + delivery count from the result).
+  void complete(const run_result& result);
+
+ private:
+  obs::sink* sink_;
+  std::string estimator_;
+  std::string backend_;
+  double start_seconds_ = 0;
+  util::stopwatch watch_;
+  bool done_ = false;
+};
+
+}  // namespace dqn::des

@@ -2,8 +2,39 @@
 
 #include "obs/chrome_trace.hpp"
 #include "obs/json.hpp"
+#include "obs/telemetry/telemetry.hpp"
 
 namespace dqn::obs {
+
+sink::sink() = default;
+
+sink::~sink() { stop_telemetry(); }
+
+telemetry::telemetry_plane* sink::start_telemetry(
+    const telemetry::telemetry_config& config) {
+  if (!config.enabled) return nullptr;
+  const util::lock_guard lock{telemetry_mutex_};
+  if (!telemetry_)
+    telemetry_ =
+        std::make_unique<telemetry::telemetry_plane>(*this, runs_, config);
+  return telemetry_.get();
+}
+
+void sink::stop_telemetry() {
+  std::unique_ptr<telemetry::telemetry_plane> plane;
+  {
+    const util::lock_guard lock{telemetry_mutex_};
+    plane = std::move(telemetry_);
+  }
+  // Destroyed outside the lock: the plane's teardown joins threads whose
+  // handlers may call back into this sink.
+  plane.reset();
+}
+
+telemetry::telemetry_plane* sink::telemetry_plane() noexcept {
+  const util::lock_guard lock{telemetry_mutex_};
+  return telemetry_.get();
+}
 
 std::string sink::to_json() const {
   registry_snapshot snap = metrics_.snapshot();
@@ -114,6 +145,23 @@ util::text_table sink::summary_table() const {
                    util::fmt(h.mean(), 6), util::fmt(h.min, 6),
                    util::fmt(h.max, 6), util::fmt(h.p50(), 6),
                    util::fmt(h.p99(), 6)});
+
+  const auto counter_value = [&snap](const char* name) {
+    const auto it = snap.counters.find(name);
+    return it != snap.counters.end() ? it->second : 0.0;
+  };
+  const double dropped =
+      counter_value("trace.dropped") + static_cast<double>(trace_.dropped());
+  if (dropped > 0)
+    table.add_footer("WARNING: trace.dropped = " + util::fmt(dropped, 0) +
+                     " — the event ring overflowed; raise trace_log capacity "
+                     "or lower event volume.");
+  const double violations = counter_value("contracts.violations");
+  if (violations > 0)
+    table.add_footer("WARNING: contracts.violations = " +
+                     util::fmt(violations, 0) +
+                     " — contract failures were logged-and-continued; this "
+                     "run's numbers are suspect.");
   return table;
 }
 

@@ -1,0 +1,163 @@
+#include "obs/telemetry/prometheus.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "obs/quantile_histogram.hpp"
+
+namespace dqn::obs::telemetry {
+
+namespace {
+
+// Decade `le` ladder the 1026 log buckets are accumulated onto: fine enough
+// to see orders of magnitude (the natural axis for latencies spanning ns to
+// minutes), coarse enough that one histogram family stays ~17 lines.
+constexpr std::array<double, 16> kBucketBounds = {
+    1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2,
+    1e-1, 1e0,  1e1,  1e2,  1e3,  1e4,  1e5,  1e6,
+};
+
+bool valid_name_char(char c, bool first) {
+  const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+  const bool digit = c >= '0' && c <= '9';
+  return alpha || c == '_' || c == ':' || (digit && !first);
+}
+
+// `le` label text of a ladder boundary: trimmed decimal, no exponent juggling
+// needed for pure powers of ten.
+std::string bound_label(double bound) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%g", bound);
+  return buffer;
+}
+
+}  // namespace
+
+std::string sanitize_metric_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (name.empty()) return "_";
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    if (valid_name_char(c, /*first=*/i == 0))
+      out += c;
+    else if (i == 0 && c >= '0' && c <= '9')
+      out += std::string{"_"} + c;  // leading digit: prefix, don't drop
+    else
+      out += '_';
+  }
+  return out;
+}
+
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string prometheus_number(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buffer[64];
+  // Integral values (counters, bucket counts) print as plain decimals:
+  // %.*g would render 10 as "1e+01", which round-trips but reads badly.
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    std::snprintf(buffer, sizeof buffer, "%.0f", value);
+    return buffer;
+  }
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  // Trim to the shortest representation that round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char candidate[64];
+    std::snprintf(candidate, sizeof candidate, "%.*g", precision, value);
+    double parsed = 0;
+    std::sscanf(candidate, "%lf", &parsed);
+    if (parsed == value) return candidate;
+  }
+  return buffer;
+}
+
+std::string to_prometheus(const registry_snapshot& snapshot) {
+  std::string out;
+  out.reserve(4096);
+  std::set<std::string> emitted;
+  const auto claim = [&emitted](const std::string& name) {
+    return emitted.insert(name).second;
+  };
+
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string metric = sanitize_metric_name(name);
+    if (!claim(metric)) continue;
+    out += "# TYPE " + metric + " counter\n";
+    out += metric + ' ' + prometheus_number(value) + '\n';
+  }
+
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string metric = sanitize_metric_name(name);
+    if (!claim(metric)) continue;
+    out += "# TYPE " + metric + " gauge\n";
+    out += metric + ' ' + prometheus_number(value) + '\n';
+  }
+
+  for (const auto& [name, stats] : snapshot.histograms) {
+    const std::string metric = sanitize_metric_name(name);
+    if (!claim(metric)) continue;
+    out += "# TYPE " + metric + " histogram\n";
+    // Accumulate the log buckets onto the decade ladder. Underflow (index
+    // 0) represents <= grid floor: it lands in the smallest decade. The
+    // overflow bucket's representative is the grid cap (~1.7e7), above the
+    // ladder, so it contributes only to +Inf — as it should.
+    std::array<std::uint64_t, kBucketBounds.size()> per_bound{};
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < quantile_histogram::bucket_count; ++i) {
+      const std::uint64_t count = stats.buckets.count_at(i);
+      if (count == 0) continue;
+      total += count;
+      const double value =
+          i == 0 ? 0.0 : quantile_histogram::bucket_value(i);
+      for (std::size_t b = 0; b < kBucketBounds.size(); ++b) {
+        if (value <= kBucketBounds[b]) {
+          per_bound[b] += count;
+          break;
+        }
+      }
+    }
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < kBucketBounds.size(); ++b) {
+      cumulative += per_bound[b];
+      out += metric + "_bucket{le=\"" + bound_label(kBucketBounds[b]) +
+             "\"} " + prometheus_number(static_cast<double>(cumulative)) +
+             '\n';
+    }
+    out += metric + "_bucket{le=\"+Inf\"} " +
+           prometheus_number(static_cast<double>(total)) + '\n';
+    out += metric + "_sum " + prometheus_number(stats.sum) + '\n';
+    out += metric + "_count " +
+           prometheus_number(static_cast<double>(stats.count)) + '\n';
+    // Tail quantiles as companion gauges (see header rationale).
+    const std::array<std::pair<const char*, double>, 3> quantiles = {{
+        {"_p50", stats.p50()},
+        {"_p99", stats.p99()},
+        {"_p999", stats.p999()},
+    }};
+    for (const auto& [suffix, value] : quantiles) {
+      const std::string gauge_name = metric + suffix;
+      if (!claim(gauge_name)) continue;
+      out += "# TYPE " + gauge_name + " gauge\n";
+      out += gauge_name + ' ' + prometheus_number(value) + '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace dqn::obs::telemetry

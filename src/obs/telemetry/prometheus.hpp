@@ -1,0 +1,41 @@
+// Prometheus text exposition (version 0.0.4) of a registry snapshot — the
+// format every scraper and `curl /metrics` consumer in the ecosystem parses.
+// Self-contained writer, no third-party dependency (mirrors obs/json.hpp).
+//
+// Mapping:
+//  * counters -> `# TYPE <name> counter` + one sample line;
+//  * gauges   -> `# TYPE <name> gauge` + one sample line;
+//  * histograms -> `# TYPE <name> histogram` with cumulative `_bucket`
+//    lines on a fixed decade `le` ladder (accumulated from the log-bucketed
+//    quantile_histogram), `_sum` and `_count`, plus companion gauges
+//    `<name>_p50/_p99/_p999` so tail quantiles are scrapable directly
+//    (bucket interpolation at ~3%-resolution grids loses the tail).
+//
+// Registry names are dotted ("engine.deliveries"); sanitize_metric_name
+// maps them onto the Prometheus grammar [a-zA-Z_:][a-zA-Z0-9_:]* (dots and
+// every other invalid byte become '_', a leading digit gets a '_' prefix).
+// escape_label_value escapes backslash, double quote, and newline per spec.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metric_registry.hpp"
+
+namespace dqn::obs::telemetry {
+
+[[nodiscard]] std::string sanitize_metric_name(std::string_view name);
+
+[[nodiscard]] std::string escape_label_value(std::string_view value);
+
+// Render one value the way Prometheus expects: shortest round-trippable
+// decimal, `+Inf`/`-Inf`/`NaN` spellings for non-finite values.
+[[nodiscard]] std::string prometheus_number(double value);
+
+// The whole snapshot as one exposition document (ends with a newline).
+// Distinct dotted names can sanitize to the same exposition name; later
+// (map-ordered) collisions are skipped rather than emitted as duplicate
+// families, which scrapers reject.
+[[nodiscard]] std::string to_prometheus(const registry_snapshot& snapshot);
+
+}  // namespace dqn::obs::telemetry

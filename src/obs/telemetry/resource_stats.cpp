@@ -1,0 +1,185 @@
+#include "obs/telemetry/resource_stats.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/sink.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#define DQN_HAVE_RUSAGE 1
+#endif
+
+#if defined(__linux__)
+#include <dirent.h>
+#define DQN_HAVE_PROC 1
+#endif
+
+namespace dqn::obs::telemetry {
+
+namespace {
+
+#if defined(DQN_HAVE_PROC)
+
+double clock_ticks_per_second() {
+  static const double ticks = [] {
+    const long hz = sysconf(_SC_CLK_TCK);
+    return hz > 0 ? static_cast<double>(hz) : 100.0;
+  }();
+  return ticks;
+}
+
+// utime/stime (clock ticks) from a /proc/<...>/stat line. The comm field
+// (2nd) may contain spaces and parentheses, so parsing starts after the
+// LAST ')': fields 14 and 15 of the documented layout are then at split
+// positions 11 and 12 (0-based, counting from field 3 "state").
+bool parse_stat_cpu(const char* path, double* utime, double* stime) {
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) return false;
+  char buffer[1024];
+  const std::size_t got = std::fread(buffer, 1, sizeof buffer - 1, f);
+  std::fclose(f);
+  buffer[got] = '\0';
+  const char* close = std::strrchr(buffer, ')');
+  if (close == nullptr) return false;
+  unsigned long long fields[13] = {};
+  int index = 0;
+  const char* cursor = close + 1;
+  char* end = nullptr;
+  // Skip field 3 (state, one char) then read numeric fields 4..15.
+  while (*cursor == ' ') ++cursor;
+  if (*cursor != '\0') ++cursor;  // the state character
+  while (index < 13) {
+    const unsigned long long value = std::strtoull(cursor, &end, 10);
+    if (end == cursor) break;
+    fields[index++] = value;
+    cursor = end;
+  }
+  if (index < 13) return false;
+  // fields[0..10] are proc fields 4..14... field 14 (utime) is fields[10],
+  // field 15 (stime) is fields[11].
+  *utime = static_cast<double>(fields[10]) / clock_ticks_per_second();
+  *stime = static_cast<double>(fields[11]) / clock_ticks_per_second();
+  return true;
+}
+
+// kB value of one "Key:   N kB" line in /proc/self/status, or the bare
+// number for unitless keys (Threads, ctxt switches).
+bool parse_status_value(const char* line, const char* key,
+                        std::uint64_t* out) {
+  const std::size_t key_len = std::strlen(key);
+  if (std::strncmp(line, key, key_len) != 0 || line[key_len] != ':')
+    return false;
+  *out = std::strtoull(line + key_len + 1, nullptr, 10);
+  return true;
+}
+
+void read_proc_status(process_resource_stats* stats) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return;
+  char line[256];
+  std::uint64_t value = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (parse_status_value(line, "VmRSS", &value))
+      stats->rss_bytes = value * 1024;
+    else if (parse_status_value(line, "VmHWM", &value))
+      stats->hwm_bytes = value * 1024;
+    else if (parse_status_value(line, "Threads", &value))
+      stats->threads = value;
+    else if (parse_status_value(line, "voluntary_ctxt_switches", &value))
+      stats->voluntary_ctx_switches = value;
+    else if (parse_status_value(line, "nonvoluntary_ctxt_switches", &value))
+      stats->involuntary_ctx_switches = value;
+  }
+  std::fclose(f);
+}
+
+#endif  // DQN_HAVE_PROC
+
+}  // namespace
+
+process_resource_stats sample_process_stats() {
+  process_resource_stats stats;
+#if defined(DQN_HAVE_RUSAGE)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    stats.utime_seconds = static_cast<double>(usage.ru_utime.tv_sec) +
+                          static_cast<double>(usage.ru_utime.tv_usec) * 1e-6;
+    stats.stime_seconds = static_cast<double>(usage.ru_stime.tv_sec) +
+                          static_cast<double>(usage.ru_stime.tv_usec) * 1e-6;
+    // ru_maxrss is kilobytes on Linux (bytes on macOS; the factor is the
+    // documented platform contract, not a heuristic).
+#if defined(__APPLE__)
+    stats.max_rss_bytes = static_cast<std::uint64_t>(usage.ru_maxrss);
+#else
+    stats.max_rss_bytes = static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+#endif
+    stats.voluntary_ctx_switches = static_cast<std::uint64_t>(usage.ru_nvcsw);
+    stats.involuntary_ctx_switches =
+        static_cast<std::uint64_t>(usage.ru_nivcsw);
+  }
+  stats.threads = 1;
+#endif
+#if defined(DQN_HAVE_PROC)
+  // /proc refines the rusage picture where available: live RSS/HWM, thread
+  // count, and scheduler-accounted CPU (kept only if parse succeeds).
+  double utime = 0;
+  double stime = 0;
+  if (parse_stat_cpu("/proc/self/stat", &utime, &stime)) {
+    stats.utime_seconds = utime;
+    stats.stime_seconds = stime;
+  }
+  read_proc_status(&stats);
+#endif
+  return stats;
+}
+
+std::vector<thread_cpu_stat> sample_thread_cpu() {
+  std::vector<thread_cpu_stat> threads;
+#if defined(DQN_HAVE_PROC)
+  DIR* dir = opendir("/proc/self/task");
+  if (dir == nullptr) return threads;
+  while (const dirent* entry = readdir(dir)) {
+    if (entry->d_name[0] == '.') continue;
+    const long tid = std::strtol(entry->d_name, nullptr, 10);
+    if (tid <= 0) continue;
+    const std::string path =
+        std::string{"/proc/self/task/"} + entry->d_name + "/stat";
+    double utime = 0;
+    double stime = 0;
+    if (!parse_stat_cpu(path.c_str(), &utime, &stime)) continue;
+    threads.push_back({tid, utime + stime});
+  }
+  closedir(dir);
+  std::sort(threads.begin(), threads.end(),
+            [](const thread_cpu_stat& a, const thread_cpu_stat& b) {
+              return a.tid < b.tid;
+            });
+#endif
+  return threads;
+}
+
+void publish_resource_gauges(sink& s) {
+  const process_resource_stats stats = sample_process_stats();
+  s.gauge("process.cpu_seconds", stats.cpu_seconds());
+  s.gauge("process.utime_seconds", stats.utime_seconds);
+  s.gauge("process.stime_seconds", stats.stime_seconds);
+  s.gauge("process.rss_bytes", static_cast<double>(stats.rss_bytes));
+  s.gauge("process.hwm_bytes", static_cast<double>(stats.hwm_bytes));
+  s.gauge("process.max_rss_bytes", static_cast<double>(stats.max_rss_bytes));
+  s.gauge("process.voluntary_ctx_switches",
+          static_cast<double>(stats.voluntary_ctx_switches));
+  s.gauge("process.involuntary_ctx_switches",
+          static_cast<double>(stats.involuntary_ctx_switches));
+  s.gauge("process.threads", static_cast<double>(stats.threads));
+  const auto threads = sample_thread_cpu();
+  double busiest = 0;
+  for (const auto& thread : threads)
+    busiest = std::max(busiest, thread.cpu_seconds);
+  s.gauge("process.thread_cpu_seconds_max", busiest);
+}
+
+}  // namespace dqn::obs::telemetry

@@ -1,0 +1,53 @@
+// OS-level resource accounting for the telemetry plane: per-process CPU
+// time, memory, context switches (via /proc/self and getrusage), and
+// per-thread CPU time (via /proc/self/task). On non-Linux hosts the /proc
+// readers degrade to the rusage subset gracefully — fields the platform
+// cannot provide read as zero, never as garbage.
+//
+// publish_resource_gauges() writes the sample as ordinary `process.*` gauges
+// into a sink, so resource series flow through the same registry, snapshot
+// ring, and /metrics exposition as every engine metric (RouteNet-Gauss's
+// hardware-efficiency axis measured with the same instrument as accuracy).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dqn::obs {
+class sink;
+}  // namespace dqn::obs
+
+namespace dqn::obs::telemetry {
+
+struct thread_cpu_stat {
+  long tid = 0;
+  double cpu_seconds = 0;  // utime + stime of this kernel thread
+};
+
+struct process_resource_stats {
+  double utime_seconds = 0;  // user CPU since process start
+  double stime_seconds = 0;  // system CPU since process start
+  [[nodiscard]] double cpu_seconds() const noexcept {
+    return utime_seconds + stime_seconds;
+  }
+  std::uint64_t rss_bytes = 0;      // current resident set (/proc VmRSS)
+  std::uint64_t hwm_bytes = 0;      // resident high-water mark (/proc VmHWM)
+  std::uint64_t max_rss_bytes = 0;  // getrusage ru_maxrss (portable peak)
+  std::uint64_t voluntary_ctx_switches = 0;
+  std::uint64_t involuntary_ctx_switches = 0;
+  std::uint64_t threads = 0;  // kernel thread count of the process
+};
+
+// One point-in-time sample of the process counters above.
+[[nodiscard]] process_resource_stats sample_process_stats();
+
+// CPU time of every kernel thread of this process, in tid order. Empty on
+// platforms without /proc/self/task.
+[[nodiscard]] std::vector<thread_cpu_stat> sample_thread_cpu();
+
+// Sample and publish as `process.*` gauges (see docs/OBSERVABILITY.md for
+// the catalog): cpu/utime/stime seconds, rss/hwm/max_rss bytes, context
+// switches, thread count, and the busiest thread's CPU seconds.
+void publish_resource_gauges(sink& s);
+
+}  // namespace dqn::obs::telemetry

@@ -1,0 +1,41 @@
+#include "obs/telemetry/run_ledger.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace dqn::obs::telemetry {
+
+run_ledger::run_ledger(std::size_t capacity)
+    : capacity_{std::max<std::size_t>(capacity, 1)} {}
+
+std::uint64_t run_ledger::record(run_record record) {
+  const util::lock_guard lock{mutex_};
+  record.id = next_id_++;
+  const std::uint64_t id = record.id;
+  records_.push_back(std::move(record));
+  if (records_.size() > capacity_) records_.pop_front();
+  return id;
+}
+
+std::vector<run_record> run_ledger::recent() const {
+  const util::lock_guard lock{mutex_};
+  return {records_.begin(), records_.end()};
+}
+
+std::size_t run_ledger::size() const {
+  const util::lock_guard lock{mutex_};
+  return records_.size();
+}
+
+std::uint64_t run_ledger::total() const {
+  const util::lock_guard lock{mutex_};
+  return next_id_ - 1;
+}
+
+void run_ledger::clear() {
+  const util::lock_guard lock{mutex_};
+  records_.clear();
+  next_id_ = 1;
+}
+
+}  // namespace dqn::obs::telemetry

@@ -1,0 +1,60 @@
+// Bounded registry of recent estimator executions — the `/runs` endpoint's
+// backing store and the seed of the always-on estimation service's request
+// log (ROADMAP: concurrent scenarios over the run API). Every estimator's
+// unified run(run_request) override records one entry into the sink it ran
+// with: id, estimator name, delay backend, start time, wall seconds,
+// delivery count, and status ("ok", or "error" when the run threw).
+//
+// Bounded like every obs store: the ring keeps the most recent `capacity`
+// records (default 256) and total() counts lifetime executions, so a
+// long-lived serving process cannot grow the ledger without bound.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
+
+namespace dqn::obs::telemetry {
+
+struct run_record {
+  std::uint64_t id = 0;  // assigned by the ledger, monotone per sink
+  std::string estimator;  // estimator_name(), e.g. "deepqueuenet"
+  std::string backend;    // delay backend ("ptm", ...; "-" when not applicable)
+  double start_seconds = 0;  // sink-epoch time the run started
+  double wall_seconds = 0;
+  std::uint64_t deliveries = 0;
+  std::string status;  // "ok" | "error"
+};
+
+class run_ledger {
+ public:
+  static constexpr std::size_t default_capacity = 256;
+
+  explicit run_ledger(std::size_t capacity = default_capacity);
+
+  // Record one completed execution; the record's id field is assigned here
+  // (monotone from 1) and returned.
+  std::uint64_t record(run_record record);
+
+  // Retained records, oldest first.
+  [[nodiscard]] std::vector<run_record> recent() const;
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  // Lifetime executions recorded (>= size()).
+  [[nodiscard]] std::uint64_t total() const;
+
+  void clear();
+
+ private:
+  const std::size_t capacity_;
+  mutable util::mutex mutex_;
+  std::deque<run_record> records_ DQN_GUARDED_BY(mutex_);
+  std::uint64_t next_id_ DQN_GUARDED_BY(mutex_) = 1;
+};
+
+}  // namespace dqn::obs::telemetry

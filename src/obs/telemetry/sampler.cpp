@@ -1,0 +1,122 @@
+#include "obs/telemetry/sampler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "obs/sink.hpp"
+#include "obs/telemetry/resource_stats.hpp"
+
+namespace dqn::obs::telemetry {
+
+snapshot_sampler::snapshot_sampler(sink& s, snapshot_ring& ring,
+                                   telemetry_config config)
+    : sink_{s},
+      ring_{ring},
+      config_{std::move(config)},
+      cpu_seconds_{s.gauge_handle_for("process.cpu_seconds")},
+      utime_seconds_{s.gauge_handle_for("process.utime_seconds")},
+      stime_seconds_{s.gauge_handle_for("process.stime_seconds")},
+      rss_bytes_{s.gauge_handle_for("process.rss_bytes")},
+      hwm_bytes_{s.gauge_handle_for("process.hwm_bytes")},
+      max_rss_bytes_{s.gauge_handle_for("process.max_rss_bytes")},
+      voluntary_ctx_{s.gauge_handle_for("process.voluntary_ctx_switches")},
+      involuntary_ctx_{s.gauge_handle_for("process.involuntary_ctx_switches")},
+      threads_{s.gauge_handle_for("process.threads")},
+      thread_cpu_max_{s.gauge_handle_for("process.thread_cpu_seconds_max")},
+      sample_count_{s.gauge_handle_for("telemetry.samples")},
+      thread_{[this] { loop(); }} {}
+
+snapshot_sampler::~snapshot_sampler() { stop(); }
+
+void snapshot_sampler::stop() {
+  {
+    const util::lock_guard lock{stop_mutex_};
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+    tick();  // closing capture: the ring ends with the run's final state
+  }
+}
+
+std::uint64_t snapshot_sampler::samples() const noexcept {
+  const util::lock_guard lock{tick_mutex_};
+  return samples_;
+}
+
+void snapshot_sampler::tick() {
+  // Resource gauges first, through the pre-resolved handles, so the
+  // snapshot below already carries this tick's process.* values.
+  const process_resource_stats stats = sample_process_stats();
+  cpu_seconds_.set(stats.cpu_seconds());
+  utime_seconds_.set(stats.utime_seconds);
+  stime_seconds_.set(stats.stime_seconds);
+  rss_bytes_.set(static_cast<double>(stats.rss_bytes));
+  hwm_bytes_.set(static_cast<double>(stats.hwm_bytes));
+  max_rss_bytes_.set(static_cast<double>(stats.max_rss_bytes));
+  voluntary_ctx_.set(static_cast<double>(stats.voluntary_ctx_switches));
+  involuntary_ctx_.set(static_cast<double>(stats.involuntary_ctx_switches));
+  threads_.set(static_cast<double>(stats.threads));
+  const auto thread_cpu = sample_thread_cpu();
+  double busiest = 0;
+  for (const auto& thread : thread_cpu)
+    busiest = std::max(busiest, thread.cpu_seconds);
+  thread_cpu_max_.set(busiest);
+
+  const double now = sink_.now();
+  registry_snapshot snap = sink_.metrics().snapshot();
+
+  telemetry_sample sample;
+  sample.time_seconds = now;
+  {
+    const util::lock_guard lock{tick_mutex_};
+    sample.interval_seconds =
+        have_previous_ ? std::max(0.0, now - previous_time_) : 0.0;
+    for (const auto& [name, value] : snap.counters) {
+      sample.counter_totals[name] = value;
+      double rate = 0;
+      if (have_previous_ && sample.interval_seconds > 0) {
+        const auto it = previous_.counters.find(name);
+        const double prev = it != previous_.counters.end() ? it->second : 0.0;
+        rate = (value - prev) / sample.interval_seconds;
+      }
+      sample.counter_rates[name] = rate;
+    }
+    sample.gauges = snap.gauges;
+    for (const auto& [name, h] : snap.histograms) {
+      histogram_point point;
+      point.count = h.count;
+      point.sum = h.sum;
+      point.min = h.min;
+      point.max = h.max;
+      point.mean = h.mean();
+      point.p50 = h.p50();
+      point.p99 = h.p99();
+      point.p999 = h.p999();
+      sample.histograms[name] = point;
+    }
+    previous_ = std::move(snap);
+    previous_time_ = now;
+    have_previous_ = true;
+    ++samples_;
+    sample_count_.set(static_cast<double>(samples_));
+  }
+  ring_.push(std::move(sample));
+}
+
+void snapshot_sampler::loop() {
+  const auto period =
+      std::chrono::milliseconds{std::max(1u, config_.sample_period_ms)};
+  for (;;) {
+    {
+      util::unique_lock lock{stop_mutex_};
+      if (!stopping_) stop_cv_.wait_for(lock, period);
+      if (stopping_) return;
+    }
+    tick();
+  }
+}
+
+}  // namespace dqn::obs::telemetry

@@ -1,0 +1,89 @@
+// Background snapshot + resource sampler: one thread that every
+// `sample_period_ms` (default 250) publishes the `process.*` resource
+// gauges and captures a delta snapshot of every registered metric into the
+// snapshot ring — counters as cumulative totals plus per-second rates,
+// gauges as last value, histograms as merged count/sum/quantiles.
+//
+// Contention contract: the hot record path never notices the sampler. A
+// tick reads the registry through the same shard read side snapshots use —
+// per-thread relaxed-atomic cells traversed lock-free; only the registry's
+// meta mutex (names, never taken by handle recording) and the ring/gauge
+// cells are touched. The resource gauges are written through handles
+// pre-resolved at construction, so steady-state ticks take no registry
+// locks at all on the write side.
+//
+// Lifecycle: construction starts the thread, stop()/destruction joins it.
+// The sink, ring, and config must outlive the sampler (the telemetry plane
+// owns all four — see obs/telemetry/telemetry.hpp).
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#include "obs/metric_registry.hpp"
+#include "obs/telemetry/snapshot_ring.hpp"
+#include "obs/telemetry/telemetry_config.hpp"
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
+
+namespace dqn::obs {
+class sink;
+}  // namespace dqn::obs
+
+namespace dqn::obs::telemetry {
+
+class snapshot_sampler {
+ public:
+  snapshot_sampler(sink& s, snapshot_ring& ring, telemetry_config config);
+  ~snapshot_sampler();
+
+  snapshot_sampler(const snapshot_sampler&) = delete;
+  snapshot_sampler& operator=(const snapshot_sampler&) = delete;
+
+  // Idempotent; joins the sampler thread. A final tick runs on the way out
+  // so the ring always ends with the run's closing state.
+  void stop();
+
+  // Ticks taken so far (including the closing tick).
+  [[nodiscard]] std::uint64_t samples() const noexcept;
+
+  // One synchronous capture, callable from any thread — tests drive the
+  // delta logic deterministically through this; the background thread calls
+  // the same body.
+  void tick();
+
+ private:
+  void loop();
+
+  sink& sink_;
+  snapshot_ring& ring_;
+  const telemetry_config config_;
+
+  // Tick state: previous totals for the delta computation. Guarded because
+  // tick() is callable both from the sampler thread and from tests/stop().
+  mutable util::mutex tick_mutex_;
+  registry_snapshot previous_ DQN_GUARDED_BY(tick_mutex_);
+  double previous_time_ DQN_GUARDED_BY(tick_mutex_) = 0;
+  bool have_previous_ DQN_GUARDED_BY(tick_mutex_) = false;
+  std::uint64_t samples_ DQN_GUARDED_BY(tick_mutex_) = 0;
+
+  util::mutex stop_mutex_;
+  util::condition_variable stop_cv_;
+  bool stopping_ DQN_GUARDED_BY(stop_mutex_) = false;
+
+  gauge_handle cpu_seconds_;
+  gauge_handle utime_seconds_;
+  gauge_handle stime_seconds_;
+  gauge_handle rss_bytes_;
+  gauge_handle hwm_bytes_;
+  gauge_handle max_rss_bytes_;
+  gauge_handle voluntary_ctx_;
+  gauge_handle involuntary_ctx_;
+  gauge_handle threads_;
+  gauge_handle thread_cpu_max_;
+  gauge_handle sample_count_;
+
+  std::thread thread_;  // last member: starts only after everything above
+};
+
+}  // namespace dqn::obs::telemetry

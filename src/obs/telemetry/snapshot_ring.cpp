@@ -1,0 +1,55 @@
+#include "obs/telemetry/snapshot_ring.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace dqn::obs::telemetry {
+
+snapshot_ring::snapshot_ring(std::size_t capacity)
+    : capacity_{std::max<std::size_t>(capacity, 1)} {}
+
+void snapshot_ring::push(telemetry_sample sample) {
+  const util::lock_guard lock{mutex_};
+  samples_.push_back(std::move(sample));
+  if (samples_.size() > capacity_) samples_.pop_front();
+  ++total_pushed_;
+}
+
+std::optional<telemetry_sample> snapshot_ring::latest() const {
+  const util::lock_guard lock{mutex_};
+  if (samples_.empty()) return std::nullopt;
+  return samples_.back();
+}
+
+std::vector<telemetry_sample> snapshot_ring::window(
+    double since_seconds) const {
+  const util::lock_guard lock{mutex_};
+  std::vector<telemetry_sample> out;
+  for (const auto& sample : samples_) {
+    if (sample.time_seconds >= since_seconds) out.push_back(sample);
+  }
+  return out;
+}
+
+std::vector<telemetry_sample> snapshot_ring::all() const {
+  const util::lock_guard lock{mutex_};
+  return {samples_.begin(), samples_.end()};
+}
+
+std::size_t snapshot_ring::size() const {
+  const util::lock_guard lock{mutex_};
+  return samples_.size();
+}
+
+std::uint64_t snapshot_ring::total_pushed() const {
+  const util::lock_guard lock{mutex_};
+  return total_pushed_;
+}
+
+void snapshot_ring::clear() {
+  const util::lock_guard lock{mutex_};
+  samples_.clear();
+  total_pushed_ = 0;
+}
+
+}  // namespace dqn::obs::telemetry

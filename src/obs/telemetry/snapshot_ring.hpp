@@ -1,0 +1,80 @@
+// Bounded ring of timestamped telemetry samples — the time-series half of
+// the telemetry plane. The background sampler (obs/telemetry/sampler.hpp)
+// pushes one sample per tick: counters as cumulative totals AND per-second
+// rates over the tick interval, gauges as last value, histograms reduced to
+// count/sum/min/max/mean and the tail quantiles. When full the oldest
+// sample is evicted, so an always-on plane holds a sliding window (default
+// 240 samples x 250 ms = one minute) at fixed memory.
+//
+// Concurrency: one writer (the sampler thread), any number of readers (the
+// /snapshot and /series endpoint handlers, tests). A mutex serializes both
+// sides; samples are plain data copied out whole, so readers never hold
+// references into the ring.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
+
+namespace dqn::obs::telemetry {
+
+// Histogram reduced to the numbers a time series needs (the full log-bucket
+// array stays with the registry; /metrics renders buckets from there).
+struct histogram_point {
+  std::uint64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p99 = 0;
+  double p999 = 0;
+};
+
+struct telemetry_sample {
+  double time_seconds = 0;      // sink-epoch time at capture
+  double interval_seconds = 0;  // since the previous sample (0 on the first)
+  std::map<std::string, double> counter_totals;
+  std::map<std::string, double> counter_rates;  // delta / interval, 1/s
+  std::map<std::string, double> gauges;
+  std::map<std::string, histogram_point> histograms;
+};
+
+class snapshot_ring {
+ public:
+  explicit snapshot_ring(std::size_t capacity);
+
+  void push(telemetry_sample sample);
+
+  // Newest sample, if any.
+  [[nodiscard]] std::optional<telemetry_sample> latest() const;
+
+  // Samples with time_seconds >= since_seconds, oldest first.
+  [[nodiscard]] std::vector<telemetry_sample> window(
+      double since_seconds) const;
+
+  // Every retained sample, oldest first.
+  [[nodiscard]] std::vector<telemetry_sample> all() const;
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  // Samples pushed over the ring's lifetime (>= size(); the difference is
+  // what eviction discarded).
+  [[nodiscard]] std::uint64_t total_pushed() const;
+
+  void clear();
+
+ private:
+  const std::size_t capacity_;
+  mutable util::mutex mutex_;
+  std::deque<telemetry_sample> samples_ DQN_GUARDED_BY(mutex_);
+  std::uint64_t total_pushed_ DQN_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace dqn::obs::telemetry

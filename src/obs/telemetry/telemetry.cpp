@@ -1,0 +1,160 @@
+#include "obs/telemetry/telemetry.hpp"
+
+#include <cstdlib>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "obs/sink.hpp"
+#include "obs/telemetry/prometheus.hpp"
+
+namespace dqn::obs::telemetry {
+
+namespace {
+
+void append_map(std::string& out, const char* key,
+                const std::map<std::string, double>& values) {
+  out += '"';
+  out += key;
+  out += "\":{";
+  bool first = true;
+  for (const auto& [name, value] : values) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":" + json_number(value);
+  }
+  out += '}';
+}
+
+std::string sample_to_json(const telemetry_sample& sample) {
+  std::string out = "{";
+  out += "\"time_seconds\":" + json_number(sample.time_seconds) + ',';
+  out += "\"interval_seconds\":" + json_number(sample.interval_seconds) + ',';
+  append_map(out, "counters", sample.counter_totals);
+  out += ',';
+  append_map(out, "counter_rates", sample.counter_rates);
+  out += ',';
+  append_map(out, "gauges", sample.gauges);
+  out += ",\"histograms\":{";
+  bool first = true;
+  for (const auto& [name, h] : sample.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":{";
+    out += "\"count\":" + json_number(static_cast<double>(h.count)) + ',';
+    out += "\"sum\":" + json_number(h.sum) + ',';
+    out += "\"min\":" + json_number(h.min) + ',';
+    out += "\"max\":" + json_number(h.max) + ',';
+    out += "\"mean\":" + json_number(h.mean) + ',';
+    out += "\"p50\":" + json_number(h.p50) + ',';
+    out += "\"p99\":" + json_number(h.p99) + ',';
+    out += "\"p999\":" + json_number(h.p999) + '}';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace
+
+telemetry_plane::telemetry_plane(sink& s, run_ledger& runs,
+                                 telemetry_config config)
+    : sink_{s},
+      runs_{runs},
+      config_{std::move(config)},
+      ring_{config_.ring_capacity},
+      sampler_{s, ring_, config_} {
+  if (config_.metrics_port >= 0)
+    server_ = std::make_unique<http_server>(
+        config_.bind_address, config_.metrics_port,
+        [this](const http_request& request) { return handle(request); });
+}
+
+telemetry_plane::~telemetry_plane() { stop(); }
+
+void telemetry_plane::stop() {
+  if (server_) server_->stop();
+  sampler_.stop();
+}
+
+std::string telemetry_plane::render_metrics() const {
+  return to_prometheus(sink_.metrics().snapshot());
+}
+
+std::string telemetry_plane::render_snapshot_json() {
+  sampler_.tick();
+  const auto latest = ring_.latest();
+  return latest ? sample_to_json(*latest) : "{}";
+}
+
+std::string telemetry_plane::render_series_json(double window_seconds) const {
+  const auto samples =
+      window_seconds > 0 ? ring_.window(sink_.now() - window_seconds)
+                         : ring_.all();
+  std::string out = "{\"window_seconds\":" + json_number(window_seconds) +
+                    ",\"count\":" +
+                    json_number(static_cast<double>(samples.size())) +
+                    ",\"samples\":[";
+  bool first = true;
+  for (const auto& sample : samples) {
+    if (!first) out += ',';
+    first = false;
+    out += sample_to_json(sample);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string telemetry_plane::render_runs_json() const {
+  const auto records = runs_.recent();
+  std::string out =
+      "{\"total\":" + json_number(static_cast<double>(runs_.total())) +
+      ",\"runs\":[";
+  bool first = true;
+  for (const auto& record : records) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"id\":" + json_number(static_cast<double>(record.id)) +
+           ",\"estimator\":\"" + json_escape(record.estimator) +
+           "\",\"backend\":\"" + json_escape(record.backend) +
+           "\",\"start_seconds\":" + json_number(record.start_seconds) +
+           ",\"wall_seconds\":" + json_number(record.wall_seconds) +
+           ",\"deliveries\":" +
+           json_number(static_cast<double>(record.deliveries)) +
+           ",\"status\":\"" + json_escape(record.status) + "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+http_response telemetry_plane::handle(const http_request& request) {
+  static constexpr const char* kJson = "application/json";
+  if (request.path == "/metrics")
+    return {200, "text/plain; version=0.0.4; charset=utf-8",
+            render_metrics()};
+  if (request.path == "/snapshot") return {200, kJson, render_snapshot_json()};
+  if (request.path == "/series") {
+    double window_seconds = 0;  // 0 = whole ring
+    const auto it = request.query.find("window");
+    if (it != request.query.end()) {
+      char* end = nullptr;
+      window_seconds = std::strtod(it->second.c_str(), &end);
+      if (end == it->second.c_str() || (end && *end != '\0'))
+        return {400, "text/plain; charset=utf-8",
+                "bad window= value (want seconds)\n"};
+    }
+    return {200, kJson, render_series_json(window_seconds)};
+  }
+  if (request.path == "/runs") return {200, kJson, render_runs_json()};
+  if (request.path == "/healthz")
+    return {200, "text/plain; charset=utf-8", "ok\n"};
+  if (request.path == "/")
+    return {200, "text/plain; charset=utf-8",
+            "deepqueuenet telemetry\n"
+            "  /metrics   Prometheus exposition\n"
+            "  /snapshot  latest sample (JSON)\n"
+            "  /series    ring contents (JSON), ?window=SECONDS\n"
+            "  /runs      recent estimator runs (JSON)\n"
+            "  /healthz   liveness\n"};
+  return {404, "text/plain; charset=utf-8", "not found\n"};
+}
+
+}  // namespace dqn::obs::telemetry

@@ -1,0 +1,86 @@
+// telemetry_plane — the composed live-telemetry subsystem: a snapshot ring,
+// the background snapshot + resource sampler feeding it, and (when
+// telemetry_config.metrics_port >= 0) the embedded HTTP exposition server.
+//
+// Ownership: the plane owns the ring, the sampler, and the server; the sink
+// owns the plane (sink::start_telemetry) so instrumented code never manages
+// telemetry lifetime separately from the sink it records into. The run
+// ledger is the one piece the plane borrows rather than owns — it lives in
+// the sink unconditionally so estimators can record runs whether or not a
+// plane is active.
+//
+// Endpoints served (all GET, Connection: close):
+//   /metrics   Prometheus text exposition of the full registry
+//   /snapshot  latest telemetry sample as JSON (ticks once for freshness)
+//   /series    ring contents as JSON; ?window=SECONDS trims to recent
+//   /runs      recent estimator executions from the run ledger
+//   /healthz   liveness probe, "ok"
+//
+// The render_* methods are public and socket-free: tests and CLI dumps call
+// them directly, the HTTP handler is a thin routing layer over them.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "obs/telemetry/http_server.hpp"
+#include "obs/telemetry/run_ledger.hpp"
+#include "obs/telemetry/sampler.hpp"
+#include "obs/telemetry/snapshot_ring.hpp"
+#include "obs/telemetry/telemetry_config.hpp"
+
+namespace dqn::obs {
+class sink;
+}  // namespace dqn::obs
+
+namespace dqn::obs::telemetry {
+
+class telemetry_plane {
+ public:
+  // Starts the sampler immediately; binds + starts the server when
+  // config.metrics_port >= 0 (throwing std::runtime_error if the bind
+  // fails). The sink and ledger must outlive the plane.
+  telemetry_plane(sink& s, run_ledger& runs, telemetry_config config);
+  ~telemetry_plane();
+
+  telemetry_plane(const telemetry_plane&) = delete;
+  telemetry_plane& operator=(const telemetry_plane&) = delete;
+
+  // Idempotent: stops the server first (no handler can race a dying
+  // sampler), then the sampler (which takes its closing tick).
+  void stop();
+
+  [[nodiscard]] const telemetry_config& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] snapshot_ring& ring() noexcept { return ring_; }
+  [[nodiscard]] const snapshot_ring& ring() const noexcept { return ring_; }
+  [[nodiscard]] snapshot_sampler& sampler() noexcept { return sampler_; }
+
+  // Bound exposition port, or -1 when no server was requested.
+  [[nodiscard]] int metrics_port() const noexcept {
+    return server_ ? server_->port() : -1;
+  }
+  [[nodiscard]] bool serving() const noexcept {
+    return server_ && server_->running();
+  }
+
+  // Socket-free endpoint renderers.
+  [[nodiscard]] std::string render_metrics() const;
+  std::string render_snapshot_json();  // non-const: ticks the sampler
+  [[nodiscard]] std::string render_series_json(double window_seconds) const;
+  [[nodiscard]] std::string render_runs_json() const;
+
+  // Route one request to the renderer it names (the server's handler).
+  http_response handle(const http_request& request);
+
+ private:
+  sink& sink_;
+  run_ledger& runs_;
+  const telemetry_config config_;
+  snapshot_ring ring_;
+  snapshot_sampler sampler_;
+  std::unique_ptr<http_server> server_;
+};
+
+}  // namespace dqn::obs::telemetry

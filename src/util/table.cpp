@@ -17,6 +17,10 @@ void text_table::add_row(std::vector<std::string> cells) {
   rows_.push_back(std::move(cells));
 }
 
+void text_table::add_footer(std::string line) {
+  footer_.push_back(std::move(line));
+}
+
 std::string text_table::to_string() const {
   std::vector<std::size_t> widths(header_.size());
   for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
@@ -37,6 +41,7 @@ std::string text_table::to_string() const {
   for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
   out << std::string(total, '-') << '\n';
   for (const auto& row : rows_) emit_row(row);
+  for (const auto& line : footer_) out << line << '\n';
   return out.str();
 }
 

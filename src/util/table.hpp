@@ -14,6 +14,14 @@ class text_table {
 
   void add_row(std::vector<std::string> cells);
 
+  // Free-form lines appended after the rows in to_string() (omitted from
+  // CSV). Used for warnings that must ride along with a printed table, e.g.
+  // the obs summary's dropped-events / contract-violation notice.
+  void add_footer(std::string line);
+  [[nodiscard]] const std::vector<std::string>& footer() const noexcept {
+    return footer_;
+  }
+
   // Render with column alignment and a separator under the header.
   [[nodiscard]] std::string to_string() const;
 
@@ -23,6 +31,7 @@ class text_table {
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> footer_;
 };
 
 // Format a double with the given number of decimal places.

@@ -10,6 +10,7 @@
 // while a task runs or while joining workers.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <deque>
 #include <functional>
@@ -50,6 +51,13 @@ class thread_pool {
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
+  // Tasks submitted but not yet picked up by a worker — the queue depth the
+  // obs telemetry plane reports as a gauge. Lock-free (relaxed: a monitoring
+  // read tolerates being one task stale).
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return pending_.load(std::memory_order_relaxed);
+  }
+
   // Submit a task; the returned future propagates exceptions.
   template <typename F>
   [[nodiscard]] std::future<void> submit(F&& f) {
@@ -59,6 +67,7 @@ class thread_pool {
       const lock_guard lock{mutex_};
       if (stopping_) throw std::runtime_error{"thread_pool: submit after shutdown"};
       queue_.emplace_back([task] { (*task)(); });
+      pending_.store(queue_.size(), std::memory_order_relaxed);
     }
     cv_.notify_one();
     return future;
@@ -97,6 +106,7 @@ class thread_pool {
         if (stopping_ && queue_.empty()) return;
         task = std::move(queue_.front());
         queue_.pop_front();
+        pending_.store(queue_.size(), std::memory_order_relaxed);
       }
       task();
     }
@@ -107,6 +117,9 @@ class thread_pool {
   std::deque<std::function<void()>> queue_ DQN_GUARDED_BY(mutex_);
   std::vector<std::thread> workers_;
   bool stopping_ DQN_GUARDED_BY(mutex_) = false;
+  // Mirror of queue_.size(), updated under mutex_ but readable lock-free by
+  // pending(); a plain atomic so monitoring never contends with submit.
+  std::atomic<std::size_t> pending_{0};
 };
 
 }  // namespace dqn::util

@@ -217,7 +217,7 @@ TEST(engine_config, builder_chain_equals_field_assignment) {
   // Aggregate/designated initialization still compiles (the struct stayed an
   // aggregate despite the member setters).
   const core::engine_config designated{
-      .partitions = 2, .apply_sec = false, .delay = {}};
+      .partitions = 2, .apply_sec = false, .delay = {}, .telemetry = {}};
   EXPECT_EQ(designated.partitions, 2u);
   EXPECT_FALSE(designated.apply_sec);
 }
