@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
-"""AST lint: hot-path and atomic memory-order invariants for the DQN tree.
+"""AST lint: hot-path, ordering, and atomic memory-order invariants.
 
-Three rules (docs/CONCURRENCY.md is the rationale; tests/lint_fixtures/ the
-executable spec — every bad fixture must be rejected, every good twin pass):
+Four rules (docs/STATIC_ANALYSIS.md is the rationale; tests/lint_fixtures/
+the executable spec — every bad fixture must be rejected, every good twin
+pass):
 
   hot-path-alloc       Functions marked DQN_HOT_PATH (util/annotations.hpp)
                        are steady-state per-packet kernels: no allocating
@@ -26,6 +27,20 @@ executable spec — every bad fixture must be rejected, every good twin pass):
                        required, say so: .load(std::memory_order_seq_cst)
                        plus a one-line comment.
 
+  unordered-iteration  Range-for traversal of a std::unordered_map/set whose
+                       body accumulates values (+=/-=/*=//=), emits output
+                       (stream <<, push_back/emplace/insert/append into an
+                       outside container), or takes the element by non-const
+                       reference (mutation through the loop variable).
+                       Traversal order is implementation- and
+                       rehash-dependent, so any of those turns into
+                       cross-run / cross-partition nondeterminism. Fix by
+                       iterating in sorted key order (or restructuring to a
+                       keyed vector — util/keyed_vector.hpp); genuinely
+                       order-insensitive loops are silenced with an explicit
+                       `// dqn-order-insensitive: <rationale>` annotation on
+                       the loop line or the line above.
+
 Engines:
 
   builtin  Dependency-free single-pass lexer (comment/string masking + token
@@ -44,14 +59,22 @@ Engines:
   auto     clang when the bindings import and the library loads, else
            builtin (the default).
 
+Note the engine split for this tree: scripts/ast_lint.py is the portable
+floor; the clang-tidy plugin in tools/tidy/ (checks dqn-hot-path-alloc,
+dqn-unordered-iteration, dqn-atomic-order, dqn-narrowing-float) is the
+compiler-grade promotion that sees through templates, typedefs, and macros.
+Both read the same `dqn-order-insensitive` annotations.
+
 Exit status: 0 clean, 1 findings, 2 usage/engine error. Findings print as
-`file:line: [rule] message`, one per line, machine-greppable (CI uploads the
-stream as the ast-lint artifact).
+`file:line: [rule] message`, one per line, machine-greppable; with
+--format=json a stable, sorted JSON document is emitted instead (CI uploads
+it as the ast-lint artifact so artifact diffs are meaningful).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import re
 import sys
@@ -60,6 +83,30 @@ REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 HOT_MACRO = "DQN_HOT_PATH"
 HOT_ANNOTATION = "dqn::hot_path"
+ORDER_ANNOTATION = "dqn-order-insensitive"
+
+# Rule registry: name -> one-line description (--list-rules; the module
+# docstring carries the full rationale per rule).
+RULES = {
+    "hot-path-alloc": (
+        "no allocating constructs inside DQN_HOT_PATH bodies "
+        "(new/make_unique/make_shared, string construction, container "
+        "declaration or growth)"
+    ),
+    "hot-path-string-obs": (
+        "no string-keyed obs calls or handle resolution inside DQN_HOT_PATH "
+        "bodies (pre-resolve handles at setup)"
+    ),
+    "atomic-order": (
+        "every std::atomic access names an explicit std::memory_order "
+        "(defaulted seq_cst hides the intended contract)"
+    ),
+    "unordered-iteration": (
+        "no accumulating/output-emitting/mutating range-for over "
+        "std::unordered_{map,set} without a "
+        "'// dqn-order-insensitive: <rationale>' annotation"
+    ),
+}
 
 # ---------------------------------------------------------------------------
 # Shared body rules (both engines funnel hot-function bodies through these).
@@ -114,6 +161,41 @@ LOAD_STORE_CALL = re.compile(
 
 ATOMIC_DECL = re.compile(r"std::atomic\s*<[^;{()]*>\s*&?\s*([A-Za-z_]\w*)")
 
+# `std::unordered_map<K, V> name` — the template argument list may nest
+# (pair<...>), so the char class only excludes tokens that end a declarator.
+# An optional trailing DQN_* annotation macro (e.g. DQN_GUARDED_BY(m_)) may
+# sit between the name and the declarator terminator.
+UNORDERED_DECL = re.compile(
+    r"std::unordered_(?:map|multimap|set|multiset)\s*<[^;{}()]*>\s*&?\s*"
+    r"([A-Za-z_]\w*)\s*(?:DQN_\w+\s*\([^()]*\)\s*)?[;={(\[),]"
+)
+
+# Range-for whose range expression ends in a plain identifier (possibly a
+# member path — the last component is what the declaration scan names).
+RANGE_FOR = re.compile(
+    r"\bfor\s*\(\s*(?P<decl>[^():;]*?)\s*:\s*"
+    r"(?P<recv>[\w.\->]*?([A-Za-z_]\w*))\s*\)"
+)
+
+# Body constructs that make iteration order observable: accumulation into a
+# value, stream output, and appends into a container declared outside the
+# loop. Mutation through a non-const-reference loop variable is detected on
+# the loop declaration itself.
+ORDER_SENSITIVE_BODY = [
+    (re.compile(r"[+\-*/]="), "accumulates with a compound assignment"),
+    (re.compile(r"<<"), "emits stream output"),
+    (
+        re.compile(r"\.\s*(push_back|emplace_back|emplace|insert|append)\s*\("),
+        "appends to a container",
+    ),
+]
+
+NONCONST_REF_LOOP_VAR = re.compile(r"(?<!const )\bauto\s*&")
+
+ORDER_ANNOTATION_WITH_RATIONALE = re.compile(
+    re.escape(ORDER_ANNOTATION) + r"\s*:\s*\S"
+)
+
 
 class Finding:
     __slots__ = ("path", "line", "rule", "message")
@@ -127,6 +209,14 @@ class Finding:
     def render(self) -> str:
         rel = os.path.relpath(self.path, REPO)
         return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+    def as_dict(self) -> dict:
+        return {
+            "file": os.path.relpath(self.path, REPO),
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
 
 
 def mask_source(text: str) -> str:
@@ -259,6 +349,103 @@ def check_atomic_orders(path: str, masked: str, atomic_names: set) -> list:
     return findings
 
 
+def unordered_names_for(path: str, masked: str) -> set:
+    """Declared std::unordered_{map,set} variable names in this file plus,
+    for a .cpp, its paired header (members live in the .hpp)."""
+    names = {m.group(1) for m in UNORDERED_DECL.finditer(masked)}
+    root, ext = os.path.splitext(path)
+    if ext == ".cpp":
+        header = root + ".hpp"
+        if os.path.exists(header):
+            with open(header, encoding="utf-8") as fh:
+                names |= {
+                    m.group(1)
+                    for m in UNORDERED_DECL.finditer(mask_source(fh.read()))
+                }
+    return names
+
+
+def loop_body_span(masked: str, after: int) -> tuple:
+    """(start, end) offsets of the loop body following the for's close paren
+    at `after`: a brace-matched compound statement, or the single statement
+    up to its `;`."""
+    i, n = after, len(masked)
+    while i < n and masked[i].isspace():
+        i += 1
+    if i < n and masked[i] == "{":
+        brace, j = 1, i + 1
+        while j < n and brace:
+            if masked[j] == "{":
+                brace += 1
+            elif masked[j] == "}":
+                brace -= 1
+            j += 1
+        return i + 1, j - 1
+    end = masked.find(";", i)
+    return i, n if end == -1 else end + 1
+
+
+def annotated_order_insensitive(text: str, line: int) -> tuple:
+    """(annotated, has_rationale) looking at the loop's own line plus its
+    contiguous leading `//` comment block in the ORIGINAL text (annotations
+    are comments, which masking blanks)."""
+    lines = text.split("\n")
+    window = [lines[line - 1]]  # the loop line itself (trailing comment)
+    i = line - 2
+    while i >= 0 and lines[i].lstrip().startswith("//"):
+        window.append(lines[i])
+        i -= 1
+    joined = "\n".join(window)
+    if ORDER_ANNOTATION not in joined:
+        return False, False
+    return True, ORDER_ANNOTATION_WITH_RATIONALE.search(joined) is not None
+
+
+def check_unordered_iterations(
+    path: str, text: str, masked: str, unordered_names: set
+) -> list:
+    findings = []
+    for m in RANGE_FOR.finditer(masked):
+        if m.group(3) not in unordered_names:
+            continue
+        line = line_of(masked, m.start())
+        annotated, has_rationale = annotated_order_insensitive(text, line)
+        if annotated and has_rationale:
+            continue
+        if annotated:
+            findings.append(
+                Finding(
+                    path,
+                    line,
+                    "unordered-iteration",
+                    f"{ORDER_ANNOTATION} annotation present but missing its "
+                    f"rationale (write '// {ORDER_ANNOTATION}: <why order "
+                    "cannot matter>')",
+                )
+            )
+            continue
+        reasons = []
+        if NONCONST_REF_LOOP_VAR.search(m.group("decl")):
+            reasons.append("binds elements by non-const reference")
+        start, end = loop_body_span(masked, m.end())
+        body = masked[start:end]
+        reasons.extend(what for pat, what in ORDER_SENSITIVE_BODY if pat.search(body))
+        if not reasons:
+            continue
+        findings.append(
+            Finding(
+                path,
+                line,
+                "unordered-iteration",
+                f"range-for over unordered container '{m.group(3)}' "
+                f"{'; '.join(reasons)} — iteration order is nondeterministic; "
+                "iterate in sorted key order, restructure to a keyed vector, "
+                f"or annotate '// {ORDER_ANNOTATION}: <rationale>'",
+            )
+        )
+    return findings
+
+
 def atomic_names_for(path: str, masked: str) -> set:
     """Declared std::atomic variable names in this file plus, for a .cpp, its
     paired header (members are declared in the .hpp, used in the .cpp)."""
@@ -324,6 +511,11 @@ def run_builtin(paths):
             findings.extend(check_hot_body(path, masked, start, end))
         findings.extend(
             check_atomic_orders(path, masked, atomic_names_for(path, masked))
+        )
+        findings.extend(
+            check_unordered_iterations(
+                path, text, masked, unordered_names_for(path, masked)
+            )
         )
     return findings
 
@@ -472,6 +664,14 @@ def run_clang(paths, build_dir):
 
         walk(tu.cursor)
         findings.extend(check_atomic_orders(path, masked, atomic_names))
+        # The ordering rule is shared with the builtin engine textually; the
+        # fully semantic promotion (sees through typedefs and member paths)
+        # is the tools/tidy dqn-unordered-iteration clang-tidy check.
+        findings.extend(
+            check_unordered_iterations(
+                path, text, masked, unordered_names_for(path, masked)
+            )
+        )
     return findings
 
 
@@ -507,7 +707,27 @@ def main(argv=None) -> int:
         default=os.path.join(REPO, "build"),
         help="directory holding compile_commands.json for the clang engine",
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="findings format: text (file:line: [rule] message) or json "
+        "(stable sorted document for CI artifact diffs)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule names this lint enforces and exit",
+    )
     args = parser.parse_args(argv)
+
+    if args.list_rules:
+        if args.format == "json":
+            print(json.dumps({"rules": RULES}, indent=2, sort_keys=True))
+        else:
+            for name in sorted(RULES):
+                print(f"{name}: {RULES[name]}")
+        return 0
 
     paths = [os.path.abspath(f) for f in args.files] or default_paths()
     for path in paths:
@@ -517,8 +737,19 @@ def main(argv=None) -> int:
 
     engine = args.engine
     if engine == "auto":
-        engine = "clang" if clang_available() else "builtin"
-    if engine == "clang" and not clang_available():
+        if clang_available():
+            engine = "clang"
+        else:
+            # Degrading from the semantic engine to the textual floor is a
+            # real loss of coverage — say so (exactly once), instead of
+            # silently reporting success at a weaker tier.
+            print(
+                "ast_lint: engine 'auto': libclang python bindings "
+                "unavailable; falling back to the builtin lexer engine",
+                file=sys.stderr,
+            )
+            engine = "builtin"
+    elif engine == "clang" and not clang_available():
         print(
             "ast_lint: --engine clang requested but the libclang python "
             "bindings are unavailable (pip/apt: python3-clang + libclang)",
@@ -533,8 +764,24 @@ def main(argv=None) -> int:
     else:
         findings = run_builtin(paths)
 
-    for f in sorted(findings, key=lambda f: (f.path, f.line)):
-        print(f.render())
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.rule, f.message))
+    if args.format == "json":
+        # Stable by construction: relative paths, deterministic sort, sorted
+        # keys, no timestamps — two runs over the same tree diff empty.
+        print(
+            json.dumps(
+                {
+                    "engine": engine,
+                    "checked_files": len(paths),
+                    "findings": [f.as_dict() for f in ordered],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for f in ordered:
+            print(f.render())
     if findings:
         print(
             f"ast_lint: {len(findings)} finding(s) [{engine} engine]",

@@ -157,6 +157,21 @@ fi
 # tidied in CI where the runtime cost is parallelized).
 # ---------------------------------------------------------------------------
 if [ "$run_tidy" = 1 ]; then
+  # DQNTidyModule (tools/tidy): loaded when built so the dqn-* checks run.
+  # DQN_TIDY_PLUGIN overrides the path; *explicitly* requesting a missing
+  # module is a hard failure (a stale CI cache must not silently drop the
+  # dqn-* gate), whereas the default path simply not existing is the normal
+  # plugin-less local build.
+  tidy_load=()
+  if [ -n "${DQN_TIDY_PLUGIN:-}" ]; then
+    if [ ! -f "$DQN_TIDY_PLUGIN" ]; then
+      fail "DQN_TIDY_PLUGIN=$DQN_TIDY_PLUGIN does not exist"
+    else
+      tidy_load=(--load="$DQN_TIDY_PLUGIN")
+    fi
+  elif [ -f build/tools/tidy/DQNTidyModule.so ]; then
+    tidy_load=(--load=build/tools/tidy/DQNTidyModule.so)
+  fi
   if ! command -v "$clang_tidy" >/dev/null 2>&1; then
     if [ "$require_tools" = 1 ]; then
       fail "$clang_tidy not found but --require-tools was given"
@@ -181,7 +196,8 @@ if [ "$run_tidy" = 1 ]; then
     if [ -n "$tidy_files" ]; then
       # shellcheck disable=SC2086
       if ! printf '%s\n' $tidy_files \
-          | xargs -n 8 -P "$(nproc)" "$clang_tidy" -p build --quiet; then
+          | xargs -n 8 -P "$(nproc)" "$clang_tidy" ${tidy_load[@]+"${tidy_load[@]}"} \
+              -p build --quiet; then
         fail "clang-tidy reported findings (see above)"
       fi
     fi

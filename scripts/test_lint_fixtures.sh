@@ -6,16 +6,26 @@
 # Usage:
 #   scripts/test_lint_fixtures.sh                  # skip clang pair if absent
 #   scripts/test_lint_fixtures.sh --require-clang  # missing clang = failure
+#   scripts/test_lint_fixtures.sh --require-plugin # missing DQNTidyModule
+#                                                  # = failure (implies
+#                                                  # --require-clang)
 #
 # The ast_lint fixtures run everywhere (the builtin engine has no
 # dependencies); the -Wthread-safety pair needs a clang++ (override with
-# CLANG_CXX), which only CI guarantees.
+# CLANG_CXX) and the dqn-* plugin pass needs build/tools/tidy/
+# DQNTidyModule.so + clang-tidy (override with DQN_TIDY_PLUGIN/CLANG_TIDY),
+# which only CI guarantees. On the rules both engines implement, the plugin
+# must agree with the builtin floor verdict on every shared fixture.
 set -u
 
 cd "$(dirname "$0")/.."
 
 require_clang=0
-[ "${1:-}" = "--require-clang" ] && require_clang=1
+require_plugin=0
+case "${1:-}" in
+  --require-clang) require_clang=1 ;;
+  --require-plugin) require_clang=1; require_plugin=1 ;;
+esac
 
 if ! command -v python3 >/dev/null 2>&1; then
   echo "lint_fixtures: python3 not found; skipping" >&2
@@ -54,6 +64,53 @@ expect_rule bad_hot_path_string_obs.cc hot-path-string-obs
 expect_clean good_hot_path_string_obs.cc
 expect_rule bad_atomic_order.cc atomic-order
 expect_clean good_atomic_order.cc
+expect_rule bad_unordered_iteration.cc unordered-iteration
+expect_clean good_unordered_iteration.cc
+# Plugin-only rules: the textual floor has no type information, so it must
+# treat these as clean — the DQNTidyModule pass below owns the rejection.
+expect_clean bad_template_alias_alloc.cc
+expect_clean good_template_alias_alloc.cc
+expect_clean bad_narrowing_float.cc
+expect_clean good_narrowing_float.cc
+
+# --- DQNTidyModule plugin: semantic engine over the dqn fixtures -----------
+# On the rules both engines implement (hot-path-alloc/string-obs, atomic
+# order, unordered iteration) the plugin verdict must match the builtin one
+# asserted above; the plugin-only pairs (template alias, narrowing) are
+# rejected here and nowhere else.
+plugin="${DQN_TIDY_PLUGIN:-build/tools/tidy/DQNTidyModule.so}"
+tidy_bin="${CLANG_TIDY:-clang-tidy}"
+expect_plugin() { # <fixture> <check> <bad|good>
+  local out
+  out=$("$tidy_bin" --load="$plugin" --checks="-*,$2" --quiet \
+        --config="{CheckOptions: {dqn-narrowing-float.PathFilter: '.*'}}" \
+        "$fixtures/$1" -- -std=c++20 -Isrc -w 2>/dev/null)
+  if [ "$3" = bad ]; then
+    if ! printf '%s\n' "$out" | grep -q "\[$2\]"; then
+      fail "$1: expected the plugin to report [$2], got: $out"
+    fi
+  elif printf '%s\n' "$out" | grep -q "\[dqn-"; then
+    fail "$1: expected a clean plugin pass, got: $out"
+  fi
+}
+if [ -f "$plugin" ] && command -v "$tidy_bin" >/dev/null 2>&1; then
+  expect_plugin bad_hot_path_alloc.cc dqn-hot-path-alloc bad
+  expect_plugin good_hot_path_alloc.cc dqn-hot-path-alloc good
+  expect_plugin bad_hot_path_string_obs.cc dqn-hot-path-alloc bad
+  expect_plugin good_hot_path_string_obs.cc dqn-hot-path-alloc good
+  expect_plugin bad_atomic_order.cc dqn-atomic-order bad
+  expect_plugin good_atomic_order.cc dqn-atomic-order good
+  expect_plugin bad_unordered_iteration.cc dqn-unordered-iteration bad
+  expect_plugin good_unordered_iteration.cc dqn-unordered-iteration good
+  expect_plugin bad_template_alias_alloc.cc dqn-hot-path-alloc bad
+  expect_plugin good_template_alias_alloc.cc dqn-hot-path-alloc good
+  expect_plugin bad_narrowing_float.cc dqn-narrowing-float bad
+  expect_plugin good_narrowing_float.cc dqn-narrowing-float good
+elif [ "$require_plugin" = 1 ]; then
+  fail "DQNTidyModule plugin pass requested (--require-plugin) but '$plugin' or '$tidy_bin' is missing"
+else
+  echo "lint_fixtures: plugin '$plugin' or '$tidy_bin' not available; dqn-* plugin pass skipped (CI runs it)" >&2
+fi
 
 # --- -Wthread-safety pair: needs a clang compiler --------------------------
 cxx="${CLANG_CXX:-clang++}"

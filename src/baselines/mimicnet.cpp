@@ -105,6 +105,8 @@ void mimicnet_estimator::train(const topo::topology& topo,
   // Group the reference hops per packet, ordered along the path.
   std::unordered_map<std::uint64_t, std::vector<const des::hop_record*>> by_pid;
   for (const auto& hop : reference.hops) by_pid[hop.pid].push_back(&hop);
+  // dqn-order-insensitive: each entry's hop list is sorted independently;
+  // no cross-entry state is read or written, so visit order cannot matter.
   for (auto& [pid, hops] : by_pid)
     std::sort(hops.begin(), hops.end(),
               [](const des::hop_record* a, const des::hop_record* b) {

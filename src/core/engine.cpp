@@ -13,6 +13,7 @@
 #include "obs/sink.hpp"
 #include "obs/span.hpp"
 #include "util/check.hpp"
+#include "util/keyed_vector.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
@@ -136,7 +137,11 @@ des::run_result dqn_network::run(
   std::vector<std::vector<traffic::packet_stream>> egress(topo_->node_count());
   for (std::size_t i = 0; i < topo_->node_count(); ++i)
     egress[i].resize(topo_->port_count(static_cast<topo::node_id>(i)));
-  std::unordered_map<std::uint64_t, double> send_times;
+  // pid -> send time, feeding the exported delivery records below. A sorted
+  // keyed vector rather than an unordered map: delivery export must be
+  // deterministic across runs and partition counts, and keyed vectors make
+  // any future traversal ordered by construction (dqn-unordered-iteration).
+  util::keyed_vector<std::uint64_t, double> send_times;
   // The host-NIC loop runs on this thread; one workspace serves every host.
   nn::workspace host_nic_workspace;
   for (std::size_t i = 0; i < hosts.size(); ++i) {
@@ -151,7 +156,7 @@ des::run_result dqn_network::run(
                  " out of range for ", hosts.size(), " hosts (pid ", pkt.pid,
                  ")");
       pkt.dst_host = hosts[static_cast<std::size_t>(pkt.dst_host)];
-      send_times.emplace(pkt.pid, ev.time);
+      send_times.push_back(pkt.pid, ev.time);
       if (tracer != nullptr && tracer->sampled(pkt.pid))
         tracer->record_send(pkt.pid, pkt.flow_id, ev.time);
       out.push_back({pkt, ev.time});
@@ -170,6 +175,7 @@ des::run_result dqn_network::run(
       out = std::move(egress_streams[0]);
     }
   }
+  send_times.finalize();
   sinit_timer.stop();
 
   // Per-device cached ingress (for skip detection), hop records, and drops.
@@ -244,10 +250,14 @@ des::run_result dqn_network::run(
           }
         }
         // Destination-based forwarding needs the packet's dst, so bind a
-        // per-device forward over (fid -> dst) collected from the ingress.
-        std::unordered_map<std::uint32_t, topo::node_id> flow_dst;
+        // per-device forward over (fid -> dst) collected from the ingress
+        // (a keyed vector: deterministic, and cheaper to build + probe than
+        // a hash map at per-device ingress sizes).
+        util::keyed_vector<std::uint32_t, topo::node_id> flow_dst;
         for (const auto& stream : ingress)
-          for (const auto& ev : stream) flow_dst.emplace(ev.pkt.flow_id, ev.pkt.dst_host);
+          for (const auto& ev : stream)
+            flow_dst.push_back(ev.pkt.flow_id, ev.pkt.dst_host);
+        flow_dst.finalize();
         auto forward_by_flow = [this, node, &flow_dst](std::uint32_t fid,
                                                        std::size_t) {
           return routes_->egress_port(node, flow_dst.at(fid), fid);

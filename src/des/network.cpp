@@ -139,7 +139,7 @@ run_result network::run(const std::vector<traffic::packet_stream>& host_streams,
     const topo::node_id host = hosts[i];
     for (const auto& ev : host_streams[i]) {
       if (ev.time > horizon) break;
-      send_times_.emplace(ev.pkt.pid, ev.time);
+      send_times_.push_back(ev.pkt.pid, ev.time);
       traffic::packet pkt = ev.pkt;
       // Streams address hosts by index among topo.hosts(); translate both
       // endpoints to topology node ids.
@@ -160,6 +160,10 @@ run_result network::run(const std::vector<traffic::packet_stream>& host_streams,
       });
     }
   }
+
+  // All sends are recorded; sort the table once before the event loop reads
+  // it (receive() resolves send times per delivery).
+  send_times_.finalize();
 
   // Drain: generous allowance for queued packets to leave the network.
   {

@@ -20,6 +20,7 @@
 #include "topo/graph.hpp"
 #include "topo/routing.hpp"
 #include "traffic/packet.hpp"
+#include "util/keyed_vector.hpp"
 
 namespace dqn::des {
 
@@ -64,6 +65,9 @@ class network : public estimator {
   struct device_state {
     std::vector<egress_port> ports;
     // pid -> (arrival time, ingress port) while the packet sits in a queue.
+    // Lookup-only by contract: entries are found and erased by pid, never
+    // traversed, so the unordered container cannot leak iteration order
+    // into results (the dqn-unordered-iteration check enforces this).
     std::unordered_map<std::uint64_t, std::pair<double, std::size_t>> pending;
   };
 
@@ -75,7 +79,10 @@ class network : public estimator {
   network_config config_;
   simulator sim_;
   std::vector<device_state> devices_;  // indexed by node id (hosts included)
-  std::unordered_map<std::uint64_t, double> send_times_;
+  // pid -> send time, feeding the exported delivery records: a sorted keyed
+  // vector so the table is deterministic however it is consumed (filled and
+  // finalized during injection, read during the event loop).
+  util::keyed_vector<std::uint64_t, double> send_times_;
   run_result result_;
 };
 

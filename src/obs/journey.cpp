@@ -68,6 +68,8 @@ std::vector<packet_journey> journey_tracer::journeys() const {
   const util::lock_guard lock{mutex_};
   std::vector<packet_journey> out;
   out.reserve(journeys_.size());
+  // dqn-order-insensitive: the snapshot is fully re-sorted by pid directly
+  // below, so the collection order never reaches a consumer.
   for (const auto& [pid, journey] : journeys_) out.push_back(journey);
   std::sort(out.begin(), out.end(),
             [](const packet_journey& a, const packet_journey& b) {

@@ -1,0 +1,96 @@
+// Deterministic keyed lookup table: a sorted vector of (key, value) pairs
+// behind a small build -> finalize -> lookup API.
+//
+// This is the sanctioned replacement for std::unordered_map in paths whose
+// results feed float sums, percentile inputs, or exported records: iteration
+// order over an unordered container is implementation- and rehash-dependent,
+// which turns any order-sensitive consumer into cross-run (and, in the
+// sharded engine, cross-partition) nondeterminism. The dqn-unordered-
+// iteration check (tools/tidy/ plugin + scripts/ast_lint.py builtin floor)
+// flags such traversals; restructuring to this container removes the hazard
+// by construction — begin()/end() walk in ascending key order, always.
+//
+// Usage contract: push_back() during a build phase, finalize() once, then
+// lookups and traversal. Duplicate keys keep the first-inserted value
+// (matching the unordered_map::emplace semantics the restructured call
+// sites relied on). Lookups on a non-finalized table are a contract
+// violation, not a silent wrong answer.
+//
+// Keys must be ordered (operator<) and ostream-streamable (diagnostics).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace dqn::util {
+
+template <typename Key, typename Value>
+class keyed_vector {
+ public:
+  using entry = std::pair<Key, Value>;
+  using const_iterator = typename std::vector<entry>::const_iterator;
+
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
+  void push_back(const Key& key, Value value) {
+    entries_.emplace_back(key, std::move(value));
+    finalized_ = false;
+  }
+
+  // Sort by key and drop duplicates, keeping the first-inserted value per
+  // key. Idempotent; required before any lookup or traversal.
+  void finalize() {
+    std::stable_sort(
+        entries_.begin(), entries_.end(),
+        [](const entry& a, const entry& b) { return a.first < b.first; });
+    entries_.erase(
+        std::unique(entries_.begin(), entries_.end(),
+                    [](const entry& a, const entry& b) {
+                      return a.first == b.first;
+                    }),
+        entries_.end());
+    finalized_ = true;
+  }
+
+  [[nodiscard]] const Value* find(const Key& key) const {
+    DQN_ENSURE(finalized_,
+               "keyed_vector::find before finalize() — lookups on an "
+               "unsorted table would be wrong, not just slow");
+    const auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const entry& e, const Key& k) { return e.first < k; });
+    if (it == entries_.end() || it->first != key) return nullptr;
+    return &it->second;
+  }
+
+  [[nodiscard]] const Value& at(const Key& key) const {
+    const Value* value = find(key);
+    DQN_ENSURE(value != nullptr, "keyed_vector::at: key ", key, " not found");
+    return *value;
+  }
+
+  void clear() {
+    entries_.clear();
+    finalized_ = true;  // empty is trivially sorted
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+
+  // Ascending key order — deterministic by construction.
+  [[nodiscard]] const_iterator begin() const noexcept {
+    return entries_.begin();
+  }
+  [[nodiscard]] const_iterator end() const noexcept { return entries_.end(); }
+
+ private:
+  std::vector<entry> entries_;
+  bool finalized_ = true;  // empty is trivially sorted
+};
+
+}  // namespace dqn::util

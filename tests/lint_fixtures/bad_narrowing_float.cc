@@ -1,0 +1,25 @@
+// BAD fixture (plugin-only): implicit double->float narrowing and a
+// width-reducing integral conversion. The dqn-narrowing-float plugin check
+// rejects these; the ast_lint.py builtin floor has no type information and
+// treats the file as clean (the documented capability gap,
+// docs/STATIC_ANALYSIS.md). run via test_lint_fixtures.sh with
+// PathFilter '.*' so the fixture path is in scope.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+inline float to_feature(double sojourn) {
+  return sojourn;  // VIOLATION (plugin): silently drops 29 mantissa bits
+}
+
+inline void pack(std::vector<float>& row, double rate, std::int64_t node) {
+  row[0] = rate * 2.0;  // VIOLATION (plugin): double expression into float
+  row[1] = static_cast<float>(static_cast<std::int16_t>(node));
+}
+
+inline std::int16_t to_port(std::int64_t node) {
+  return node;  // VIOLATION (plugin): 64 -> 16 bit truncation
+}
+
+}  // namespace fixture

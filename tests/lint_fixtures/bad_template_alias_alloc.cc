@@ -1,0 +1,23 @@
+// BAD fixture (plugin-only): allocation through a template alias inside a
+// DQN_HOT_PATH body. There is no textual growth call and no literal
+// `std::vector` spelling in the hot body, so the ast_lint.py builtin floor
+// cannot see it — only the dqn-hot-path-alloc plugin check resolves the
+// alias to an allocating std:: record. test_lint_fixtures.sh therefore
+// expects: builtin = clean, plugin = rejected. This asymmetry is the
+// documented capability gap (docs/STATIC_ANALYSIS.md).
+#include <vector>
+
+#include "util/annotations.hpp"
+
+namespace fixture {
+
+using scratch_t = std::vector<double>;  // alias hides the allocating type
+
+DQN_HOT_PATH inline double smooth(const scratch_t& rows) {
+  scratch_t copy = rows;  // VIOLATION (plugin): per-call heap allocation
+  double total = 0;
+  for (const double r : copy) total += r;
+  return total;
+}
+
+}  // namespace fixture

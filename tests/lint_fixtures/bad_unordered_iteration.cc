@@ -1,0 +1,28 @@
+// BAD fixture: order-sensitive range-for over std::unordered_map. Hash
+// iteration order is load-factor- and library-version-dependent, so the
+// float accumulation, the stream output, and the container append below all
+// leak nondeterminism into results. scripts/ast_lint.py must report
+// [unordered-iteration] here; the plugin check dqn-unordered-iteration must
+// agree (scripts/test_lint_fixtures.sh asserts both).
+#include <cstdint>
+#include <iostream>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+inline double total_delay(const std::unordered_map<std::uint64_t, double>& delays) {
+  double total = 0;
+  for (const auto& [pid, d] : delays) total += d;  // VIOLATION: float accumulation
+  return total;
+}
+
+inline void dump(const std::unordered_map<std::uint64_t, double>& delays,
+                 std::vector<double>& out) {
+  for (const auto& [pid, d] : delays) {
+    std::cout << pid << '\n';  // VIOLATION: output in hash order
+    out.push_back(d);          // VIOLATION: append in hash order
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// GOOD twin of bad_narrowing_float.cc: every narrowing is either explicit
+// (static_cast documents the decision), exactly representable (constants
+// that survive the conversion), or avoided by keeping the wider type.
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+inline float to_feature(double sojourn) {
+  return static_cast<float>(sojourn);  // explicit: reviewed truncation
+}
+
+inline void pack(std::vector<float>& row, double rate, std::int64_t node) {
+  row[0] = static_cast<float>(rate * 2.0);
+  row[1] = 0.25;  // exactly representable constant: exempt
+  (void)node;
+}
+
+inline double keep_wide(double sojourn) {
+  return sojourn;  // no conversion at all
+}
+
+inline std::int16_t small_constant() {
+  return 512;  // fits std::int16_t exactly: exempt
+}
+
+}  // namespace fixture

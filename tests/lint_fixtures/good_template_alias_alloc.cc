@@ -1,0 +1,23 @@
+// GOOD twin of bad_template_alias_alloc.cc: the alias is fine — allocation
+// through it belongs in unmarked setup code; the hot kernel only reads the
+// caller-provided buffer. Both the ast_lint.py floor and the
+// dqn-hot-path-alloc plugin check pass this file.
+#include <vector>
+
+#include "util/annotations.hpp"
+
+namespace fixture {
+
+using scratch_t = std::vector<double>;
+
+inline scratch_t make_scratch(std::size_t n) {
+  return scratch_t(n, 0.0);  // staging allocation in cold setup code
+}
+
+DQN_HOT_PATH inline double smooth(const scratch_t& rows) {
+  double total = 0;
+  for (const double r : rows) total += r;
+  return total;
+}
+
+}  // namespace fixture

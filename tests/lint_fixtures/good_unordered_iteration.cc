@@ -1,0 +1,48 @@
+// GOOD twin of bad_unordered_iteration.cc: three sanctioned shapes.
+//  1. util::keyed_vector — the structural fix: deterministic (sorted)
+//     iteration order by construction.
+//  2. Iterating a sorted copy of the keys.
+//  3. A genuinely commutative-and-exact loop carrying the
+//     `// dqn-order-insensitive: <rationale>` annotation.
+// ast_lint.py and the dqn-unordered-iteration plugin check both pass this.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/keyed_vector.hpp"
+
+namespace fixture {
+
+inline double total_delay(
+    const dqn::util::keyed_vector<std::uint64_t, double>& delay_table) {
+  double total = 0;
+  // sorted key order by construction: deterministic accumulation
+  for (const auto& [pid, d] : delay_table) total += d;
+  return total;
+}
+
+inline std::vector<double> in_pid_order(
+    const std::unordered_map<std::uint64_t, double>& delays) {
+  std::vector<std::uint64_t> pids;
+  pids.reserve(delays.size());
+  // dqn-order-insensitive: collecting the key set is a pure gather; the
+  // sort directly below fixes the order before anything consumes it.
+  for (const auto& [pid, d] : delays) pids.push_back(pid);
+  std::sort(pids.begin(), pids.end());
+  std::vector<double> out;
+  out.reserve(pids.size());
+  for (const std::uint64_t pid : pids) out.push_back(delays.at(pid));
+  return out;
+}
+
+inline std::uint64_t key_checksum(
+    const std::unordered_map<std::uint64_t, double>& delays) {
+  std::uint64_t sum = 0;
+  // dqn-order-insensitive: integer addition is commutative and exact, so
+  // the checksum is identical in any visit order.
+  for (const auto& [pid, d] : delays) sum += pid;
+  return sum;
+}
+
+}  // namespace fixture

@@ -1,0 +1,180 @@
+// Determinism regression tests: the repo's reproducibility contract is that
+// a run is a pure function of (topology, streams, seed, model) — neither
+// the partition count nor run-to-run state may change a single output bit.
+// These tests guard the deterministic-container sweep (util::keyed_vector
+// replacing iterated unordered maps; see docs/STATIC_ANALYSIS.md) and are
+// part of the TSan matrix: under -DDQN_SANITIZE=thread the partitioned
+// comparison doubles as a race detector for the keyed tables.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "core/dutil.hpp"
+#include "core/engine.hpp"
+#include "des/network.hpp"
+#include "des/records.hpp"
+#include "topo/builders.hpp"
+#include "topo/routing.hpp"
+#include "traffic/traffic_gen.hpp"
+#include "util/keyed_vector.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dqn;
+
+// --- util::keyed_vector: the sanctioned unordered_map replacement ---------
+
+TEST(determinism, keyed_vector_sorted_iteration_and_lookup) {
+  util::keyed_vector<std::uint64_t, double> kv;
+  kv.reserve(4);
+  kv.push_back(30, 3.0);
+  kv.push_back(10, 1.0);
+  kv.push_back(20, 2.0);
+  EXPECT_FALSE(kv.finalized());
+  kv.finalize();
+  ASSERT_TRUE(kv.finalized());
+  ASSERT_EQ(kv.size(), 3u);
+
+  // Iteration is ascending key order regardless of insertion order.
+  std::vector<std::uint64_t> keys;
+  for (const auto& [key, value] : kv) keys.push_back(key);
+  EXPECT_EQ(keys, (std::vector<std::uint64_t>{10, 20, 30}));
+
+  EXPECT_EQ(kv.at(20), 2.0);
+  ASSERT_NE(kv.find(10), nullptr);
+  EXPECT_EQ(*kv.find(10), 1.0);
+  EXPECT_EQ(kv.find(99), nullptr);
+}
+
+TEST(determinism, keyed_vector_duplicate_keys_keep_first_insert) {
+  // Mirrors unordered_map::emplace semantics: later duplicates are ignored.
+  util::keyed_vector<std::uint32_t, int> kv;
+  kv.push_back(7, 1);
+  kv.push_back(7, 2);
+  kv.push_back(3, 9);
+  kv.finalize();
+  ASSERT_EQ(kv.size(), 2u);
+  EXPECT_EQ(kv.at(7), 1);
+  EXPECT_EQ(kv.at(3), 9);
+}
+
+TEST(determinism, keyed_vector_clear_resets_to_building_state) {
+  util::keyed_vector<std::uint64_t, double> kv;
+  kv.push_back(1, 1.0);
+  kv.finalize();
+  kv.clear();
+  EXPECT_TRUE(kv.empty());
+  EXPECT_TRUE(kv.finalized());  // empty is trivially sorted
+  kv.push_back(2, 2.0);
+  EXPECT_FALSE(kv.finalized());  // building again: lookups are gated
+  kv.finalize();
+  EXPECT_EQ(kv.at(2), 2.0);
+}
+
+// --- whole-run bit-identity ------------------------------------------------
+
+// Exact bitwise comparison: EXPECT_DOUBLE_EQ would accept 4-ulp drift, which
+// is precisely what a nondeterministic accumulation order produces.
+bool same_bits(double a, double b) {
+  std::uint64_t ba = 0;
+  std::uint64_t bb = 0;
+  std::memcpy(&ba, &a, sizeof(ba));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ba == bb;
+}
+
+void expect_bit_identical(const des::run_result& a, const des::run_result& b) {
+  ASSERT_EQ(a.deliveries.size(), b.deliveries.size());
+  ASSERT_EQ(a.drops, b.drops);
+  for (std::size_t i = 0; i < a.deliveries.size(); ++i) {
+    const auto& da = a.deliveries[i];
+    const auto& db = b.deliveries[i];
+    EXPECT_EQ(da.pid, db.pid) << "delivery " << i;
+    EXPECT_EQ(da.flow_id, db.flow_id) << "delivery " << i;
+    EXPECT_EQ(da.src, db.src) << "delivery " << i;
+    EXPECT_EQ(da.dst, db.dst) << "delivery " << i;
+    EXPECT_TRUE(same_bits(da.send_time, db.send_time))
+        << "delivery " << i << " send_time bits differ";
+    EXPECT_TRUE(same_bits(da.delivery_time, db.delivery_time))
+        << "delivery " << i << " delivery_time bits differ";
+  }
+}
+
+// One tiny trained PTM shared by the engine tests (training dominates).
+std::shared_ptr<const core::ptm_model> tiny_ptm() {
+  static const core::device_model_bundle bundle = [] {
+    core::dutil_config cfg;
+    cfg.ports = 4;
+    cfg.streams = 20;
+    cfg.packets_per_stream = 400;
+    cfg.ptm.time_steps = 8;
+    cfg.ptm.mlp_hidden = {32, 16};
+    cfg.ptm.epochs = 5;
+    cfg.seed = 7;
+    return core::train_device_model(cfg);
+  }();
+  return {&bundle.model, [](const core::ptm_model*) {}};
+}
+
+std::vector<traffic::packet_stream> fattree_streams() {
+  util::rng rng{11};
+  auto flows = traffic::make_uniform_flows(16, 1, rng);
+  traffic::tg_util_config tg;
+  tg.per_flow_rate = 30'000.0;
+  tg.seed = 11;
+  auto generators = traffic::make_generators(flows, tg);
+  return traffic::per_host_streams(generators, 16, 0.005, rng);
+}
+
+TEST(determinism, engine_bit_identical_across_partition_counts) {
+  const auto ptm = tiny_ptm();
+  const auto topo = topo::make_fattree16();
+  const topo::routing routes{topo};
+  const auto streams = fattree_streams();
+
+  core::engine_config serial_cfg;
+  serial_cfg.partitions = 1;
+  core::engine_config parallel_cfg;
+  parallel_cfg.partitions = 4;
+  core::dqn_network serial{topo, routes, ptm, {}, serial_cfg};
+  core::dqn_network parallel{topo, routes, ptm, {}, parallel_cfg};
+
+  const auto serial_result = serial.run(streams, 0.005);
+  const auto parallel_result = parallel.run(streams, 0.005);
+  expect_bit_identical(serial_result, parallel_result);
+}
+
+TEST(determinism, engine_bit_identical_across_consecutive_runs) {
+  const auto ptm = tiny_ptm();
+  const auto topo = topo::make_fattree16();
+  const topo::routing routes{topo};
+  const auto streams = fattree_streams();
+
+  core::engine_config cfg;
+  cfg.partitions = 4;
+  core::dqn_network first{topo, routes, ptm, {}, cfg};
+  core::dqn_network second{topo, routes, ptm, {}, cfg};
+  const auto first_result = first.run(streams, 0.005);
+  const auto second_result = second.run(streams, 0.005);
+  expect_bit_identical(first_result, second_result);
+}
+
+TEST(determinism, des_network_bit_identical_across_consecutive_runs) {
+  const auto topo = topo::make_fattree16();
+  const topo::routing routes{topo};
+  const auto streams = fattree_streams();
+
+  des::network_config cfg;
+  cfg.record_hops = false;
+  des::network first{topo, routes, cfg};
+  des::network second{topo, routes, cfg};
+  const auto first_result = first.run(streams, 0.005);
+  const auto second_result = second.run(streams, 0.005);
+  expect_bit_identical(first_result, second_result);
+}
+
+}  // namespace

@@ -1,0 +1,90 @@
+#include "AtomicOrderCheck.h"
+
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/Basic/OperatorKinds.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::dqn {
+
+namespace {
+
+// libstdc++ implements std::atomic<T> member functions on internal bases;
+// all of them live in namespace std.
+AST_MATCHER(CXXRecordDecl, isAtomicRecord) {
+  if (!Node.isInStdNamespace())
+    return false;
+  const StringRef Name = Node.getName();
+  return Name == "atomic" || Name == "atomic_flag" || Name == "atomic_ref" ||
+         Name == "__atomic_base" || Name == "__atomic_float" ||
+         Name == "__atomic_ref";
+}
+
+bool isMemoryOrderType(QualType QT) {
+  const auto *ED = QT.getNonReferenceType()
+                       .getCanonicalType()
+                       ->getAsTagDecl();
+  return ED != nullptr && ED->isInStdNamespace() &&
+         ED->getName() == "memory_order";
+}
+
+}  // namespace
+
+void AtomicOrderCheck::registerMatchers(MatchFinder *Finder) {
+  const auto AtomicMethod = cxxMethodDecl(ofClass(cxxRecordDecl(isAtomicRecord())));
+  // Explicit member calls (load/store/exchange/fetch_*/compare_exchange_*/
+  // test_and_set/...) that let a memory_order parameter default.
+  Finder->addMatcher(cxxMemberCallExpr(callee(AtomicMethod),
+                                       hasAnyArgument(cxxDefaultArgExpr()),
+                                       unless(isExpansionInSystemHeader()))
+                         .bind("defaulted"),
+                     this);
+  // Operator sugar: =, ++, --, +=, -=, &=, |=, ^= on an atomic are seq_cst
+  // with no way to spell an order.
+  Finder->addMatcher(cxxOperatorCallExpr(callee(AtomicMethod),
+                                         unless(isExpansionInSystemHeader()))
+                         .bind("operator"),
+                     this);
+  // Implicit loads through the conversion operator: `if (flag)`, `x + ctr`.
+  Finder->addMatcher(
+      cxxMemberCallExpr(callee(cxxConversionDecl(
+                            ofClass(cxxRecordDecl(isAtomicRecord())))),
+                        unless(isExpansionInSystemHeader()))
+          .bind("conversion"),
+      this);
+}
+
+void AtomicOrderCheck::check(const MatchFinder::MatchResult &Result) {
+  if (const auto *Call =
+          Result.Nodes.getNodeAs<CXXMemberCallExpr>("defaulted")) {
+    // Only flag when the defaulted argument is a memory_order (value
+    // parameters with other defaulted types are not this check's business).
+    for (const Expr *Arg : Call->arguments()) {
+      const auto *Defaulted = dyn_cast<CXXDefaultArgExpr>(Arg);
+      if (Defaulted == nullptr ||
+          !isMemoryOrderType(Defaulted->getParam()->getType()))
+        continue;
+      diag(Call->getExprLoc(),
+           "atomic %0 relies on the defaulted memory order (seq_cst); "
+           "state the order explicitly")
+          << Call->getMethodDecl();
+      return;
+    }
+    return;
+  }
+  if (const auto *Op = Result.Nodes.getNodeAs<CXXOperatorCallExpr>("operator")) {
+    diag(Op->getExprLoc(),
+         "atomic operator %0 is implicitly seq_cst; use the explicit member "
+         "call with a stated memory order")
+        << getOperatorSpelling(Op->getOperator());
+    return;
+  }
+  if (const auto *Conv =
+          Result.Nodes.getNodeAs<CXXMemberCallExpr>("conversion")) {
+    diag(Conv->getExprLoc(),
+         "implicit atomic load through the conversion operator is seq_cst; "
+         "use .load() with a stated memory order");
+  }
+}
+
+}  // namespace clang::tidy::dqn

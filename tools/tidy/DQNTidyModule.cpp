@@ -1,0 +1,46 @@
+// DQNTidyModule: out-of-tree clang-tidy module carrying the repo's
+// compiler-grade determinism and numeric-safety checks. Loaded with
+//
+//   clang-tidy -load build/tools/tidy/DQNTidyModule.so -checks=dqn-*
+//
+// The four checks are the semantic upgrade of scripts/ast_lint.py's textual
+// floor (see docs/STATIC_ANALYSIS.md for the which-layer-catches-what
+// matrix):
+//
+//   dqn-hot-path-alloc       allocation / string-keyed obs inside
+//                            DQN_HOT_PATH bodies, seeing through template
+//                            aliases and one level of visible helper calls
+//   dqn-unordered-iteration  order-sensitive range-for over std::unordered_*
+//   dqn-atomic-order         defaulted std::memory_order (seq_cst by
+//                            omission), including operator sugar
+//   dqn-narrowing-float      implicit double->float and value-changing
+//                            integral narrowing in the numeric layers
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+#include "AtomicOrderCheck.h"
+#include "HotPathAllocCheck.h"
+#include "NarrowingFloatCheck.h"
+#include "UnorderedIterationCheck.h"
+
+namespace clang::tidy::dqn {
+
+class DQNTidyModule : public ClangTidyModule {
+ public:
+  void addCheckFactories(ClangTidyCheckFactories &Factories) override {
+    Factories.registerCheck<HotPathAllocCheck>("dqn-hot-path-alloc");
+    Factories.registerCheck<UnorderedIterationCheck>("dqn-unordered-iteration");
+    Factories.registerCheck<AtomicOrderCheck>("dqn-atomic-order");
+    Factories.registerCheck<NarrowingFloatCheck>("dqn-narrowing-float");
+  }
+};
+
+namespace {
+ClangTidyModuleRegistry::Add<DQNTidyModule> X(
+    "dqn-module", "DeepQueueNet determinism and numeric-safety checks.");
+}  // namespace
+
+}  // namespace clang::tidy::dqn
+
+// Anchor so -load keeps the module object file alive.
+volatile int DQNTidyModuleAnchorSource = 0;

@@ -1,0 +1,234 @@
+#include "HotPathAllocCheck.h"
+
+#include "clang/AST/Attr.h"
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/Lex/Lexer.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::dqn {
+
+namespace {
+
+constexpr llvm::StringLiteral HotPathAnnotation = "dqn::hot_path";
+
+bool isHotPathAnnotated(const FunctionDecl *FD) {
+  for (const auto *A : FD->specific_attrs<AnnotateAttr>())
+    if (A->getAnnotation() == HotPathAnnotation)
+      return true;
+  return false;
+}
+
+// std:: record types whose construction (or growth) implies heap allocation.
+bool isAllocatingStdRecord(const CXXRecordDecl *RD) {
+  if (RD == nullptr || !RD->isInStdNamespace())
+    return false;
+  static const llvm::StringRef Names[] = {
+      "vector",         "deque",
+      "list",           "forward_list",
+      "map",            "multimap",
+      "set",            "multiset",
+      "unordered_map",  "unordered_multimap",
+      "unordered_set",  "unordered_multiset",
+      "queue",          "priority_queue",
+      "stack",          "function",
+      "basic_string",   "basic_stringstream",
+      "basic_ostringstream", "basic_istringstream"};
+  const StringRef Name = RD->getName();
+  for (const StringRef Candidate : Names)
+    if (Name == Candidate)
+      return true;
+  return false;
+}
+
+bool isGrowthMember(StringRef Name) {
+  return Name == "push_back" || Name == "emplace_back" ||
+         Name == "push_front" || Name == "emplace_front" ||
+         Name == "emplace" || Name == "insert" || Name == "append" ||
+         Name == "push" || Name == "resize" || Name == "reserve";
+}
+
+bool isHeapCallee(StringRef Name) {
+  return Name == "malloc" || Name == "calloc" || Name == "realloc" ||
+         Name == "strdup" || Name == "aligned_alloc";
+}
+
+// String-ish parameter/argument types: the shapes through which a
+// string-keyed observability lookup travels.
+bool isStringish(QualType QT) {
+  QT = QT.getNonReferenceType().getCanonicalType();
+  if (const auto *PT = QT->getAs<PointerType>())
+    return PT->getPointeeType()->isCharType();
+  if (const auto *RD = QT->getAsCXXRecordDecl())
+    return RD->isInStdNamespace() && (RD->getName() == "basic_string" ||
+                                      RD->getName() == "basic_string_view");
+  return false;
+}
+
+// True when Loc is spelled inside the expansion of a DQN_* macro (contract
+// macros: their failure paths allocate by design and are cold).
+bool inDQNMacro(SourceLocation Loc, const SourceManager &SM,
+                const LangOptions &LangOpts) {
+  while (Loc.isMacroID()) {
+    const StringRef Name = Lexer::getImmediateMacroName(Loc, SM, LangOpts);
+    if (Name.starts_with("DQN_"))
+      return true;
+    Loc = SM.getImmediateMacroCallerLoc(Loc);
+  }
+  return false;
+}
+
+// Walks a hot-path body. Depth 0 is the annotated function itself; depth 1
+// is a helper whose body is visible in the TU (reported at the call site in
+// the hot function, with a note at the offending expression).
+class HotBodyVisitor : public RecursiveASTVisitor<HotBodyVisitor> {
+ public:
+  HotBodyVisitor(HotPathAllocCheck &Check, ASTContext &Ctx,
+                 const FunctionDecl *HotFn, int Depth,
+                 SourceLocation CallSite)
+      : Check_{Check}, Ctx_{Ctx}, HotFn_{HotFn}, Depth_{Depth},
+        CallSite_{CallSite} {}
+
+  bool VisitCXXNewExpr(CXXNewExpr *E) {
+    report(E->getBeginLoc(), "operator new in hot path");
+    return true;
+  }
+
+  bool VisitCXXConstructExpr(CXXConstructExpr *E) {
+    const CXXConstructorDecl *Ctor = E->getConstructor();
+    if (Ctor == nullptr)
+      return true;
+    // Moves steal the existing buffer — no allocation (the DES event loop
+    // moves a std::function out of the queue on every pop).
+    if (Ctor->isMoveConstructor())
+      return true;
+    const CXXRecordDecl *RD = Ctor->getParent();
+    if (!isAllocatingStdRecord(RD))
+      return true;
+    if (RD->getName() == "basic_string" && E->getNumArgs() > 0 &&
+        isStringish(E->getArg(0)->getType()))
+      report(E->getBeginLoc(),
+             "implicit std::string temporary in hot path (a const char* "
+             "meeting a std::string parameter allocates)");
+    else
+      report(E->getBeginLoc(),
+             ("construction of allocating type 'std::" + RD->getName() +
+              "' in hot path")
+                 .str());
+    return true;
+  }
+
+  bool VisitCXXMemberCallExpr(CXXMemberCallExpr *E) {
+    const CXXMethodDecl *MD = E->getMethodDecl();
+    if (MD == nullptr)
+      return true;
+    const StringRef Name = MD->getName();
+    if (MD->getParent() != nullptr && MD->getParent()->isInStdNamespace() &&
+        isGrowthMember(Name)) {
+      report(E->getBeginLoc(),
+             ("growing container call '" + Name + "' in hot path").str());
+      return true;
+    }
+    // String-keyed observability: sink.count("name", v) and friends resolve
+    // a name under a lock per call; hot code must use pre-resolved handles.
+    // Any non-std recorder-shaped method with a string-ish first parameter
+    // counts — mirroring the ast_lint.py floor's textual rule, so the two
+    // engines agree on the shared fixtures.
+    const bool ObsRecorder = Name == "count" || Name == "gauge" ||
+                             Name == "observe" || Name == "event" ||
+                             Name.ends_with("handle_for");
+    if (ObsRecorder && MD->getParent() != nullptr &&
+        !MD->getParent()->isInStdNamespace() && E->getNumArgs() > 0 &&
+        isStringish(E->getArg(0)->getType()))
+      report(E->getBeginLoc(),
+             ("string-keyed observability call '" + Name +
+              "' in hot path (resolve a handle outside the hot region)")
+                 .str());
+    return true;
+  }
+
+  bool VisitCXXOperatorCallExpr(CXXOperatorCallExpr *E) {
+    // s += ... on std::basic_string grows the buffer.
+    if (E->getOperator() != OO_PlusEqual)
+      return true;
+    if (const auto *MD = dyn_cast_or_null<CXXMethodDecl>(E->getDirectCallee()))
+      if (MD->getParent() != nullptr && MD->getParent()->isInStdNamespace() &&
+          MD->getParent()->getName() == "basic_string")
+        report(E->getBeginLoc(), "std::string append in hot path");
+    return true;
+  }
+
+  bool VisitCallExpr(CallExpr *E) {
+    const FunctionDecl *Callee = E->getDirectCallee();
+    if (Callee == nullptr)
+      return true;
+    if (const auto *II = Callee->getIdentifier())
+      if (isHeapCallee(II->getName())) {
+        report(E->getBeginLoc(),
+               (II->getName() + "() in hot path").str());
+        return true;
+      }
+    // One level of inlining-visible recursion: a thin helper with a body in
+    // this TU cannot hide an allocation. Hot-annotated callees are skipped —
+    // they are checked as roots in their own right.
+    if (Depth_ > 0 || isa<CXXMemberCallExpr>(E))
+      return true;
+    const FunctionDecl *Def = nullptr;
+    if (!Callee->hasBody(Def) || Def == nullptr)
+      return true;
+    if (Def->isInStdNamespace() || isHotPathAnnotated(Def))
+      return true;
+    const SourceManager &SM = Ctx_.getSourceManager();
+    if (SM.isInSystemHeader(Def->getLocation()))
+      return true;
+    HotBodyVisitor Inner{Check_, Ctx_, HotFn_, Depth_ + 1, E->getBeginLoc()};
+    Inner.TraverseStmt(Def->getBody());
+    return true;
+  }
+
+ private:
+  void report(SourceLocation Loc, const std::string &Message) {
+    const SourceManager &SM = Ctx_.getSourceManager();
+    if (inDQNMacro(Loc, SM, Ctx_.getLangOpts()))
+      return;
+    if (Depth_ == 0) {
+      Check_.diag(Loc, "%0 (function %1 is DQN_HOT_PATH)")
+          << Message << HotFn_;
+    } else {
+      Check_.diag(CallSite_,
+                  "call into helper that allocates: %0 (function %1 is "
+                  "DQN_HOT_PATH)")
+          << Message << HotFn_;
+      Check_.diag(Loc, "allocation inside the called helper is here",
+                  DiagnosticIDs::Note);
+    }
+  }
+
+  HotPathAllocCheck &Check_;
+  ASTContext &Ctx_;
+  const FunctionDecl *HotFn_;
+  int Depth_;
+  SourceLocation CallSite_;
+};
+
+}  // namespace
+
+void HotPathAllocCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(functionDecl(isDefinition(), hasAttr(attr::Annotate),
+                                  unless(isExpansionInSystemHeader()))
+                         .bind("fn"),
+                     this);
+}
+
+void HotPathAllocCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *FD = Result.Nodes.getNodeAs<FunctionDecl>("fn");
+  if (FD == nullptr || FD->isTemplateInstantiation() ||
+      !isHotPathAnnotated(FD) || !FD->hasBody())
+    return;
+  HotBodyVisitor Visitor{*this, *Result.Context, FD, /*Depth=*/0,
+                         FD->getBeginLoc()};
+  Visitor.TraverseStmt(FD->getBody());
+}
+
+}  // namespace clang::tidy::dqn

@@ -1,0 +1,31 @@
+// dqn-hot-path-alloc: no allocation and no string-keyed observability inside
+// functions annotated DQN_HOT_PATH (__attribute__((annotate("dqn::hot_path")))).
+//
+// Semantic upgrades over the scripts/ast_lint.py textual floor:
+//   * sees through template aliases (`using buffer_t = std::vector<double>`:
+//     constructing a buffer_t allocates, with no growth call to grep for);
+//   * catches implicit std::string temporaries (a `const char*` passed where
+//     a std::string parameter is expected);
+//   * recurses one level into helpers whose bodies are visible in the TU, so
+//     an allocation cannot hide behind a thin inline wrapper.
+//
+// DQN_* contract macros (DQN_ENSURE, DQN_INVARIANT, ...) are exempt: their
+// failure paths allocate by design and are cold.
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::dqn {
+
+class HotPathAllocCheck : public ClangTidyCheck {
+ public:
+  HotPathAllocCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace clang::tidy::dqn

@@ -1,0 +1,98 @@
+#include "NarrowingFloatCheck.h"
+
+#include <regex>
+
+#include "clang/AST/APValue.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "llvm/ADT/APFloat.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::dqn {
+
+NarrowingFloatCheck::NarrowingFloatCheck(StringRef Name,
+                                         ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      PathFilter(Options.get("PathFilter", "src/(nn|core|queueing)/")) {}
+
+void NarrowingFloatCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "PathFilter", PathFilter);
+}
+
+void NarrowingFloatCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      implicitCastExpr(anyOf(hasCastKind(CK_FloatingCast),
+                             hasCastKind(CK_IntegralCast)),
+                       unless(isExpansionInSystemHeader()))
+          .bind("cast"),
+      this);
+}
+
+void NarrowingFloatCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Cast = Result.Nodes.getNodeAs<ImplicitCastExpr>("cast");
+  if (Cast == nullptr)
+    return;
+  ASTContext &Ctx = *Result.Context;
+  const SourceManager &SM = *Result.SourceManager;
+  const SourceLocation Loc = SM.getExpansionLoc(Cast->getBeginLoc());
+  if (Loc.isInvalid())
+    return;
+
+  // Scope gate: only files matching the PathFilter regex are in the numeric
+  // core this check polices.
+  const StringRef File = SM.getFilename(Loc);
+  if (File.empty())
+    return;
+  try {
+    if (!std::regex_search(File.str(), std::regex(PathFilter)))
+      return;
+  } catch (const std::regex_error &) {
+    return;  // configuration error; clang-tidy reports unknown-option noise
+  }
+
+  const Expr *Sub = Cast->getSubExpr();
+  const QualType SrcT = Sub->getType().getCanonicalType();
+  const QualType DstT = Cast->getType().getCanonicalType();
+  const uint64_t SrcBits = Ctx.getTypeSize(SrcT);
+  const uint64_t DstBits = Ctx.getTypeSize(DstT);
+  if (DstBits >= SrcBits)
+    return;  // widening (or same-width) conversions preserve value ranges
+
+  if (Cast->getCastKind() == CK_FloatingCast) {
+    // Exempt constants that survive the conversion exactly.
+    Expr::EvalResult Eval;
+    if (!Sub->isValueDependent() && Sub->EvaluateAsRValue(Eval, Ctx) &&
+        Eval.Val.isFloat()) {
+      llvm::APFloat Value = Eval.Val.getFloat();
+      bool LosesInfo = false;
+      Value.convert(Ctx.getFloatTypeSemantics(DstT),
+                    llvm::APFloat::rmNearestTiesToEven, &LosesInfo);
+      if (!LosesInfo)
+        return;
+    }
+    diag(Loc, "implicit floating-point narrowing %0 -> %1 silently drops "
+              "mantissa bits; cast explicitly or keep the wider type")
+        << SrcT << DstT;
+    return;
+  }
+
+  // CK_IntegralCast to a strictly narrower width.
+  if (!Sub->isValueDependent()) {
+    Expr::EvalResult Eval;
+    if (Sub->EvaluateAsRValue(Eval, Ctx) && Eval.Val.isInt()) {
+      const llvm::APSInt &Value = Eval.Val.getInt();
+      const bool DstSigned = DstT->isSignedIntegerType();
+      const bool Fits = DstSigned
+                            ? Value.isSignedIntN(static_cast<unsigned>(DstBits))
+                            : (!Value.isNegative() &&
+                               Value.isIntN(static_cast<unsigned>(DstBits)));
+      if (Fits)
+        return;  // value-preserving constant narrowing
+    }
+  }
+  diag(Loc, "implicit integral narrowing %0 -> %1 can change the value; "
+            "cast explicitly after checking the range")
+      << SrcT << DstT;
+}
+
+}  // namespace clang::tidy::dqn

@@ -1,0 +1,34 @@
+// dqn-narrowing-float: implicit floating-point narrowing (double -> float,
+// long double -> double) and width-reducing implicit integral conversions in
+// the numeric layers. The PTM's features, targets, and analytical bounds are
+// all double; a silent truncation to float (e.g. a float local fed from a
+// double expression, or a float model parameter receiving a double feature)
+// quietly halves the mantissa and changes predictions between builds.
+//
+// Scope is limited by the PathFilter option (a POSIX-ish regex over the
+// file path, default `src/(nn|core|queueing)/` per the repo's numeric core);
+// constants that are exactly representable in the destination type are
+// exempt (`float x = 0.25;` is not a finding).
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+#include <string>
+
+namespace clang::tidy::dqn {
+
+class NarrowingFloatCheck : public ClangTidyCheck {
+ public:
+  NarrowingFloatCheck(StringRef Name, ClangTidyContext *Context);
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+ private:
+  const std::string PathFilter;
+};
+
+}  // namespace clang::tidy::dqn

@@ -1,0 +1,201 @@
+#include "UnorderedIterationCheck.h"
+
+#include "clang/AST/RecursiveASTVisitor.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::dqn {
+
+namespace {
+
+constexpr llvm::StringLiteral Annotation = "dqn-order-insensitive";
+
+bool isUnorderedStdContainer(QualType QT) {
+  const auto *RD = QT.getNonReferenceType()->getAsCXXRecordDecl();
+  if (RD == nullptr || !RD->isInStdNamespace())
+    return false;
+  const StringRef Name = RD->getName();
+  return Name == "unordered_map" || Name == "unordered_multimap" ||
+         Name == "unordered_set" || Name == "unordered_multiset";
+}
+
+bool isGrowthMember(StringRef Name) {
+  return Name == "push_back" || Name == "emplace_back" || Name == "emplace" ||
+         Name == "insert" || Name == "append" || Name == "push_front" ||
+         Name == "push";
+}
+
+// Result of scanning the loop line plus its contiguous leading `//` block.
+enum class AnnotationState { Absent, MissingRationale, Present };
+
+AnnotationState annotationState(const CXXForRangeStmt *Loop,
+                                const SourceManager &SM) {
+  const SourceLocation Loc = SM.getExpansionLoc(Loop->getBeginLoc());
+  const FileID FID = SM.getFileID(Loc);
+  bool Invalid = false;
+  const StringRef Buffer = SM.getBufferData(FID, &Invalid);
+  if (Invalid)
+    return AnnotationState::Absent;
+  const unsigned LoopLine = SM.getExpansionLineNumber(Loc);
+
+  llvm::SmallVector<StringRef, 64> Lines;
+  Buffer.split(Lines, '\n');
+  // Window: the loop line itself, then contiguous `//` comment lines above.
+  std::string Window;
+  if (LoopLine >= 1 && LoopLine <= Lines.size())
+    Window += Lines[LoopLine - 1];
+  for (unsigned L = LoopLine - 1; L >= 1; --L) {
+    const StringRef Trimmed = Lines[L - 1].ltrim();
+    if (!Trimmed.starts_with("//"))
+      break;
+    Window += '\n';
+    Window += Trimmed;
+  }
+  const std::size_t Pos = Window.find(Annotation.str());
+  if (Pos == std::string::npos)
+    return AnnotationState::Absent;
+  // Rationale: a ':' after the tag followed by a non-space character.
+  StringRef After = StringRef(Window).substr(Pos + Annotation.size()).ltrim();
+  if (!After.starts_with(":"))
+    return AnnotationState::MissingRationale;
+  After = After.drop_front(1).ltrim(" \t");
+  return After.empty() || After.starts_with("\n")
+             ? AnnotationState::MissingRationale
+             : AnnotationState::Present;
+}
+
+// Collects the order-sensitivity reasons in a loop body.
+class BodyVisitor : public RecursiveASTVisitor<BodyVisitor> {
+ public:
+  BodyVisitor(const SourceManager &SM, SourceRange LoopRange)
+      : SM_{SM}, LoopRange_{LoopRange} {}
+
+  bool VisitBinaryOperator(BinaryOperator *BO) {
+    if (BO->getOpcode() == BO_Shl) {
+      // Stream output: << whose LHS is of class type (ostream-ish).
+      if (BO->getLHS()->getType()->isRecordType())
+        addReason("emits stream output");
+      return true;
+    }
+    if (!BO->isCompoundAssignmentOp())
+      return true;
+    if (declaredOutsideLoop(BO->getLHS())) {
+      if (BO->getLHS()->getType()->isFloatingType())
+        addReason("accumulates floating-point state declared outside the "
+                  "loop (order-dependent rounding)");
+      else
+        addReason("accumulates state declared outside the loop");
+    }
+    return true;
+  }
+
+  bool VisitCXXOperatorCallExpr(CXXOperatorCallExpr *E) {
+    if (E->getOperator() == OO_LessLess) {
+      addReason("emits stream output");
+      return true;
+    }
+    if (E->isAssignmentOp() && E->getNumArgs() >= 1 &&
+        E->getOperator() != OO_Equal && declaredOutsideLoop(E->getArg(0)))
+      addReason("accumulates state declared outside the loop");
+    return true;
+  }
+
+  bool VisitCXXMemberCallExpr(CXXMemberCallExpr *E) {
+    const CXXMethodDecl *MD = E->getMethodDecl();
+    if (MD == nullptr || !isGrowthMember(MD->getName()))
+      return true;
+    if (declaredOutsideLoop(E->getImplicitObjectArgument()))
+      addReason("appends to a container declared outside the loop");
+    return true;
+  }
+
+  const std::vector<std::string> &reasons() const { return Reasons_; }
+
+ private:
+  // True when the expression's ultimate declaration lives outside the loop's
+  // source range (member state counts as outside).
+  bool declaredOutsideLoop(const Expr *E) {
+    if (E == nullptr)
+      return false;
+    E = E->IgnoreParenImpCasts();
+    if (const auto *DRE = dyn_cast<DeclRefExpr>(E)) {
+      const SourceLocation DeclLoc =
+          SM_.getExpansionLoc(DRE->getDecl()->getLocation());
+      return !SM_.isPointWithin(DeclLoc, SM_.getExpansionLoc(LoopRange_.getBegin()),
+                                SM_.getExpansionLoc(LoopRange_.getEnd()));
+    }
+    if (isa<MemberExpr>(E) || isa<CXXThisExpr>(E))
+      return true;
+    if (const auto *UO = dyn_cast<UnaryOperator>(E))
+      return declaredOutsideLoop(UO->getSubExpr());
+    if (const auto *ASE = dyn_cast<ArraySubscriptExpr>(E))
+      return declaredOutsideLoop(ASE->getBase());
+    return false;
+  }
+
+  void addReason(StringRef Reason) {
+    for (const std::string &Existing : Reasons_)
+      if (Existing == Reason)
+        return;
+    Reasons_.push_back(Reason.str());
+  }
+
+  const SourceManager &SM_;
+  SourceRange LoopRange_;
+  std::vector<std::string> Reasons_;
+};
+
+}  // namespace
+
+void UnorderedIterationCheck::registerMatchers(MatchFinder *Finder) {
+  Finder->addMatcher(
+      cxxForRangeStmt(unless(isExpansionInSystemHeader())).bind("loop"), this);
+}
+
+void UnorderedIterationCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Loop = Result.Nodes.getNodeAs<CXXForRangeStmt>("loop");
+  if (Loop == nullptr || Loop->getRangeInit() == nullptr)
+    return;
+  if (!isUnorderedStdContainer(Loop->getRangeInit()->getType()))
+    return;
+  const SourceManager &SM = *Result.SourceManager;
+
+  BodyVisitor Visitor{SM, Loop->getSourceRange()};
+  Visitor.TraverseStmt(Loop->getBody());
+  std::vector<std::string> Reasons = Visitor.reasons();
+  if (const VarDecl *LoopVar = Loop->getLoopVariable())
+    if (LoopVar->getType()->isReferenceType() &&
+        !LoopVar->getType().getNonReferenceType().isConstQualified())
+      Reasons.insert(Reasons.begin(),
+                     "binds the element by non-const reference (mutation "
+                     "through hash order)");
+  if (Reasons.empty())
+    return;
+
+  switch (annotationState(Loop, SM)) {
+  case AnnotationState::Present:
+    return;
+  case AnnotationState::MissingRationale:
+    diag(Loop->getForLoc(),
+         "'%0' annotation needs a rationale: write '// %0: <why order "
+         "cannot matter>'")
+        << StringRef(Annotation);
+    return;
+  case AnnotationState::Absent:
+    break;
+  }
+  std::string Joined;
+  for (const std::string &Reason : Reasons) {
+    if (!Joined.empty())
+      Joined += "; ";
+    Joined += Reason;
+  }
+  diag(Loop->getForLoc(),
+       "order-sensitive iteration over a std::unordered_ container: %0; "
+       "iterate sorted keys (util::keyed_vector) or annotate '// %1: "
+       "<rationale>'")
+      << Joined << StringRef(Annotation);
+}
+
+}  // namespace clang::tidy::dqn

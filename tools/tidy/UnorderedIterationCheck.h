@@ -1,0 +1,31 @@
+// dqn-unordered-iteration: range-for over std::unordered_{map,multimap,set,
+// multiset} whose body is order-sensitive — it accumulates with a compound
+// assignment (floating-point accumulation is the canonical determinism
+// hazard), emits stream output, appends to an outside container, or binds
+// the element by non-const reference. Hash-table iteration order is
+// load-factor- and libstdc++-version-dependent, so any of these leaks
+// nondeterminism into results.
+//
+// A loop is silenced only by a `// dqn-order-insensitive: <rationale>`
+// annotation on the loop line or in the contiguous comment block directly
+// above it; the annotation without a rationale is itself a finding. The
+// sanctioned structural fix is util::keyed_vector (src/util/keyed_vector.hpp)
+// or iterating a sorted copy of the keys.
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::dqn {
+
+class UnorderedIterationCheck : public ClangTidyCheck {
+ public:
+  UnorderedIterationCheck(StringRef Name, ClangTidyContext *Context)
+      : ClangTidyCheck(Name, Context) {}
+  bool isLanguageVersionSupported(const LangOptions &LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace clang::tidy::dqn

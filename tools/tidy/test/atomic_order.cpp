@@ -1,0 +1,38 @@
+// Corpus for dqn-atomic-order.
+#include <atomic>
+#include <cstdint>
+
+using count_t = std::atomic<std::uint64_t>;  // alias must not hide the type
+
+std::atomic<std::uint64_t> g_events{0};
+std::atomic<bool> g_stop{false};
+count_t g_aliased{0};
+
+void bad_defaulted_orders() {
+  g_events.store(1);                 // EXPECT: dqn-atomic-order
+  (void)g_events.load();             // EXPECT: dqn-atomic-order
+  (void)g_events.fetch_add(1);       // EXPECT: dqn-atomic-order
+  (void)g_aliased.fetch_add(1);      // EXPECT: dqn-atomic-order
+  (void)g_events.exchange(7);        // EXPECT: dqn-atomic-order
+}
+
+void bad_operator_sugar() {
+  ++g_events;                        // EXPECT: dqn-atomic-order
+  g_events += 2;                     // EXPECT: dqn-atomic-order
+  g_stop = true;                     // EXPECT: dqn-atomic-order
+  if (g_stop)                        // EXPECT: dqn-atomic-order
+    g_events.store(0, std::memory_order_relaxed);
+}
+
+void good_explicit_orders() {
+  g_events.store(1, std::memory_order_relaxed);
+  (void)g_events.load(std::memory_order_acquire);
+  (void)g_events.fetch_add(1, std::memory_order_relaxed);
+  (void)g_aliased.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t expected = 0;
+  (void)g_events.compare_exchange_strong(expected, 1,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire);
+  if (g_stop.load(std::memory_order_relaxed))
+    g_events.store(0, std::memory_order_relaxed);
+}

@@ -1,0 +1,58 @@
+// Corpus for dqn-hot-path-alloc. Each `// EXPECT: <check>` marks a line the
+// plugin must flag; any unmarked diagnostic (or unmatched marker) fails the
+// run_tests.py driver.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#define DQN_HOT_PATH __attribute__((annotate("dqn::hot_path")))
+// Stand-in for the repo's contract macros: cold failure paths may allocate.
+#define DQN_ENSURE_LIKE(cond) \
+  do {                        \
+    if (!(cond))              \
+      throw std::string{"x"}; \
+  } while (0)
+
+namespace dqn::obs {
+struct sink {
+  void count(const std::string &name, double v);
+  void observe(const char *name, double v);
+};
+}  // namespace dqn::obs
+
+// Template alias: no textual growth call, but constructing it allocates.
+using buffer_t = std::vector<double>;
+
+void takes_name(const std::string &name);
+
+// Helper with a visible body: one level of recursion must see the push_back.
+inline void record_into(std::vector<double> &out, double v) {
+  out.push_back(v);  // fine here: record_into itself is not hot
+}
+
+DQN_HOT_PATH double bad_alloc_cases(std::vector<double> &acc, double v) {
+  buffer_t scratch;              // EXPECT: dqn-hot-path-alloc
+  acc.push_back(v);              // EXPECT: dqn-hot-path-alloc
+  takes_name("per.packet.key");  // EXPECT: dqn-hot-path-alloc
+  record_into(acc, v);           // EXPECT: dqn-hot-path-alloc
+  auto *raw = new double{v};     // EXPECT: dqn-hot-path-alloc
+  delete raw;
+  return scratch.empty() ? v : scratch[0];
+}
+
+DQN_HOT_PATH void bad_string_obs(dqn::obs::sink &s, double v) {
+  s.count("des.events", v);  // EXPECT: dqn-hot-path-alloc
+  s.observe("lat", v);       // EXPECT: dqn-hot-path-alloc
+}
+
+DQN_HOT_PATH double good_hot(const std::vector<double> &rows, std::size_t i,
+                             double v) {
+  DQN_ENSURE_LIKE(i < rows.size());  // contract macro: exempt
+  return rows[i] * v;
+}
+
+// Not annotated: allocation is allowed.
+double cold_path(std::vector<double> &acc, double v) {
+  acc.push_back(v);
+  return acc.back();
+}

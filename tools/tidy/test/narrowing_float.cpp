@@ -1,0 +1,38 @@
+// Corpus for dqn-narrowing-float. run_tests.py sets PathFilter to '.*' so
+// the fixture is in scope regardless of its path.
+#include <cstdint>
+#include <vector>
+
+float feature_to_float(double feature) {
+  return feature;  // EXPECT: dqn-narrowing-float
+}
+
+void fill_row(std::vector<float> &row, double sojourn, double rate) {
+  row[0] = sojourn;       // EXPECT: dqn-narrowing-float
+  row[1] = rate * 2.0;    // EXPECT: dqn-narrowing-float
+}
+
+std::int16_t to_port(std::int64_t node) {
+  return node;  // EXPECT: dqn-narrowing-float
+}
+
+// Exactly representable constants survive the conversion: exempt.
+float good_constants() {
+  float quarter = 0.25;
+  float big = 4096.0;
+  return quarter + big;
+}
+
+std::int16_t good_constant_int() {
+  return 512;  // fits in int16 exactly
+}
+
+// Explicit casts document the decision and are out of scope.
+float good_explicit(double feature) {
+  return static_cast<float>(feature);
+}
+
+// Widening is always fine.
+double good_widening(float stored) {
+  return stored;
+}

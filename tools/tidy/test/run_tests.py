@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Lit-style driver for the DQNTidyModule check corpus.
+
+Each fixture <name>.cpp exercises the check dqn-<name-with-dashes>; every
+line carrying a `// EXPECT: <check>` marker must produce exactly that
+diagnostic, and no unmarked diagnostic may appear. Exit 77 (the ctest skip
+convention) when the plugin or clang-tidy is unavailable.
+
+Environment:
+  DQN_TIDY_PLUGIN  path to DQNTidyModule.so (required to run)
+  CLANG_TIDY       clang-tidy binary (default: clang-tidy)
+"""
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+TEST_DIR = os.path.dirname(os.path.abspath(__file__))
+EXPECT = re.compile(r"//\s*EXPECT:\s*(dqn-[a-z-]+)")
+DIAG = re.compile(r"^(.*?):(\d+):\d+:\s+(?:warning|error):.*\[(dqn-[a-z-]+)\]")
+
+# Checks whose fixtures need extra per-check configuration.
+CHECK_CONFIG = {
+    "dqn-narrowing-float":
+        "{CheckOptions: {dqn-narrowing-float.PathFilter: '.*'}}",
+}
+
+
+def main() -> int:
+    plugin = os.environ.get("DQN_TIDY_PLUGIN", "")
+    tidy = os.environ.get("CLANG_TIDY", "clang-tidy")
+    if not plugin or not os.path.exists(plugin):
+        print("tidy_plugin_fixtures: DQN_TIDY_PLUGIN not set/built; skipping")
+        return 77
+    if shutil.which(tidy) is None:
+        print(f"tidy_plugin_fixtures: {tidy} not found; skipping")
+        return 77
+
+    failures = 0
+    fixtures = sorted(
+        f for f in os.listdir(TEST_DIR) if f.endswith(".cpp"))
+    for fixture in fixtures:
+        check = "dqn-" + fixture[:-len(".cpp")].replace("_", "-")
+        path = os.path.join(TEST_DIR, fixture)
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        expected = {
+            (i + 1, m.group(1))
+            for i, line in enumerate(lines)
+            for m in [EXPECT.search(line)] if m
+        }
+
+        cmd = [tidy, f"--load={plugin}", f"--checks=-*,{check}",
+               "--quiet"]
+        if check in CHECK_CONFIG:
+            cmd.append(f"--config={CHECK_CONFIG[check]}")
+        cmd += [path, "--", "-std=c++20", "-w"]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if "Unable to load" in proc.stderr or "CommonOptionsParser" in proc.stderr:
+            print(f"tidy_plugin_fixtures: clang-tidy could not load the "
+                  f"plugin:\n{proc.stderr}", file=sys.stderr)
+            return 1
+
+        actual = set()
+        for line in proc.stdout.splitlines():
+            m = DIAG.match(line)
+            if m and os.path.abspath(m.group(1)) == path:
+                actual.add((int(m.group(2)), m.group(3)))
+
+        for line_no, name in sorted(expected - actual):
+            print(f"FAIL {fixture}:{line_no}: expected [{name}], "
+                  f"no diagnostic emitted", file=sys.stderr)
+            failures += 1
+        for line_no, name in sorted(actual - expected):
+            print(f"FAIL {fixture}:{line_no}: unexpected [{name}] "
+                  f"diagnostic", file=sys.stderr)
+            failures += 1
+        status = "ok" if expected == actual else "FAILED"
+        print(f"{fixture}: {len(expected)} expected, "
+              f"{len(actual)} emitted -> {status}")
+
+    if failures:
+        print(f"tidy_plugin_fixtures: {failures} failure(s)", file=sys.stderr)
+        return 1
+    print(f"tidy_plugin_fixtures: OK ({len(fixtures)} fixture(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,64 @@
+// Corpus for dqn-unordered-iteration.
+#include <cstdint>
+#include <iostream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+double sum_values(const std::unordered_map<std::uint64_t, double> &m) {
+  double total = 0.0;
+  for (const auto &[pid, v] : m)  // EXPECT: dqn-unordered-iteration
+    total += v;
+  return total;
+}
+
+void print_keys(const std::unordered_set<std::uint64_t> &s) {
+  for (const auto pid : s)  // EXPECT: dqn-unordered-iteration
+    std::cout << pid << '\n';
+}
+
+void scale_in_place(std::unordered_map<std::uint64_t, double> &m) {
+  for (auto &[pid, v] : m)  // EXPECT: dqn-unordered-iteration
+    v *= 2.0;
+}
+
+void collect(const std::unordered_map<std::uint64_t, double> &m,
+             std::vector<double> &out) {
+  for (const auto &[pid, v] : m)  // EXPECT: dqn-unordered-iteration
+    out.push_back(v);
+}
+
+// Annotated with a rationale: silenced.
+std::uint64_t max_key(const std::unordered_map<std::uint64_t, double> &m) {
+  std::uint64_t best = 0;
+  // dqn-order-insensitive: max over the key set is commutative and exact
+  // (integer comparison), so visit order cannot change the result.
+  for (const auto &[pid, v] : m)
+    best += pid;  // integer sum: exact in any order, annotation documents it
+  return best;
+}
+
+// Annotation without a rationale is itself a finding.
+double annotated_badly(const std::unordered_map<std::uint64_t, double> &m) {
+  double total = 0.0;
+  // dqn-order-insensitive
+  for (const auto &[pid, v] : m)  // EXPECT: dqn-unordered-iteration
+    total += v;
+  return total;
+}
+
+// Benign read-only traversal: no accumulation, no output, no mutation.
+bool contains_large(const std::unordered_map<std::uint64_t, double> &m) {
+  for (const auto &[pid, v] : m)
+    if (v > 1e9)
+      return true;
+  return false;
+}
+
+// Ordered containers are outside this check's scope.
+double sum_vector(const std::vector<double> &v) {
+  double total = 0.0;
+  for (const auto x : v)
+    total += x;
+  return total;
+}
