@@ -1,17 +1,27 @@
-// Table 7: inference execution time with parallelization on FatTree16/64/128.
+// Table 7: inference execution time with parallelization on fat-trees.
 //
 // For each network we run the same workload through (a) the sequential
 // packet-level DES, (b) MimicNet (trained once on FatTree16), and (c)
-// DeepQueueNet with 1, 2, and 4 engine partitions — the CPU-thread analogue
-// of the paper's 1/2/4 GPUs (Figure 11; DESIGN.md §2).
+// DeepQueueNet with 1/2/4/8 workers — the CPU-thread analogue of the
+// paper's multi-GPU model parallelism (Figure 11; DESIGN.md §2).
 //
-// Expected shape (paper): DES wall time explodes with network size while
-// DQN's grows mildly and parallelizes near-linearly in partitions; MimicNet
-// is fastest on its native fat-trees (pure per-packet model composition, no
-// IRSA iterations).
+// DeepQueueNet rows report MEASURED wall-clock time: the sharded engine
+// (topology-aware shards + work stealing + double-buffered boundary
+// exchange) genuinely executes across cores, so speedup columns are real on
+// any machine with free cores. engine_stats::projected_wall_seconds — the
+// per-thread-CPU-clock projection the pre-sharded engine reported — survives
+// only as a printf diagnostic to sanity-check the measurement (projected ≈
+// measured when >= `workers` cores are free; on a 1-core box measured wall
+// is flat in workers while the projection still shows the parallel shape).
+//
+// `--threads N` runs the CI perf-smoke slice instead: best-of-3 measured
+// wall on the FatTree16 workload at N workers, emitted as one JSON line
+// (with a delivery fingerprint so the gate can assert bit-identical results
+// across thread counts). See .github/workflows/ci.yml perf-smoke.
 #include "bench/common.hpp"
 
 #include <cstdio>
+#include <cstring>
 #include <functional>
 
 #include "baselines/mimicnet.hpp"
@@ -22,7 +32,74 @@
 
 using namespace dqn;
 
-int main() {
+namespace {
+
+// Order- and bit-sensitive digest of the delivery records (FNV-1a over pid +
+// the raw delivery_time bits): equal fingerprints across thread counts means
+// the sharded engine reproduced the exact same deliveries.
+std::uint64_t delivery_fingerprint(const des::run_result& result) {
+  std::uint64_t hash = 1469598103934665603ull;
+  const auto mix = [&hash](std::uint64_t value) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      hash ^= (value >> shift) & 0xffu;
+      hash *= 1099511628211ull;
+    }
+  };
+  for (const auto& d : result.deliveries) {
+    mix(d.pid);
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &d.delivery_time, sizeof bits);
+    mix(bits);
+  }
+  return hash;
+}
+
+// The CI perf-smoke slice: FatTree16, the paper's execution profile
+// (Algorithm 1 re-infers every device each iteration), best-of-3 measured
+// wall at `threads` workers. One JSON line on stdout.
+int run_threads_smoke(std::size_t threads) {
+  const double scale = bench::bench_scale();
+  auto ptm = bench::network_model();
+  const auto s = bench::make_scenario_load(
+      topo::make_fattree16(bench::bench_links()),
+      traffic::traffic_model::poisson, 0.5, 0.15 * scale, 1000);
+  core::scheduler_context ctx;
+  ctx.bandwidth_bps = bench::bench_link_bps;
+  core::engine_config cfg;
+  cfg.partitions = threads;
+  cfg.irsa_skip_unchanged = false;
+  core::dqn_network net{s.topo(), *s.routes, ptm, ctx, cfg};
+  double best_wall = 0;
+  des::run_result result;
+  for (int rep = 0; rep < 3; ++rep) {
+    result = net.run(s.streams, s.horizon);
+    best_wall = rep == 0 ? result.wall_seconds
+                         : std::min(best_wall, result.wall_seconds);
+  }
+  const auto& stats = net.stats();
+  std::printf("{\"threads\":%zu,\"wall_seconds\":%.6f,\"deliveries\":%zu,"
+              "\"delivery_fingerprint\":\"%016llx\",\"iterations\":%zu,"
+              "\"steals\":%llu,\"cross_shard_links\":%zu,"
+              "\"shard_imbalance\":%.4f,\"projected_wall_seconds\":%.6f}\n",
+              threads, best_wall, result.deliveries.size(),
+              static_cast<unsigned long long>(delivery_fingerprint(result)),
+              stats.iterations, static_cast<unsigned long long>(stats.steals),
+              stats.cross_shard_links, stats.shard_imbalance,
+              stats.projected_wall_seconds());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string{argv[i]} == "--threads" && i + 1 < argc) {
+      const long threads = std::atol(argv[i + 1]);
+      DQN_ENSURE(threads > 0, "bench_table7: --threads must be >= 1");
+      return run_threads_smoke(static_cast<std::size_t>(threads));
+    }
+  }
+
   std::printf("=== Table 7: inference execution time with parallelization ===\n\n");
   const double scale = bench::bench_scale();
   const des::tm_config fifo_tm;
@@ -49,6 +126,8 @@ int main() {
     double horizon;
   };
   const scale_case cases[] = {
+      {"FatTree8", [] { return topo::make_fattree8(bench::bench_links()); },
+       0.5, 0.15 * scale},
       {"FatTree16", [] { return topo::make_fattree16(bench::bench_links()); },
        0.5, 0.15 * scale},
       {"FatTree64", [] { return topo::make_fattree64(bench::bench_links()); },
@@ -57,14 +136,13 @@ int main() {
        0.5, 0.036 * scale},
   };
 
-  // "time" for DeepQueueNet rows is the projected wall time with one
-  // execution unit per partition (engine_stats::projected_wall_seconds):
-  // partitions are accounted by per-thread CPU time and the per-iteration
-  // critical path, which is what a machine with `partitions` free cores (or
-  // the paper's GPUs) would observe. This host may have a single core, so
-  // raw wall time cannot show parallel speedup directly (DESIGN.md §2).
+  // "time" for DeepQueueNet rows is MEASURED wall-clock time of the sharded
+  // engine. Speedup columns therefore depend on free cores: near-linear on a
+  // many-core box, flat on a loaded or single-core one (the projected
+  // diagnostic printed alongside shows what a dedicated `workers`-core
+  // machine would observe).
   util::text_table table{
-      {"topology", "method", "#partitions", "packets", "time", "speedup"}};
+      {"topology", "method", "#workers", "packets", "time", "speedup"}};
 
   for (const auto& sc : cases) {
     const auto s = bench::make_scenario_load(
@@ -72,6 +150,7 @@ int main() {
     std::size_t packets = 0;
     for (const auto& stream : s.streams) packets += stream.size();
     const std::string pkts = std::to_string(packets);
+    const bool is_fattree16 = std::string{sc.name} == "FatTree16";
 
     // Sequential DES (hop recording off: pure simulation cost).
     {
@@ -95,35 +174,55 @@ int main() {
                      util::format_duration(watch.elapsed_seconds()), "-"});
     }
 
-    // DeepQueueNet with 1/2/4 partitions.
+    // DeepQueueNet with 1/2/4/8 workers: measured wall time.
     double base_seconds = 0;
-    for (const std::size_t partitions : {std::size_t{1}, std::size_t{2},
-                                         std::size_t{4}}) {
+    std::uint64_t base_fingerprint = 0;
+    for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{4}, std::size_t{8}}) {
       core::scheduler_context ctx;
       ctx.bandwidth_bps = bench::bench_link_bps;
       core::engine_config cfg;
-      cfg.partitions = partitions;
+      cfg.partitions = workers;
       // Measure the paper's execution profile: Algorithm 1 re-infers every
       // device each iteration (our skip refinement makes late iterations
       // nearly serial and Amdahl-limits the parallel speedup).
       cfg.irsa_skip_unchanged = false;
       core::dqn_network net{s.topo(), *s.routes, ptm, ctx, cfg};
       const auto result = net.run(s.streams, sc.horizon);
-      (void)result;
-      const double seconds = net.stats().projected_wall_seconds();
+      const double seconds = net.stats().wall_seconds;
+      const std::uint64_t fingerprint = delivery_fingerprint(result);
       std::string speedup = "baseline";
-      if (partitions == 1) {
+      if (workers == 1) {
         base_seconds = seconds;
+        base_fingerprint = fingerprint;
       } else {
         speedup = util::fmt(base_seconds / seconds, 2) + "-fold";
+        // The determinism contract, enforced in-bench: sharded execution
+        // reproduces the single-worker deliveries bit for bit.
+        DQN_ENSURE(fingerprint == base_fingerprint,
+                   "table7: ", sc.name, " deliveries diverged at ", workers,
+                   " workers (fingerprint mismatch)");
       }
-      table.add_row({sc.name, "DeepQueueNet", std::to_string(partitions), pkts,
+      table.add_row({sc.name, "DeepQueueNet", std::to_string(workers), pkts,
                      util::format_duration(seconds), speedup});
-      std::printf("[dqn] %-11s partitions=%zu: %s projected "
-                  "(%s measured wall, %zu IRSA iterations)\n",
-                  sc.name, partitions, util::format_duration(seconds).c_str(),
-                  util::format_duration(net.stats().wall_seconds).c_str(),
-                  net.stats().iterations);
+      std::printf("[dqn] %-11s workers=%zu: %s measured wall "
+                  "(%s projected, %zu IRSA iterations, %llu steals, "
+                  "imbalance %.3f)\n",
+                  sc.name, workers, util::format_duration(seconds).c_str(),
+                  util::format_duration(net.stats().projected_wall_seconds())
+                      .c_str(),
+                  net.stats().iterations,
+                  static_cast<unsigned long long>(net.stats().steals),
+                  net.stats().shard_imbalance);
+      if (is_fattree16) {
+        if (obs::sink* sink = bench::bench_sink(); sink != nullptr) {
+          const std::string suffix = "_w" + std::to_string(workers);
+          sink->gauge("table7.measured_wall" + suffix, seconds);
+          if (workers > 1)
+            sink->gauge("table7.measured_speedup" + suffix,
+                        base_seconds / seconds);
+        }
+      }
     }
 
     // Tiered delay backend (core/delay_provider.hpp): pure-PTM versus the
@@ -238,12 +337,16 @@ int main() {
   std::printf("\n%s\n", table.to_string().c_str());
   std::printf(
       "notes (DQN_BENCH_SCALE=%g):\n"
-      " * the reproduced shapes are (a) near-linear DeepQueueNet speedup in\n"
-      "   partitions, (b) DQN time roughly flat in network size while DES\n"
-      "   grows with it, (c) MimicNet fastest per execution unit on its\n"
-      "   native fat-trees;\n"
+      " * DeepQueueNet rows are measured wall time of the sharded engine\n"
+      "   (topology shards + work stealing + double-buffered exchange);\n"
+      "   speedup in workers is real and requires free cores to show —\n"
+      "   CI's perf-smoke gate holds the 4-worker floor on a 4-vCPU runner;\n"
+      " * the reproduced shapes are (a) DeepQueueNet speedup in workers,\n"
+      "   (b) DQN time roughly flat in network size while DES grows with\n"
+      "   it, (c) MimicNet fastest per execution unit on its native\n"
+      "   fat-trees;\n"
       " * absolute DES-vs-DQN ordering is inverted relative to the paper:\n"
-      "   per-packet DNN inference on one CPU core cannot beat a lean C++\n"
+      "   per-packet DNN inference on CPU cores cannot beat a lean C++\n"
       "   DES kernel — the paper's 100-800x DES deficit comes from GPU\n"
       "   inference throughput (~1000x a core) against a full-stack OMNeT++\n"
       "   model. The partitioned-inference code path is identical\n"

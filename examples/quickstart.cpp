@@ -24,7 +24,11 @@
 //                          (core/delay_provider.hpp);
 //   --tiered-smoke         self-contained tiered-vs-PTM timing check: trains
 //                          a tiny model, runs the same scenario on both
-//                          backends, prints a one-line JSON summary.
+//                          backends, prints a one-line JSON summary;
+//   --threads N            engine worker count (sharded work-stealing
+//                          scheduler; default 2). With --json the snapshot
+//                          also carries quickstart.measured_* gauges:
+//                          measured wall at 1 and N workers plus speedup.
 //
 // Live telemetry (obs/telemetry/):
 //   --metrics-port P       start the sink's background sampler and serve
@@ -74,6 +78,9 @@ struct estimator_options {
   std::string estimator = "deepqueuenet";
   std::string delay_backend;  // empty = the engine default (ptm)
   bool tiered_smoke = false;
+  // --threads N: engine worker count (engine_config::with_partitions over
+  // the sharded work-stealing scheduler). 0 = the quickstart default (2).
+  std::size_t threads = 0;
 };
 
 struct telemetry_options {
@@ -297,9 +304,11 @@ int run_telemetry_smoke() {
 // The profile mode (--json / --chrome-trace / --journeys). Deliberately
 // trains a fresh tiny device model (no DLib cache) so the ptm.* per-epoch
 // metrics are always present in the snapshot, then profiles a DeepQueueNet
-// run and the DES oracle on the same scenario through the same sink. Only
-// the requested documents go to stdout.
-int run_profiled(const profile_options& options) {
+// run and the DES oracle on the same scenario through the same sink, and
+// finally measures the sharded engine's wall-clock speedup at `threads`
+// workers versus 1 (quickstart.measured_* gauges in the JSON snapshot).
+// Only the requested documents go to stdout.
+int run_profiled(const profile_options& options, std::size_t threads) {
   obs::sink sink;
   if (options.journeys > 0) sink.journeys().configure(/*sample_rate=*/1.0);
 
@@ -342,6 +351,40 @@ int run_profiled(const profile_options& options) {
   std::fprintf(stderr, "[profile] running the DES oracle...\n");
   const auto oracle = des::make_estimator("des", context);
   (void)oracle->run(request);
+
+  // Measured multi-worker speedup (wall clock, not projected): the same
+  // engine and scenario at 1 worker and at `threads` workers, best of 2
+  // each, through run_request::threads. On a single-core machine the ratio
+  // is ~1; CI's perf gate runs the Table-7 bench on a multi-core runner.
+  {
+    const std::size_t workers = threads > 0 ? threads : 2;
+    const auto best_wall = [&](std::size_t n) {
+      request.threads = n;
+      double best = 0;
+      for (int rep = 0; rep < 2; ++rep) {
+        const auto result = net->run(request);
+        best = rep == 0 ? result.wall_seconds
+                        : std::min(best, result.wall_seconds);
+      }
+      return best;
+    };
+    std::fprintf(stderr,
+                 "[profile] measuring wall-clock speedup at %zu workers...\n",
+                 workers);
+    const double single_wall = best_wall(1);
+    const double multi_wall = best_wall(workers);
+    request.threads = 0;
+    sink.gauge("quickstart.threads", static_cast<double>(workers));
+    sink.gauge("quickstart.measured_wall_w1_seconds", single_wall);
+    sink.gauge("quickstart.measured_wall_seconds", multi_wall);
+    sink.gauge("quickstart.measured_speedup",
+               multi_wall > 0 ? single_wall / multi_wall : 0.0);
+    std::fprintf(stderr,
+                 "[profile] measured wall: 1 worker %.4fs, %zu workers %.4fs "
+                 "(%.2fx)\n",
+                 single_wall, workers, multi_wall,
+                 multi_wall > 0 ? single_wall / multi_wall : 0.0);
+  }
 
   if (options.json) {
     const std::string doc = sink.to_json();
@@ -414,6 +457,13 @@ int main(int argc, char** argv) {
       est_options.delay_backend = argv[++i];
     } else if (arg == "--tiered-smoke") {
       est_options.tiered_smoke = true;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      est_options.threads = static_cast<std::size_t>(std::strtoull(
+          argv[++i], nullptr, 10));
+      if (est_options.threads == 0) {
+        std::fprintf(stderr, "--threads must be >= 1\n");
+        return 2;
+      }
     } else if (arg == "--metrics-port" && i + 1 < argc) {
       tele_options.metrics_port =
           static_cast<int>(std::strtol(argv[++i], nullptr, 10));
@@ -426,7 +476,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: quickstart [--json] [--chrome-trace <path>] "
-                   "[--journeys N] [--estimator des|deepqueuenet|fluid] "
+                   "[--journeys N] [--threads N] "
+                   "[--estimator des|deepqueuenet|fluid] "
                    "[--delay-backend ptm|analytical|tiered] [--tiered-smoke] "
                    "[--metrics-port P] [--serve-hold] [--strict-obs] "
                    "[--telemetry-smoke]\n");
@@ -457,7 +508,7 @@ int main(int argc, char** argv) {
   }
   if (est_options.tiered_smoke) return run_tiered_smoke();
   if (tele_options.telemetry_smoke) return run_telemetry_smoke();
-  if (options.any()) return run_profiled(options);
+  if (options.any()) return run_profiled(options, est_options.threads);
 
   std::printf("=== DeepQueueNet quickstart ===\n\n");
 
@@ -489,7 +540,8 @@ int main(int argc, char** argv) {
   context.topo = &topo;
   context.routes = &routes;
   context.ptm = ptm;
-  context.engine.partitions = 2;
+  context.engine.partitions =
+      est_options.threads > 0 ? est_options.threads : 2;
   context.engine.record_hops = true;
   context.engine.delay.backend = backend;
   context.flows = &traffic_setup.flows;
@@ -509,10 +561,11 @@ int main(int argc, char** argv) {
   const auto* net = dynamic_cast<const core::dqn_network*>(estimator.get());
   if (net != nullptr) {
     std::printf("DeepQueueNet (%s backend): %zu packets delivered in %.2fs "
-                "wall time (%zu IRSA iterations; diameter bound %zu)\n",
+                "wall time (%zu IRSA iterations; %zu workers; diameter "
+                "bound %zu)\n",
                 to_string(backend), prediction.deliveries.size(),
                 prediction.wall_seconds, net->stats().iterations,
-                1 + topo.diameter());
+                net->stats().workers, 1 + topo.diameter());
   } else {
     std::printf("%s: %zu packets delivered in %.2fs wall time\n",
                 estimator->estimator_name(), prediction.deliveries.size(),

@@ -48,6 +48,7 @@ sha = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
                      capture_output=True, text=True).stdout.strip()
 counters = snap.get("counters", {})
 keys = ["engine.iterations", "engine.device_inferences", "engine.deliveries",
+        "engine.steals",
         "des.events", "des.deliveries", "ptm.epochs", "ptm.batches",
         "sec.corrections", "trace.dropped",
         "tiered.analytical_packets", "tiered.ptm_packets",
@@ -55,7 +56,13 @@ keys = ["engine.iterations", "engine.device_inferences", "engine.deliveries",
 gauges = snap.get("gauges", {})
 gauge_keys = ["tiered.analytical_fraction", "table7.tiered_speedup",
               "table7.ptm_wall_seconds", "table7.tiered_wall_seconds",
-              "table7.telemetry_overhead_fraction"]
+              "table7.telemetry_overhead_fraction",
+              "table7.measured_wall_w1", "table7.measured_wall_w2",
+              "table7.measured_wall_w4", "table7.measured_wall_w8",
+              "table7.measured_speedup_w2", "table7.measured_speedup_w4",
+              "table7.measured_speedup_w8",
+              "engine.cross_shard_links", "engine.shard_imbalance",
+              "quickstart.measured_speedup"]
 entry = {
     "bench": bench,
     "wall_seconds": wall,

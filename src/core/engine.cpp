@@ -15,7 +15,6 @@
 #include "util/check.hpp"
 #include "util/keyed_vector.hpp"
 #include "util/stopwatch.hpp"
-#include "util/thread_pool.hpp"
 
 namespace dqn::core {
 
@@ -37,9 +36,13 @@ void engine_stats::publish(obs::sink& sink) const {
   sink.count("engine.iterations", static_cast<double>(iterations));
   sink.count("engine.device_inferences", static_cast<double>(device_inferences));
   sink.count("engine.devices_skipped", static_cast<double>(devices_skipped));
+  sink.count("engine.steals", static_cast<double>(steals));
+  sink.gauge("engine.workers", static_cast<double>(workers));
+  sink.gauge("engine.cross_shard_links", static_cast<double>(cross_shard_links));
   sink.gauge("engine.wall_seconds", wall_seconds);
   sink.gauge("engine.busy_seconds", busy_seconds);
   sink.gauge("engine.critical_path_seconds", critical_path_seconds);
+  sink.gauge("engine.shard_imbalance", shard_imbalance);
   sink.gauge("engine.projected_wall_seconds", projected_wall_seconds());
 }
 
@@ -50,9 +53,14 @@ engine_stats engine_stats::from_registry(const obs::metric_registry& registry) {
       static_cast<std::size_t>(registry.counter("engine.device_inferences"));
   stats.devices_skipped =
       static_cast<std::size_t>(registry.counter("engine.devices_skipped"));
+  stats.steals = static_cast<std::uint64_t>(registry.counter("engine.steals"));
+  stats.workers = static_cast<std::size_t>(registry.gauge("engine.workers"));
+  stats.cross_shard_links =
+      static_cast<std::size_t>(registry.gauge("engine.cross_shard_links"));
   stats.wall_seconds = registry.gauge("engine.wall_seconds");
   stats.busy_seconds = registry.gauge("engine.busy_seconds");
   stats.critical_path_seconds = registry.gauge("engine.critical_path_seconds");
+  stats.shard_imbalance = registry.gauge("engine.shard_imbalance");
   return stats;
 }
 
@@ -69,6 +77,14 @@ dqn_network::dqn_network(const topo::topology& topo, const topo::routing& routes
                                   device_.context().bandwidth_bps}},
       config_{config} {
   DQN_ENSURE(config_.partitions > 0, "dqn_network: partitions >= 1");
+}
+
+util::work_stealing_pool& dqn_network::ensure_pool(std::size_t workers) {
+  if (pool_ == nullptr || pool_->size() != workers ||
+      pool_->pinned() != config_.pin_threads)
+    pool_ = std::make_unique<util::work_stealing_pool>(workers,
+                                                       config_.pin_threads);
+  return *pool_;
 }
 
 void dqn_network::set_device_context(topo::node_id node, scheduler_context ctx) {
@@ -185,43 +201,93 @@ des::run_result dqn_network::run(
 
   const std::size_t max_iterations =
       config_.max_iterations > 0 ? config_.max_iterations : 1 + topo_->diameter();
-  util::thread_pool pool{config_.partitions};
 
-  // Partition the devices round-robin (the automated stand-in for Figure
-  // 11's by-hand division): builders emit devices layer by layer, so
-  // interleaving spreads each layer — and thus traffic load — across the
-  // partitions, which is what keeps the critical path balanced.
-  const std::size_t partitions = std::min(config_.partitions, devices.size());
-  std::vector<std::vector<std::size_t>> ranges(partitions);
-  for (std::size_t d = 0; d < devices.size(); ++d)
-    ranges[d % partitions].push_back(d);
+  // Shard the devices across the persistent worker pool. The topology
+  // strategy (default) BFS-grows connected shards so boundary windows mostly
+  // stay worker-local; round_robin remains the legacy interleaving. Results
+  // are identical either way — the shard only decides where a device runs.
+  const std::size_t workers =
+      std::max<std::size_t>(1, std::min(config_.partitions, devices.size()));
+  util::work_stealing_pool& pool = ensure_pool(workers);
+  const topo::shard_plan plan =
+      topo::shard_devices(*topo_, devices, workers, config_.sharding);
+  stats_.workers = workers;
+  stats_.cross_shard_links = plan.cross_shard_links;
+
+  // Chop each shard into contiguous device batches — the stealable unit. A
+  // worker drains its own shard in BFS order (cache-warm neighbourhoods) and
+  // steals batches from stragglers; ~4 batches per worker by default keeps
+  // rebalancing possible without measurable deque traffic.
+  const std::size_t batch_size =
+      config_.steal_batch > 0
+          ? config_.steal_batch
+          : std::max<std::size_t>(1, devices.size() / (workers * 4));
+  std::vector<std::vector<std::size_t>> batches;  // batch -> device indices
+  std::vector<std::vector<std::size_t>> seeds(workers);
+  for (std::size_t s = 0; s < plan.shards.size(); ++s) {
+    const auto& shard = plan.shards[s];
+    for (std::size_t start = 0; start < shard.size(); start += batch_size) {
+      const auto end = std::min(shard.size(), start + batch_size);
+      seeds[s].push_back(batches.size());
+      batches.emplace_back(
+          shard.begin() + static_cast<std::ptrdiff_t>(start),
+          shard.begin() + static_cast<std::ptrdiff_t>(end));
+    }
+  }
 
   std::vector<std::uint8_t> changed(devices.size(), 0);
-  std::vector<std::size_t> inferences(ranges.size(), 0);
-  std::vector<std::size_t> skips(ranges.size(), 0);
-  // One inference workspace per partition worker, alive across devices and
-  // IRSA iterations: after the first pass over a partition's devices the
-  // arenas have grown to their high-water shapes and the PTM forward path
-  // stops allocating entirely.
-  std::vector<nn::workspace> partition_workspaces(ranges.size());
+  std::vector<std::size_t> worker_inferences(workers, 0);
+  std::vector<std::size_t> worker_skips(workers, 0);
+  // One inference workspace per worker, alive across devices and IRSA
+  // iterations: after the first pass the arenas have grown to their
+  // high-water shapes and the PTM forward path stops allocating entirely.
+  // Stealing moves a batch to another worker's workspace, which only
+  // affects arena warmth, never numerics.
+  std::vector<nn::workspace> worker_workspaces(workers);
+  std::vector<double> worker_busy(workers, 0.0);
+  std::vector<std::size_t> iteration_inferences(workers, 0);
+  // Shard event labels, built once per run (the event path is per
+  // iteration x worker — allocating labels there is measurable on large
+  // topologies).
+  std::vector<std::string> shard_labels;
+  shard_labels.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w)
+    shard_labels.push_back("shard_" + std::to_string(w));
+  if (sink != nullptr)
+    sink->gauge("engine.steal_batch_devices", static_cast<double>(batch_size));
+
+  // Double-buffered boundary exchange: devices read iteration t-1 state
+  // (Algorithm 1 "pull the packet flows from iteration t-1") from the read
+  // buffer and write t state into their own slot of the write buffer —
+  // exclusively theirs, so the per-packet path takes no locks. Buffers swap
+  // at the iteration barrier. Host slots are seeded identically in both
+  // buffers once (host egress is fixed across iterations); device slots are
+  // either freshly inferred or copied from the read buffer on an IRSA skip,
+  // so the write buffer never leaks t-2 state.
+  auto egress_other = egress;
+  auto* read_buffer = &egress;
+  auto* write_buffer = &egress_other;
+
   for (std::size_t iteration = 0; iteration < max_iterations; ++iteration) {
     obs::scoped_timer iteration_timer{sink, "engine", "iteration", iteration};
-    // Double buffer: every device reads iteration t-1 state (Algorithm 1
-    // "pull the packet flows from iteration t-1").
-    auto next = egress;
     std::fill(changed.begin(), changed.end(), std::uint8_t{0});
+    std::fill(worker_busy.begin(), worker_busy.end(), 0.0);
+    std::fill(iteration_inferences.begin(), iteration_inferences.end(),
+              std::size_t{0});
+    const auto& read = *read_buffer;
+    auto& write = *write_buffer;
 
-    std::vector<double> partition_busy(ranges.size(), 0.0);
-    std::vector<std::size_t> partition_inferences(ranges.size(), 0);
     // Worker spans cannot see the main thread's span stack, so the
     // iteration span's id is passed in as the explicit parent.
     const std::uint64_t iteration_span = iteration_timer.id();
-    pool.parallel_for(ranges.size(), [&](std::size_t r) {
-      // Sampled from inside the workers so the background telemetry
-      // sampler sees mid-iteration depth, not the post-barrier zero.
-      pool_depth_handle.set(static_cast<double>(pool.pending()));
+    const util::work_stealing_pool::task_fn infer_batch = [&](std::size_t batch,
+                                                              std::size_t worker) {
+      // Sampled per batch (not per device) from inside the workers so the
+      // background telemetry sampler sees mid-iteration depth, not the
+      // post-barrier zero.
+      pool_depth_handle.set(static_cast<double>(pool.remaining()));
       const double cpu_start = util::thread_cpu_seconds();
-      for (const std::size_t d : ranges[r]) {
+      for (const std::size_t d : batches[batch]) {
         const topo::node_id node = devices[d];
         const auto n = static_cast<std::size_t>(node);
         obs::scoped_span device_span{sink,
@@ -234,18 +300,20 @@ des::run_result dqn_network::run(
         std::vector<traffic::packet_stream> ingress(ports);
         std::vector<double> port_bandwidths(ports);
         for (std::size_t p = 0; p < ports; ++p) {
-          ingress[p] = ingress_of(egress, node, p);
+          ingress[p] = ingress_of(read, node, p);
           port_bandwidths[p] =
               topo_->link_at(topo_->at(node).links[p]).bandwidth_bps;
         }
-        // IRSA skip: unchanged ingress => unchanged egress.
+        // IRSA skip: unchanged ingress => unchanged egress. The write
+        // buffer still needs this device's t-1 state (it holds t-2).
         if (config_.irsa_skip_unchanged && last_ingress[n].size() == ports) {
           bool same = true;
           for (std::size_t p = 0; p < ports && same; ++p)
             same = streams_equal(ingress[p], last_ingress[n][p],
                                  config_.convergence_epsilon);
           if (same) {
-            ++skips[r];
+            write[n] = read[n];
+            ++worker_skips[worker];
             continue;
           }
         }
@@ -273,42 +341,42 @@ des::run_result dqn_network::run(
           model = &it->second;
         device_drops[n].clear();
         const journey_capture capture{tracer, static_cast<std::int64_t>(node)};
-        next[n] = model->process(ingress, forward_by_flow, config_.apply_sec, hops,
-                                 &device_drops[n], port_bandwidths,
-                                 tracer != nullptr ? &capture : nullptr, sink,
-                                 &partition_workspaces[r], provider_.get(),
-                                 static_cast<std::int64_t>(node), iteration);
+        write[n] = model->process(ingress, forward_by_flow, config_.apply_sec,
+                                  hops, &device_drops[n], port_bandwidths,
+                                  tracer != nullptr ? &capture : nullptr, sink,
+                                  &worker_workspaces[worker], provider_.get(),
+                                  static_cast<std::int64_t>(node), iteration);
         device_span.set_value(1.0);  // 1 = inferred (skips end with value 0)
         device_seconds_handle.observe(device_span.stop());
-        ++inferences[r];
-        ++partition_inferences[r];
+        ++worker_inferences[worker];
+        ++iteration_inferences[worker];
         bool did_change = false;
         for (std::size_t p = 0; p < ports && !did_change; ++p)
-          did_change = !streams_equal(next[n][p], egress[n][p],
+          did_change = !streams_equal(write[n][p], read[n][p],
                                       config_.convergence_epsilon);
         changed[d] = did_change ? 1 : 0;
         last_ingress[n] = std::move(ingress);
       }
-      partition_busy[r] = util::thread_cpu_seconds() - cpu_start;
-    });
+      worker_busy[worker] += util::thread_cpu_seconds() - cpu_start;
+    };
+    stats_.steals += pool.run_round(seeds, infer_batch);
 
     double iteration_max = 0;
-    for (std::size_t r = 0; r < partition_busy.size(); ++r) {
-      const double busy = partition_busy[r];
+    for (std::size_t w = 0; w < workers; ++w) {
+      const double busy = worker_busy[w];
       stats_.busy_seconds += busy;
       iteration_max = std::max(iteration_max, busy);
       if (sink != nullptr) {
-        // Per-partition device-inference timing: one event per (iteration,
-        // partition), duration = CPU busy time, value = devices inferred.
-        sink->event("engine", "partition_" + std::to_string(r), iteration,
-                    sink->now() - busy, busy,
-                    static_cast<double>(partition_inferences[r]));
+        // Per-worker device-inference timing: one event per (iteration,
+        // worker), duration = CPU busy time, value = devices inferred.
+        sink->event("engine", shard_labels[w], iteration, sink->now() - busy,
+                    busy, static_cast<double>(iteration_inferences[w]));
         partition_busy_handle.observe(busy);
       }
     }
     stats_.critical_path_seconds += iteration_max;
 
-    egress = std::move(next);
+    std::swap(read_buffer, write_buffer);
     ++stats_.iterations;
     const auto changed_devices = static_cast<std::size_t>(
         std::count_if(changed.begin(), changed.end(),
@@ -322,15 +390,25 @@ des::run_result dqn_network::run(
     }
     if (changed_devices == 0 && iteration > 0) break;
   }
-  for (std::size_t count : inferences) stats_.device_inferences += count;
-  for (std::size_t count : skips) stats_.devices_skipped += count;
+  for (std::size_t count : worker_inferences) stats_.device_inferences += count;
+  for (std::size_t count : worker_skips) stats_.devices_skipped += count;
+  // 0 = perfectly balanced; clamp against CPU-clock jitter on tiny runs.
+  if (stats_.busy_seconds > 0)
+    stats_.shard_imbalance =
+        std::max(0.0, stats_.critical_path_seconds *
+                              static_cast<double>(workers) /
+                              stats_.busy_seconds -
+                          1.0);
+
+  // After the final swap the read buffer holds the fixed point.
+  const auto& final_state = *read_buffer;
 
   // Collect deliveries: the ingress streams of host nodes.
   des::run_result result;
   for (const auto& drops : device_drops)
     result.drops += drops.size();
   for (const topo::node_id host : hosts) {
-    const traffic::packet_stream inbound = ingress_of(egress, host, 0);
+    const traffic::packet_stream inbound = ingress_of(final_state, host, 0);
     for (const auto& ev : inbound) {
       if (ev.pkt.dst_host != host) continue;
       des::delivery_record d;
@@ -366,7 +444,7 @@ des::run_result dqn_network::run(
     }
   }
 
-  final_egress_ = std::move(egress);
+  final_egress_ = std::move(*read_buffer);
   run_timer.stop();
   stats_.wall_seconds = watch.elapsed_seconds();
   result.wall_seconds = stats_.wall_seconds;
@@ -396,8 +474,14 @@ des::run_result dqn_network::run(const des::run_request& request) {
     saved_provider = std::move(provider_);
     provider_ = make_delay_provider(ptm_, *request.delay);
   }
+  // Per-run worker override (run_request::threads), same contract: the
+  // configured partition count is restored when the run returns. The
+  // persistent pool is rebuilt lazily by ensure_pool when the size changes.
+  const std::size_t saved_partitions = config_.partitions;
+  if (request.threads > 0) config_.partitions = request.threads;
   const auto restore = [&] {
     config_.sink = saved;
+    config_.partitions = saved_partitions;
     if (saved_provider != nullptr) provider_ = std::move(saved_provider);
   };
   try {

@@ -8,9 +8,15 @@
 // Devices whose ingress did not change between iterations are skipped, so
 // feed-forward cuts of the topology converge in their hop depth.
 //
-// Parallelism: the device set is partitioned into `partitions` groups, one
-// worker thread per group — the CPU analogue of the paper's model-parallel
-// multi-GPU inference (Figure 11; DESIGN.md §2).
+// Parallelism: the device set is sharded across `partitions` persistent
+// worker threads — the CPU analogue of the paper's model-parallel multi-GPU
+// inference (Figure 11; DESIGN.md §2). Shards are built topology-aware by
+// default (topo/sharding.hpp: BFS-grown clusters minimizing cross-shard
+// links, MimicNet-style), device batches are the stealable unit
+// (util/work_stealing_pool.hpp rebalances stragglers within an IRSA
+// iteration), and iteration state is double-buffered so the per-packet path
+// takes no locks. Delivery records are bit-identical across shard counts and
+// strategies (tests/test_determinism.cpp).
 #pragma once
 
 #include <memory>
@@ -24,6 +30,8 @@
 #include "obs/telemetry/telemetry_config.hpp"
 #include "topo/graph.hpp"
 #include "topo/routing.hpp"
+#include "topo/sharding.hpp"
+#include "util/work_stealing_pool.hpp"
 
 namespace dqn::obs {
 class metric_registry;
@@ -70,6 +78,20 @@ struct engine_config {
   // (and, when telemetry.metrics_port >= 0, the /metrics endpoint) before
   // the first IRSA iteration. Default-off: zero threads, zero overhead.
   obs::telemetry::telemetry_config telemetry;
+  // How devices are assigned to workers (topo/sharding.hpp). `topology`
+  // (default) BFS-grows connected shards that minimize cross-shard links;
+  // `round_robin` is the legacy interleaving, kept as the determinism
+  // reference. Either way results are bit-identical — the strategy only
+  // decides where a device is computed.
+  topo::shard_strategy sharding = topo::shard_strategy::topology;
+  // Pin worker w to core w % hardware_concurrency (Linux; graceful no-op
+  // elsewhere). Helps on dedicated many-core boxes by keeping each shard's
+  // working set on one core's cache; hurts on oversubscribed machines.
+  bool pin_threads = false;
+  // Devices per stealable batch. 0 = auto: shards split into ~4 batches per
+  // worker, small enough that a straggling shard rebalances within an IRSA
+  // iteration, large enough that deque traffic stays off the profile.
+  std::size_t steal_batch = 0;
 
   // Number of parallel inference partitions ("GPUs"); must be >= 1.
   engine_config& with_partitions(std::size_t n) noexcept {
@@ -126,21 +148,48 @@ struct engine_config {
     delay.backend = backend;
     return *this;
   }
+  // Select the device-to-worker sharding strategy.
+  engine_config& with_sharding(topo::shard_strategy strategy) noexcept {
+    sharding = strategy;
+    return *this;
+  }
+  // Pin worker threads to cores (Linux best-effort).
+  engine_config& with_pinning(bool enabled) noexcept {
+    pin_threads = enabled;
+    return *this;
+  }
+  // Devices per stealable batch (0 = auto).
+  engine_config& with_steal_batch(std::size_t devices) noexcept {
+    steal_batch = devices;
+    return *this;
+  }
 };
 
 struct engine_stats {
   std::size_t iterations = 0;          // IRSA iterations actually run
   std::size_t device_inferences = 0;   // devices (re)computed across iterations
   std::size_t devices_skipped = 0;     // IRSA-skip hits across iterations
-  double wall_seconds = 0;
-  // CPU-time accounting for model-parallel projection (Table 7): the total
-  // CPU time spent inside partition work, and its critical path (sum over
-  // iterations of the slowest partition). On a machine with >= `partitions`
-  // free cores, wall time approaches
-  //   wall_seconds - busy_seconds + critical_path_seconds.
+  std::size_t workers = 1;             // worker threads the run executed on
+  std::uint64_t steals = 0;            // work-stealing rebalances across iterations
+  // Device-device links whose endpoints landed on different workers (the
+  // boundary-exchange cut of the run's shard plan; see topo/sharding.hpp).
+  std::size_t cross_shard_links = 0;
+  double wall_seconds = 0;             // measured wall clock of run()
+  // CPU-time accounting: total CPU time spent inside shard work, and its
+  // critical path (sum over iterations of the slowest worker's CPU time).
   double busy_seconds = 0;
   double critical_path_seconds = 0;
+  // How unevenly iteration work landed after stealing: 0 = every worker
+  // equally busy, 1 = the slowest worker carried twice its fair share
+  // (critical_path * workers / busy - 1, clamped at 0).
+  double shard_imbalance = 0;
 
+  // DIAGNOSTIC ONLY. The pre-sharded engine ran partitions thread-per-core
+  // on one core and *projected* multi-core wall time from per-thread CPU
+  // clocks; `wall_seconds` is now genuinely parallel, so the projection
+  // survives only to sanity-check measurements (projected ≈ measured when
+  // >= `workers` cores are free). Table 7 and the CI perf gate use measured
+  // wall time.
   [[nodiscard]] double projected_wall_seconds() const noexcept {
     return wall_seconds - busy_seconds + critical_path_seconds;
   }
@@ -204,6 +253,11 @@ class dqn_network : public des::estimator {
       const std::vector<std::vector<traffic::packet_stream>>& egress,
       topo::node_id node, std::size_t port) const;
 
+  // Reuse pool_ when its shape matches; (re)build it otherwise. The pool —
+  // and its parked worker threads — survives across run() calls, so repeated
+  // runs and all IRSA iterations share one thread-creation cost.
+  util::work_stealing_pool& ensure_pool(std::size_t workers);
+
   const topo::topology* topo_;
   const topo::routing* routes_;
   std::shared_ptr<const ptm_model> ptm_;
@@ -214,6 +268,7 @@ class dqn_network : public des::estimator {
   engine_config config_;
   engine_stats stats_;
   bool ran_ = false;
+  std::unique_ptr<util::work_stealing_pool> pool_;
   std::vector<std::vector<traffic::packet_stream>> final_egress_;
 };
 

@@ -83,6 +83,11 @@ struct run_request {
   // (replacing its configured policy for this run only) and ignored
   // gracefully by the DES and the baselines.
   std::optional<delay_policy> delay;
+  // Worker-thread override for this run: > 0 replaces the engine's
+  // configured partition count (core::engine_config::partitions) for the
+  // duration of the run; 0 keeps the configured value. Single-threaded
+  // estimators (the DES, the baselines) ignore it.
+  std::size_t threads = 0;
 };
 
 // Polymorphic face of the contract for code that selects estimators at

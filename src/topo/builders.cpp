@@ -93,6 +93,7 @@ topology make_fattree(std::size_t tors_per_cluster, std::size_t servers_per_tor,
   return topo;
 }
 
+topology make_fattree8(link_params lp) { return make_fattree(2, 2, 2, lp); }
 topology make_fattree16(link_params lp) { return make_fattree(2, 4, 2, lp); }
 topology make_fattree64(link_params lp) { return make_fattree(4, 4, 4, lp); }
 topology make_fattree128(link_params lp) { return make_fattree(4, 4, 8, lp); }

@@ -28,7 +28,10 @@ struct link_params {
                                     std::size_t servers_per_tor,
                                     std::size_t clusters, link_params lp = {});
 
-// FatTree16 / FatTree64 / FatTree128 exactly as Table 3 parameterises them.
+// FatTree16 / FatTree64 / FatTree128 exactly as Table 3 parameterises them;
+// FatTree8 halves FatTree16's servers per ToR — the small scaling case the
+// Table-7 measured-speedup bench pairs with FatTree16.
+[[nodiscard]] topology make_fattree8(link_params lp = {});
 [[nodiscard]] topology make_fattree16(link_params lp = {});
 [[nodiscard]] topology make_fattree64(link_params lp = {});
 [[nodiscard]] topology make_fattree128(link_params lp = {});

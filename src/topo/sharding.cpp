@@ -1,0 +1,109 @@
+#include "topo/sharding.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/check.hpp"
+
+namespace dqn::topo {
+
+namespace {
+
+// Indices into `devices` adjacent to devices[i] (hosts are skipped: only
+// device-device links carry boundary windows between shards). Built from
+// port order, so the traversal order is a pure function of the topology.
+std::vector<std::vector<std::size_t>> device_adjacency(
+    const topology& topo, const std::vector<node_id>& devices) {
+  std::vector<std::size_t> index_of(topo.node_count(), devices.size());
+  for (std::size_t i = 0; i < devices.size(); ++i)
+    index_of[static_cast<std::size_t>(devices[i])] = i;
+  std::vector<std::vector<std::size_t>> adjacent(devices.size());
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    const node& dev = topo.at(devices[i]);
+    adjacent[i].reserve(dev.links.size());
+    for (std::size_t port = 0; port < dev.links.size(); ++port) {
+      const topology::peer peer = topo.peer_of(devices[i], port);
+      const std::size_t j = index_of[static_cast<std::size_t>(peer.node)];
+      if (j < devices.size()) adjacent[i].push_back(j);
+    }
+  }
+  return adjacent;
+}
+
+std::vector<std::size_t> shard_of_round_robin(std::size_t device_count,
+                                              std::size_t shard_count) {
+  std::vector<std::size_t> shard_of(device_count);
+  for (std::size_t i = 0; i < device_count; ++i) shard_of[i] = i % shard_count;
+  return shard_of;
+}
+
+// Greedy BFS-grow: shard s claims `quota(s)` devices by breadth-first
+// expansion from the lowest-index unassigned device, so each shard is a
+// connected cluster wherever the topology allows and cross-shard links
+// approximate a cluster cut instead of a round-robin shuffle.
+std::vector<std::size_t> shard_of_bfs(
+    const std::vector<std::vector<std::size_t>>& adjacent,
+    std::size_t shard_count) {
+  const std::size_t device_count = adjacent.size();
+  const std::size_t base = device_count / shard_count;
+  const std::size_t extra = device_count % shard_count;
+  std::vector<std::size_t> shard_of(device_count, shard_count);
+  std::size_t next_seed = 0;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    std::size_t quota = base + (s < extra ? 1 : 0);
+    std::deque<std::size_t> frontier;
+    while (quota > 0) {
+      if (frontier.empty()) {
+        // Grow from the lowest-index unassigned device: restarts cover
+        // disconnected components and quota-exhausted neighbourhoods.
+        while (next_seed < device_count && shard_of[next_seed] != shard_count)
+          ++next_seed;
+        DQN_CHECK(next_seed < device_count,
+                  "sharding: quotas exceed unassigned devices");
+        frontier.push_back(next_seed);
+        shard_of[next_seed] = s;
+      } else {
+        const std::size_t here = frontier.front();
+        frontier.pop_front();
+        for (const std::size_t neighbour : adjacent[here]) {
+          if (quota == 0) break;
+          if (shard_of[neighbour] != shard_count) continue;
+          shard_of[neighbour] = s;
+          frontier.push_back(neighbour);
+          --quota;
+        }
+        continue;  // claiming the frontier seed itself consumed no quota here
+      }
+      --quota;
+    }
+  }
+  return shard_of;
+}
+
+}  // namespace
+
+shard_plan shard_devices(const topology& topo,
+                         const std::vector<node_id>& devices,
+                         std::size_t shard_count, shard_strategy strategy) {
+  DQN_ENSURE(shard_count > 0, "shard_devices: shard_count must be >= 1");
+  shard_plan plan;
+  if (devices.empty()) return plan;
+  const std::size_t shards = std::min(shard_count, devices.size());
+  const auto adjacent = device_adjacency(topo, devices);
+  const std::vector<std::size_t> shard_of =
+      strategy == shard_strategy::topology
+          ? shard_of_bfs(adjacent, shards)
+          : shard_of_round_robin(devices.size(), shards);
+  plan.shards.resize(shards);
+  for (std::size_t i = 0; i < devices.size(); ++i)
+    plan.shards[shard_of[i]].push_back(i);
+  // Count each device-device link once (adjacency lists both directions).
+  std::size_t crossing_directed = 0;
+  for (std::size_t i = 0; i < devices.size(); ++i)
+    for (const std::size_t j : adjacent[i])
+      if (shard_of[i] != shard_of[j]) ++crossing_directed;
+  plan.cross_shard_links = crossing_directed / 2;
+  return plan;
+}
+
+}  // namespace dqn::topo

@@ -1,0 +1,58 @@
+// Device sharding for the parallel engine: split a topology's device set
+// into `shard_count` groups, one per engine worker.
+//
+// Two strategies:
+//  * round_robin — device d goes to shard d % shards. The original engine
+//    partitioning, kept as the fallback and as the determinism reference
+//    (delivery records must be bit-identical across strategies and shard
+//    counts — the shard only decides WHERE a device is computed).
+//  * topology    — greedy BFS-grow over the device-device adjacency of
+//    topo::graph, minimizing links that cross shards (the MimicNet-style
+//    cluster cut): each shard grows breadth-first from the lowest-index
+//    unassigned device until it reaches its size quota, so neighbouring
+//    devices — which exchange the boundary windows every IRSA iteration —
+//    land on the same worker and their exchange stays within one core's
+//    cache.
+//
+// Both strategies are pure functions of (topology, devices, shard_count):
+// no randomness, index-ordered traversal, reproducible across runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "topo/graph.hpp"
+
+namespace dqn::topo {
+
+enum class shard_strategy : std::uint8_t { round_robin, topology };
+
+[[nodiscard]] inline const char* to_string(shard_strategy strategy) noexcept {
+  switch (strategy) {
+    case shard_strategy::round_robin: return "round_robin";
+    case shard_strategy::topology: return "topology";
+  }
+  return "unknown";
+}
+
+struct shard_plan {
+  // shards[s] holds indices into the `devices` vector passed to
+  // shard_devices (NOT node ids), each index appearing in exactly one
+  // shard. Shard sizes differ by at most one.
+  std::vector<std::vector<std::size_t>> shards;
+  // Device-device links whose endpoints landed in different shards — the
+  // boundary-exchange traffic between workers (lower is better; the
+  // topology strategy exists to shrink this versus round_robin).
+  std::size_t cross_shard_links = 0;
+};
+
+// Partition `devices` (as returned by topology::devices()) into
+// min(shard_count, devices.size()) shards. An empty device list yields an
+// empty plan; shard_count == 0 is rejected.
+[[nodiscard]] shard_plan shard_devices(const topology& topo,
+                                       const std::vector<node_id>& devices,
+                                       std::size_t shard_count,
+                                       shard_strategy strategy);
+
+}  // namespace dqn::topo

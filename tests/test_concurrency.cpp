@@ -6,12 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -33,6 +35,7 @@
 #include "util/mutex.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
+#include "util/work_stealing_pool.hpp"
 
 namespace {
 
@@ -441,6 +444,239 @@ TEST(concurrency, util_condition_variable_handshake) {
   cv.notify_one();
   waiter.join();
   EXPECT_EQ(observed, 42);
+}
+
+// --- work-stealing scheduler (util/work_stealing_pool.hpp) ---------------
+//
+// The deque semantics the engine's determinism contract leans on: owners
+// drain their seed order FIFO, thieves take the back half, and every task
+// runs exactly once no matter who ran it.
+
+TEST(concurrency, steal_deque_owner_fifo_and_steal_half) {
+  util::steal_deque deque;
+  for (std::size_t task = 1; task <= 5; ++task) deque.push_back(task);
+  EXPECT_EQ(deque.size(), 5u);
+
+  std::size_t task = 0;
+  ASSERT_TRUE(deque.pop_front(&task));
+  EXPECT_EQ(task, 1u);  // FIFO: seed order
+
+  // Thief takes ceil(4/2) = 2 from the back, in deque order.
+  const auto stolen = deque.steal_half();
+  ASSERT_EQ(stolen.size(), 2u);
+  EXPECT_EQ(stolen[0], 4u);
+  EXPECT_EQ(stolen[1], 5u);
+
+  ASSERT_TRUE(deque.pop_front(&task));
+  EXPECT_EQ(task, 2u);
+  ASSERT_TRUE(deque.pop_front(&task));
+  EXPECT_EQ(task, 3u);
+  EXPECT_FALSE(deque.pop_front(&task));  // exhausted
+  EXPECT_TRUE(deque.empty());
+  EXPECT_TRUE(deque.steal_half().empty());
+
+  // A single remaining task IS stolen (the owner may be busy for ms).
+  deque.push_back(9);
+  const auto last = deque.steal_half();
+  ASSERT_EQ(last.size(), 1u);
+  EXPECT_EQ(last[0], 9u);
+}
+
+TEST(concurrency, steal_deque_concurrent_steal_stress_loses_nothing) {
+  // One owner popping the front races four thieves stealing the back; the
+  // union of what everyone got must be exactly the seeded set. This is the
+  // TSan workload for the deque locking.
+  constexpr std::size_t tasks = 10'000;
+  constexpr std::size_t thieves = 4;
+  util::steal_deque deque;
+  for (std::size_t task = 0; task < tasks; ++task) deque.push_back(task);
+
+  std::vector<std::vector<std::size_t>> got(1 + thieves);
+  std::atomic<bool> owner_done{false};
+  run_threads(1 + thieves, [&](std::size_t t) {
+    if (t == 0) {
+      std::size_t task = 0;
+      while (deque.pop_front(&task)) got[t].push_back(task);
+      owner_done.store(true);
+    } else {
+      for (;;) {
+        const auto stolen = deque.steal_half();
+        got[t].insert(got[t].end(), stolen.begin(), stolen.end());
+        if (stolen.empty() && owner_done.load()) break;
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  std::vector<std::uint8_t> seen(tasks, 0);
+  std::size_t total = 0;
+  for (const auto& list : got)
+    for (const std::size_t task : list) {
+      EXPECT_EQ(seen[task], 0u) << "task " << task << " ran twice";
+      seen[task] = 1;
+      ++total;
+    }
+  EXPECT_EQ(total, tasks);
+}
+
+TEST(concurrency, work_stealing_pool_runs_each_task_exactly_once) {
+  constexpr std::size_t workers = 4;
+  constexpr std::size_t tasks = 500;
+  util::work_stealing_pool pool{workers};
+  EXPECT_EQ(pool.size(), workers);
+  EXPECT_FALSE(pool.pinned());
+
+  std::vector<std::vector<std::size_t>> seeds(workers);
+  for (std::size_t task = 0; task < tasks; ++task)
+    seeds[task % workers].push_back(task);
+  std::vector<std::atomic<int>> counts(tasks);
+  (void)pool.run_round(seeds, [&counts](std::size_t task, std::size_t) {
+    counts[task].fetch_add(1);
+  });
+  EXPECT_EQ(pool.remaining(), 0u);
+  for (std::size_t task = 0; task < tasks; ++task)
+    EXPECT_EQ(counts[task].load(), 1) << "task " << task;
+}
+
+TEST(concurrency, work_stealing_pool_steals_from_imbalanced_seed) {
+  // Everything seeded on worker 0, each task sleeping: the other three
+  // workers have nothing of their own and MUST steal to finish the round.
+  constexpr std::size_t workers = 4;
+  constexpr std::size_t tasks = 24;
+  util::work_stealing_pool pool{workers};
+  std::vector<std::vector<std::size_t>> seeds(workers);
+  for (std::size_t task = 0; task < tasks; ++task) seeds[0].push_back(task);
+
+  std::vector<std::atomic<int>> counts(tasks);
+  std::atomic<std::size_t> ran_elsewhere{0};
+  const std::uint64_t steals =
+      pool.run_round(seeds, [&](std::size_t task, std::size_t worker) {
+        std::this_thread::sleep_for(std::chrono::milliseconds{2});
+        counts[task].fetch_add(1);
+        if (worker != 0) ran_elsewhere.fetch_add(1);
+      });
+  for (std::size_t task = 0; task < tasks; ++task)
+    EXPECT_EQ(counts[task].load(), 1);
+  EXPECT_GT(steals, 0u);
+  EXPECT_GT(ran_elsewhere.load(), 0u);
+  EXPECT_EQ(pool.total_steals(), steals);
+}
+
+TEST(concurrency, work_stealing_pool_propagates_first_exception) {
+  util::work_stealing_pool pool{2};
+  std::vector<std::vector<std::size_t>> seeds(2);
+  for (std::size_t task = 0; task < 10; ++task)
+    seeds[task % 2].push_back(task);
+  std::atomic<std::size_t> executed{0};
+  EXPECT_THROW(
+      (void)pool.run_round(seeds,
+                           [&executed](std::size_t task, std::size_t) {
+                             executed.fetch_add(1);
+                             if (task == 3)
+                               throw std::runtime_error{"task 3 failed"};
+                           }),
+      std::runtime_error);
+  // The round barrier holds on failure: every task still ran.
+  EXPECT_EQ(executed.load(), 10u);
+  EXPECT_EQ(pool.remaining(), 0u);
+
+  // And the pool is reusable afterwards.
+  std::atomic<std::size_t> second{0};
+  (void)pool.run_round(seeds, [&second](std::size_t, std::size_t) {
+    second.fetch_add(1);
+  });
+  EXPECT_EQ(second.load(), 10u);
+}
+
+TEST(concurrency, work_stealing_pool_rounds_accumulate_exactly) {
+  constexpr std::size_t workers = 3;
+  constexpr std::size_t rounds = 20;
+  constexpr std::size_t tasks = 60;
+  util::work_stealing_pool pool{workers};
+  std::vector<std::vector<std::size_t>> seeds(workers);
+  for (std::size_t task = 0; task < tasks; ++task)
+    seeds[task % workers].push_back(task);
+  std::atomic<std::size_t> executed{0};
+  for (std::size_t round = 0; round < rounds; ++round) {
+    (void)pool.run_round(seeds, [&executed](std::size_t, std::size_t) {
+      executed.fetch_add(1);
+    });
+    EXPECT_EQ(pool.remaining(), 0u);
+  }
+  EXPECT_EQ(executed.load(), rounds * tasks);
+  EXPECT_THROW((void)pool.run_round({}, [](std::size_t, std::size_t) {}),
+               std::invalid_argument);
+}
+
+// Acceptance workload for the engine.steals / engine.shard_imbalance
+// exports: a single hot flow concentrates essentially all inference work in
+// one topology shard. With one unstealable batch per shard the slowest
+// worker carries the run (imbalance >> 0); with single-device batches the
+// idle workers steal it back.
+TEST(concurrency, sharded_engine_exports_steals_and_imbalance) {
+  const auto ptm = tiny_ptm();
+  const auto topo = topo::make_fattree16();
+  const topo::routing routes{topo};
+
+  // One flow, host 0 -> host 8 (cross-cluster): only the devices on that
+  // path see traffic; every other shard's devices are near-free to compute.
+  std::vector<traffic::packet_stream> streams(16);
+  double t = 0;
+  for (std::uint64_t pid = 0; pid < 300; ++pid) {
+    traffic::packet p;
+    p.pid = pid;
+    p.flow_id = 1;
+    p.dst_host = 8;
+    p.size_bytes = 1000;
+    t += 1.2e-5;
+    streams[0].push_back({p, t});
+  }
+
+  // Imbalance: one batch per shard (nothing to steal after the first pop),
+  // so the hot shard's worker is the critical path of every iteration.
+  core::engine_config lumped_cfg;
+  lumped_cfg.partitions = 4;
+  lumped_cfg.sharding = topo::shard_strategy::topology;
+  lumped_cfg.steal_batch = topo.devices().size();
+  lumped_cfg.irsa_skip_unchanged = false;
+  core::dqn_network lumped{topo, routes, ptm, {}, lumped_cfg};
+  const auto lumped_result = lumped.run(streams, 0.005);
+  EXPECT_EQ(lumped.stats().workers, 4u);
+  EXPECT_GT(lumped.stats().cross_shard_links, 0u);
+  EXPECT_GT(lumped.stats().shard_imbalance, 0.0);
+
+  // Stealing: single-device batches; the idle workers drain the hot shard.
+  // Steal counts are timing-dependent (never results), so accumulate runs
+  // until observed rather than asserting one race resolution.
+  core::engine_config stealing_cfg = lumped_cfg;
+  stealing_cfg.steal_batch = 1;
+  core::dqn_network stealing{topo, routes, ptm, {}, stealing_cfg};
+  std::uint64_t steals = 0;
+  des::run_result stealing_result;
+  for (int attempt = 0; attempt < 8 && steals == 0; ++attempt) {
+    stealing_result = stealing.run(streams, 0.005);
+    steals += stealing.stats().steals;
+  }
+  EXPECT_GT(steals, 0u);
+
+  // Work placement must not change results: lumped and stealing runs agree
+  // bit for bit.
+  ASSERT_EQ(lumped_result.deliveries.size(), stealing_result.deliveries.size());
+  for (std::size_t i = 0; i < lumped_result.deliveries.size(); ++i) {
+    EXPECT_EQ(lumped_result.deliveries[i].pid,
+              stealing_result.deliveries[i].pid);
+    EXPECT_DOUBLE_EQ(lumped_result.deliveries[i].delivery_time,
+                     stealing_result.deliveries[i].delivery_time);
+  }
+
+  // The stats round-trip through the registry (engine_stats contract).
+  obs::sink sink;
+  lumped.stats().publish(sink);
+  const auto rebuilt = core::engine_stats::from_registry(sink.metrics());
+  EXPECT_EQ(rebuilt.steals, lumped.stats().steals);
+  EXPECT_EQ(rebuilt.workers, lumped.stats().workers);
+  EXPECT_EQ(rebuilt.cross_shard_links, lumped.stats().cross_shard_links);
+  EXPECT_DOUBLE_EQ(rebuilt.shard_imbalance, lumped.stats().shard_imbalance);
 }
 
 }  // namespace

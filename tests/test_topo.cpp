@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <set>
+#include <vector>
 
 #include "topo/builders.hpp"
 #include "topo/graph.hpp"
 #include "topo/routing.hpp"
+#include "topo/sharding.hpp"
 #include "util/check.hpp"
 
 namespace {
@@ -197,6 +200,88 @@ TEST(routing, rejects_non_host_destination) {
 }
 
 // Parameterized sweep: every evaluation topology yields a working routing.
+// --- shard planning (core/engine.cpp consumes these plans) -----------------
+
+// Every shard plan must be a partition of the device-index range: each index
+// appears exactly once, and shard sizes stay balanced (differ by <= 1) so no
+// worker is starved before stealing even starts.
+void expect_valid_partition(const shard_plan& plan, std::size_t device_count,
+                            std::size_t shard_count) {
+  ASSERT_EQ(plan.shards.size(), shard_count);
+  std::set<std::size_t> seen;
+  std::size_t min_size = device_count;
+  std::size_t max_size = 0;
+  for (const auto& shard : plan.shards) {
+    min_size = std::min(min_size, shard.size());
+    max_size = std::max(max_size, shard.size());
+    for (const auto index : shard) {
+      EXPECT_LT(index, device_count);
+      EXPECT_TRUE(seen.insert(index).second) << "device index " << index
+                                             << " assigned twice";
+    }
+  }
+  EXPECT_EQ(seen.size(), device_count);
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+TEST(sharding, both_strategies_partition_all_devices) {
+  const auto t = make_fattree16();
+  const auto devices = t.devices();
+  for (const auto strategy :
+       {shard_strategy::round_robin, shard_strategy::topology}) {
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{3},
+                                     std::size_t{4}, std::size_t{7}}) {
+      const auto plan = shard_devices(t, devices, shards, strategy);
+      expect_valid_partition(plan, devices.size(), shards);
+    }
+  }
+}
+
+TEST(sharding, plan_is_deterministic_across_calls) {
+  const auto t = make_fattree16();
+  const auto devices = t.devices();
+  const auto first = shard_devices(t, devices, 4, shard_strategy::topology);
+  const auto second = shard_devices(t, devices, 4, shard_strategy::topology);
+  EXPECT_EQ(first.shards, second.shards);
+  EXPECT_EQ(first.cross_shard_links, second.cross_shard_links);
+}
+
+TEST(sharding, topology_strategy_cuts_fewer_links_than_round_robin) {
+  // The BFS-grown plan exists to keep pods together; on a clustered fat-tree
+  // it must strictly beat the index shuffle.
+  const auto t = make_fattree16();
+  const auto devices = t.devices();
+  const auto bfs = shard_devices(t, devices, 4, shard_strategy::topology);
+  const auto rr = shard_devices(t, devices, 4, shard_strategy::round_robin);
+  EXPECT_LT(bfs.cross_shard_links, rr.cross_shard_links);
+  EXPECT_GT(rr.cross_shard_links, 0u);
+}
+
+TEST(sharding, single_shard_has_no_cross_links) {
+  const auto t = make_fattree16();
+  const auto devices = t.devices();
+  for (const auto strategy :
+       {shard_strategy::round_robin, shard_strategy::topology}) {
+    const auto plan = shard_devices(t, devices, 1, strategy);
+    EXPECT_EQ(plan.cross_shard_links, 0u);
+  }
+}
+
+TEST(sharding, shard_count_clamps_to_device_count) {
+  const auto t = make_line(3);  // 3 switches
+  const auto devices = t.devices();
+  ASSERT_EQ(devices.size(), 3u);
+  const auto plan = shard_devices(t, devices, 8, shard_strategy::topology);
+  expect_valid_partition(plan, devices.size(), 3u);
+}
+
+TEST(sharding, zero_shards_rejected) {
+  const auto t = make_line(3);
+  const auto devices = t.devices();
+  EXPECT_THROW(shard_devices(t, devices, 0, shard_strategy::topology),
+               dqn::util::contract_violation);
+}
+
 struct topo_case {
   const char* name;
   topology (*build)();
